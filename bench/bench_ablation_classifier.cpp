@@ -1,0 +1,109 @@
+// Ablation bench for MARIOH's classifier design choices (DESIGN.md §6):
+// negative-sampling ratio, MLP capacity, and the initial threshold's
+// interaction with search quality, measured as reconstruction Jaccard on a
+// hard (enron-like) and an easy (hosts-like) profile.
+//
+// Usage: bench_ablation_classifier [--quick]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/harness.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void SweepNegativeRatio(const std::vector<std::string>& datasets,
+                        int seeds) {
+  marioh::util::TextTable table(
+      "Ablation: negatives per positive (classifier training)");
+  std::vector<std::string> header = {"neg:pos"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  table.SetHeader(header);
+  for (double ratio : {0.5, 1.0, 3.0, 6.0}) {
+    marioh::eval::AccuracyOptions options;
+    options.num_seeds = seeds;
+    options.marioh_base.classifier.negatives_per_positive = ratio;
+    std::vector<std::string> row = {marioh::util::TextTable::Num(ratio, 1)};
+    for (const std::string& dataset : datasets) {
+      marioh::eval::AccuracyResult r =
+          marioh::eval::RunAccuracy("MARIOH", dataset, options);
+      row.push_back(marioh::util::TextTable::MeanStd(r.mean, r.std_dev));
+      std::cerr << "[ablation] neg=" << ratio << " " << dataset << " -> "
+                << row.back() << "\n";
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << std::endl;
+}
+
+void SweepMlpCapacity(const std::vector<std::string>& datasets, int seeds) {
+  marioh::util::TextTable table("Ablation: MLP hidden-layer widths");
+  std::vector<std::string> header = {"hidden"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  table.SetHeader(header);
+  const std::vector<std::pair<std::string, std::vector<size_t>>> configs = {
+      {"(linear)", {}},
+      {"16", {16}},
+      {"64-32", {64, 32}},
+      {"128-64-32", {128, 64, 32}},
+  };
+  for (const auto& [label, hidden] : configs) {
+    marioh::eval::AccuracyOptions options;
+    options.num_seeds = seeds;
+    options.marioh_base.classifier.mlp.hidden = hidden;
+    std::vector<std::string> row = {label};
+    for (const std::string& dataset : datasets) {
+      marioh::eval::AccuracyResult r =
+          marioh::eval::RunAccuracy("MARIOH", dataset, options);
+      row.push_back(marioh::util::TextTable::MeanStd(r.mean, r.std_dev));
+      std::cerr << "[ablation] mlp=" << label << " " << dataset << " -> "
+                << row.back() << "\n";
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << std::endl;
+}
+
+void SweepHardNegatives(const std::vector<std::string>& datasets,
+                        int seeds) {
+  marioh::util::TextTable table(
+      "Ablation: hard-negative fraction (sub-cliques of true hyperedges)");
+  std::vector<std::string> header = {"hard frac"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  table.SetHeader(header);
+  for (double frac : {0.0, 0.25, 0.5}) {
+    marioh::eval::AccuracyOptions options;
+    options.num_seeds = seeds;
+    options.marioh_base.classifier.hard_negative_fraction = frac;
+    std::vector<std::string> row = {marioh::util::TextTable::Num(frac, 2)};
+    for (const std::string& dataset : datasets) {
+      marioh::eval::AccuracyResult r =
+          marioh::eval::RunAccuracy("MARIOH", dataset, options);
+      row.push_back(marioh::util::TextTable::MeanStd(r.mean, r.std_dev));
+      std::cerr << "[ablation] hard=" << frac << " " << dataset << " -> "
+                << row.back() << "\n";
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << std::endl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  std::vector<std::string> datasets =
+      quick ? std::vector<std::string>{"hosts"}
+            : std::vector<std::string>{"hosts", "enron", "pschool"};
+  int seeds = quick ? 1 : 2;
+  SweepNegativeRatio(datasets, seeds);
+  SweepMlpCapacity(datasets, seeds);
+  SweepHardNegatives(datasets, seeds);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 4: hyperparameter sensitivity — Jaccard (multiplicity-reduced) and
+// multi-Jaccard (multiplicity-preserved) as alpha, r, and theta_init vary,
+// on a representative subset of datasets.
+//
+// Usage: bench_fig4_sensitivity [--quick]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/harness.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void Sweep(const std::string& parameter,
+           const std::vector<double>& values,
+           const std::vector<std::string>& datasets, bool reduced,
+           int num_seeds) {
+  marioh::util::TextTable table(
+      "Fig. 4 sweep: " + parameter + " vs " +
+      (reduced ? std::string("Jaccard") : std::string("multi-Jaccard")) +
+      " (x100)");
+  std::vector<std::string> header = {parameter};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  table.SetHeader(header);
+
+  for (double value : values) {
+    marioh::eval::AccuracyOptions options;
+    options.multiplicity_reduced = reduced;
+    options.num_seeds = num_seeds;
+    if (parameter == "alpha") {
+      options.marioh_base.alpha = value;
+    } else if (parameter == "r") {
+      options.marioh_base.r_percent = value;
+    } else {
+      options.marioh_base.theta_init = value;
+    }
+    std::vector<std::string> row = {marioh::util::TextTable::Num(value, 3)};
+    for (const std::string& dataset : datasets) {
+      marioh::eval::AccuracyResult r =
+          marioh::eval::RunAccuracy("MARIOH", dataset, options);
+      row.push_back(marioh::util::TextTable::MeanStd(r.mean, r.std_dev));
+      std::cerr << "[fig4] " << parameter << "=" << value << " / "
+                << dataset << " -> " << row.back() << "\n";
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << std::endl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  std::vector<std::string> datasets =
+      quick ? std::vector<std::string>{"crime", "hosts"}
+            : std::vector<std::string>{"crime", "hosts", "enron",
+                                       "pschool"};
+  int seeds = quick ? 1 : 2;
+
+  std::vector<double> alphas = {1.0 / 5, 1.0 / 15, 1.0 / 25, 1.0 / 35};
+  std::vector<double> rs = quick ? std::vector<double>{20, 60, 100}
+                                 : std::vector<double>{20, 40, 60, 80, 100};
+  std::vector<double> thetas =
+      quick ? std::vector<double>{0.5, 0.9}
+            : std::vector<double>{0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+  for (bool reduced : {true, false}) {
+    Sweep("alpha", alphas, datasets, reduced, seeds);
+    Sweep("r", rs, datasets, reduced, seeds);
+    Sweep("theta_init", thetas, datasets, reduced, seeds);
+  }
+  return 0;
+}

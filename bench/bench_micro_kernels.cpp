@@ -1,0 +1,113 @@
+// Microbenchmarks of the hot kernels inside MARIOH's reconstruction loop:
+// MHH computation (Eq. (1)), maximal-clique enumeration, feature
+// extraction, and clique peeling. google-benchmark based.
+
+#include <benchmark/benchmark.h>
+
+#include "core/features.hpp"
+#include "gen/hypercl.hpp"
+#include "hypergraph/clique.hpp"
+#include "hypergraph/csr.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using marioh::NodeId;
+using marioh::NodeSet;
+using marioh::ProjectedGraph;
+
+ProjectedGraph MakeGraph(size_t num_nodes, size_t num_edges) {
+  marioh::util::Rng rng(7);
+  marioh::Hypergraph h = marioh::gen::HyperClLike(
+      num_nodes, num_edges, /*size_mean=*/3.2, /*degree_skew=*/0.7, &rng);
+  return h.Project();
+}
+
+void BM_Mhh(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) * 2);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = edges[i % edges.size()];
+    benchmark::DoNotOptimize(g.Mhh(e.u, e.v));
+    ++i;
+  }
+}
+BENCHMARK(BM_Mhh)->Arg(500)->Arg(2000);
+
+void BM_MaximalCliques(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) * 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marioh::MaximalCliques(g));
+  }
+}
+BENCHMARK(BM_MaximalCliques)->Arg(200)->Arg(800);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(500, 1500);
+  marioh::core::FeatureExtractor extractor(
+      marioh::core::FeatureMode::kMultiplicityAware);
+  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extractor.Extract(g, cliques[i % cliques.size()], true));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_PeelClique(benchmark::State& state) {
+  ProjectedGraph base = MakeGraph(500, 1500);
+  std::vector<NodeSet> cliques = marioh::MaximalCliques(base);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ProjectedGraph g = base;
+    state.ResumeTiming();
+    for (const NodeSet& q : cliques) {
+      if (g.IsClique(q)) g.PeelClique(q);
+    }
+  }
+}
+BENCHMARK(BM_PeelClique);
+
+void BM_ParallelScoringScaling(benchmark::State& state) {
+  // Thread scaling of the clique-scoring hot loop (feature extraction is
+  // the dominant cost inside BidirectionalSearch).
+  ProjectedGraph g = MakeGraph(800, 2400);
+  marioh::core::FeatureExtractor extractor(
+      marioh::core::FeatureMode::kMultiplicityAware);
+  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<double> sums(cliques.size());
+    marioh::util::ParallelFor(cliques.size(), threads, [&](size_t i) {
+      marioh::la::Vector f = extractor.Extract(g, cliques[i], true);
+      double s = 0;
+      for (double v : f) s += v;
+      sums[i] = s;
+    });
+    benchmark::DoNotOptimize(sums);
+  }
+}
+BENCHMARK(BM_ParallelScoringScaling)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CsrMhh(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(2000, 4000);
+  marioh::CsrGraph csr(g);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = edges[i % edges.size()];
+    benchmark::DoNotOptimize(csr.Mhh(e.u, e.v));
+    ++i;
+  }
+}
+BENCHMARK(BM_CsrMhh);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table II: reconstruction accuracy (Jaccard similarity x100) in the
+// multiplicity-reduced setting, every method x every dataset profile.
+//
+// Usage: bench_table2_accuracy [--quick]
+//   --quick : fewer seeds and the faster dataset subset (CI-friendly).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  marioh::eval::AccuracyOptions options;
+  options.multiplicity_reduced = true;
+  options.num_seeds = quick ? 1 : 3;
+  options.time_budget_seconds = quick ? 30.0 : 120.0;
+
+  std::vector<std::string> datasets =
+      quick ? std::vector<std::string>{"crime", "directors", "hosts",
+                                       "enron"}
+            : marioh::gen::TableDatasets();
+  std::vector<std::string> methods = marioh::eval::Table2Methods();
+
+  marioh::util::TextTable table(
+      "Table II: Jaccard similarity (x100), multiplicity-reduced");
+  std::vector<std::string> header = {"Method"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  table.SetHeader(header);
+
+  for (const std::string& method : methods) {
+    std::vector<std::string> row = {method};
+    for (const std::string& dataset : datasets) {
+      marioh::eval::AccuracyResult r =
+          marioh::eval::RunAccuracy(method, dataset, options);
+      row.push_back(r.out_of_time
+                        ? "OOT"
+                        : marioh::util::TextTable::MeanStd(r.mean,
+                                                           r.std_dev));
+      std::cerr << "[table2] " << method << " / " << dataset << " -> "
+                << row.back() << " (" << r.mean_seconds << "s)\n";
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << std::endl;
+  return 0;
+}

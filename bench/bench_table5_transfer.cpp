@@ -1,0 +1,63 @@
+// Table V: transfer learning — methods are trained on a source dataset and
+// evaluated on a different target dataset from the same domain:
+// DBLP -> MAG fields, Eu -> {Eu, Enron}, P.School -> {P.School, H.School}.
+//
+// Usage: bench_table5_transfer [--quick]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  marioh::eval::AccuracyOptions options;
+  options.multiplicity_reduced = true;
+  options.num_seeds = quick ? 1 : 3;
+  options.time_budget_seconds = quick ? 30.0 : 120.0;
+
+  // (source, target) pairs in the paper's column order.
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"dblp", "dblp"},         {"dblp", "mag_history"},
+      {"dblp", "mag_topcs"},    {"dblp", "mag_geology"},
+      {"eu", "eu"},             {"eu", "enron"},
+      {"pschool", "pschool"},   {"pschool", "hschool"},
+  };
+  if (quick) {
+    pairs = {{"dblp", "mag_history"}, {"eu", "enron"},
+             {"pschool", "hschool"}};
+  }
+  std::vector<std::string> methods = {"SHyRe-Unsup", "SHyRe-Motif",
+                                      "SHyRe-Count", "MARIOH"};
+
+  marioh::util::TextTable table(
+      "Table V: transfer learning Jaccard (x100), source -> target");
+  std::vector<std::string> header = {"Method"};
+  for (const auto& [src, dst] : pairs) header.push_back(src + "->" + dst);
+  table.SetHeader(header);
+
+  for (const std::string& method : methods) {
+    std::vector<std::string> row = {method};
+    for (const auto& [src, dst] : pairs) {
+      marioh::eval::AccuracyResult r =
+          marioh::eval::RunTransfer(method, src, dst, options);
+      row.push_back(r.out_of_time
+                        ? "OOT"
+                        : marioh::util::TextTable::MeanStd(r.mean,
+                                                           r.std_dev));
+      std::cerr << "[table5] " << method << " / " << src << "->" << dst
+                << " -> " << row.back() << "\n";
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << std::endl;
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Contact-network downstream tasks (Table VII/VIII scenario): a school
+// contact hypergraph was simplified to pairwise contacts. We reconstruct
+// it with MARIOH and show that spectral node clustering and node
+// classification on the reconstruction recover most of the gap between
+// the projected graph and the (normally unavailable) original hypergraph.
+
+#include <iostream>
+
+#include "core/marioh.hpp"
+#include "eval/classification.hpp"
+#include "eval/clustering.hpp"
+#include "eval/harness.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marioh;
+
+  eval::PreparedDataset data =
+      eval::PrepareDataset("pschool", /*multiplicity_reduced=*/true,
+                           /*seed=*/7);
+  std::cout << "Contact network (P.School-like profile): "
+            << data.target.num_nodes() << " students, "
+            << data.target.num_unique_edges()
+            << " unique contact groups, " << data.num_classes
+            << " classes\n\n";
+
+  core::Marioh marioh;
+  marioh.Train(data.g_source, data.source);
+  Hypergraph reconstructed = marioh.Reconstruct(data.g_target);
+  std::cout << "MARIOH reconstructed " << reconstructed.num_unique_edges()
+            << " contact groups\n\n";
+
+  const size_t embed_dim = 16;
+  la::Matrix graph_embedding =
+      eval::GraphSpectralEmbedding(data.g_target, embed_dim);
+  la::Matrix recon_embedding =
+      eval::HypergraphSpectralEmbedding(reconstructed, embed_dim);
+  la::Matrix truth_embedding =
+      eval::HypergraphSpectralEmbedding(data.target, embed_dim);
+
+  util::TextTable table("Downstream task quality by input representation");
+  table.SetHeader({"Input", "Clustering NMI", "Classification micro-F1"});
+  auto evaluate = [&](const std::string& name,
+                      const la::Matrix& embedding) {
+    double nmi = eval::SpectralClusteringNmi(embedding, data.labels,
+                                             data.num_classes, 11);
+    eval::F1Scores f1 = eval::NodeClassification(
+        embedding, data.labels, data.num_classes, 0.7, 13);
+    table.AddRow({name, util::TextTable::Num(nmi, 4),
+                  util::TextTable::Num(f1.micro, 4)});
+  };
+  evaluate("Projected graph G", graph_embedding);
+  evaluate("H^ by MARIOH", recon_embedding);
+  evaluate("Original hypergraph H", truth_embedding);
+  std::cout << table.Render();
+  std::cout << "\nHigher-order structure recovered by reconstruction "
+               "narrows the gap to the original hypergraph.\n";
+  return 0;
+}

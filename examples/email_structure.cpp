@@ -1,0 +1,64 @@
+// Email-network scenario: multiplicity-preserved reconstruction of an
+// Enron-like email hypergraph (recipient sets recur across threads), with
+// a per-property structural-preservation report — the paper's Table IV
+// protocol on a single dataset, exercised through the public API.
+
+#include <iostream>
+
+#include "core/marioh.hpp"
+#include "eval/metrics.hpp"
+#include "eval/structural.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marioh;
+
+  // Enron-like: heavy hyperedge multiplicity (recurring recipient sets).
+  gen::GeneratedDataset data =
+      gen::Generate(gen::ProfileByName("enron"), 21);
+  std::cout << "Email network (Enron-like profile): "
+            << data.hypergraph.num_nodes() << " accounts, "
+            << data.hypergraph.num_unique_edges()
+            << " unique recipient sets, average multiplicity "
+            << util::TextTable::Num(data.hypergraph.AverageMultiplicity())
+            << "\n\n";
+
+  // Multiplicity-preserved setting: do NOT reduce hyperedge multiplicity.
+  util::Rng rng(22);
+  gen::SourceTargetSplit split =
+      gen::SplitHypergraph(data.hypergraph, &rng, 0.5);
+
+  core::MariohOptions options;
+  options.num_threads = 0;  // use all cores for clique scoring
+  core::Marioh marioh(options);
+  marioh.Train(split.source.Project(), split.source);
+  Hypergraph reconstructed = marioh.Reconstruct(split.target.Project());
+
+  std::cout << "multi-Jaccard similarity: "
+            << util::TextTable::Num(
+                   eval::MultiJaccard(split.target, reconstructed), 3)
+            << "  (Jaccard "
+            << util::TextTable::Num(
+                   eval::Jaccard(split.target, reconstructed), 3)
+            << ")\n\n";
+
+  // Structural preservation, property by property.
+  eval::StructuralReport report =
+      eval::CompareStructure(split.target, reconstructed, 23);
+  util::TextTable table(
+      "Structural preservation (normalized diff / KS; lower is better)");
+  table.SetHeader({"Property", "Error"});
+  for (const auto& [name, err] : report.scalar_errors) {
+    table.AddRow({name, util::TextTable::Num(err, 4)});
+  }
+  for (const auto& [name, err] : report.distributional_errors) {
+    table.AddRow({name, util::TextTable::Num(err, 4)});
+  }
+  table.AddRow({"Average (Overall)",
+                util::TextTable::Num(report.AverageError(), 4)});
+  std::cout << table.Render();
+  return 0;
+}

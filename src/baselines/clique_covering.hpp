@@ -1,0 +1,28 @@
+/// \file clique_covering.hpp
+/// \brief CliqueCovering baseline [35]: greedy edge clique cover — every
+/// edge of the projected graph must be covered by at least one output
+/// clique, while keeping the cover small.
+
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/method.hpp"
+
+namespace marioh::baselines {
+
+/// Greedy edge clique cover: repeatedly takes an uncovered edge, grows it
+/// into a maximal clique preferring neighbors that cover many uncovered
+/// edges, and emits the clique as a hyperedge. Terminates when every edge
+/// is covered.
+class CliqueCovering : public Reconstructor {
+ public:
+  explicit CliqueCovering(uint64_t seed = 1) : seed_(seed) {}
+  std::string Name() const override { return "CliqueCovering"; }
+  Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace marioh::baselines

@@ -1,0 +1,16 @@
+#include "baselines/maxclique.hpp"
+
+#include "hypergraph/clique.hpp"
+
+namespace marioh::baselines {
+
+Hypergraph MaxCliqueDecomposition::Reconstruct(
+    const ProjectedGraph& g_target) {
+  Hypergraph h(g_target.num_nodes());
+  for (const NodeSet& q : MaximalCliques(g_target)) {
+    h.AddEdge(q, 1);
+  }
+  return h;
+}
+
+}  // namespace marioh::baselines

@@ -1,0 +1,19 @@
+/// \file maxclique.hpp
+/// \brief MaxClique baseline [36]: clique decomposition that outputs every
+/// maximal clique of the projected graph as a hyperedge.
+
+#pragma once
+
+#include "baselines/method.hpp"
+
+namespace marioh::baselines {
+
+/// Outputs the set of maximal cliques (via Bron–Kerbosch) as hyperedges,
+/// each with multiplicity 1. Fast but blind to overlaps and multiplicity.
+class MaxCliqueDecomposition : public Reconstructor {
+ public:
+  std::string Name() const override { return "MaxClique"; }
+  Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
+};
+
+}  // namespace marioh::baselines

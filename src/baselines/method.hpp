@@ -1,0 +1,40 @@
+/// \file method.hpp
+/// \brief Common interface for all hypergraph-reconstruction methods, so
+/// the experiment harness can evaluate MARIOH and every baseline through
+/// one code path (as the paper's evaluation does).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+
+namespace marioh::baselines {
+
+/// A hypergraph reconstruction method. Supervised methods receive the
+/// source pair through Train before Reconstruct is called; unsupervised
+/// methods ignore Train.
+class Reconstructor {
+ public:
+  virtual ~Reconstructor() = default;
+
+  /// Display name used in benchmark tables.
+  virtual std::string Name() const = 0;
+
+  /// True if the method consumes the source pair.
+  virtual bool IsSupervised() const { return false; }
+
+  /// Trains on the source projected graph and hypergraph. Default: no-op.
+  virtual void Train(const ProjectedGraph& g_source,
+                     const Hypergraph& h_source) {
+    (void)g_source;
+    (void)h_source;
+  }
+
+  /// Reconstructs a hypergraph from the target projected graph.
+  virtual Hypergraph Reconstruct(const ProjectedGraph& g_target) = 0;
+};
+
+}  // namespace marioh::baselines

@@ -1,0 +1,70 @@
+#include "baselines/shyre_unsup.hpp"
+
+#include <algorithm>
+
+#include "hypergraph/clique.hpp"
+
+namespace marioh::baselines {
+namespace {
+
+/// Ranking key: larger cliques first, then lower average edge multiplicity,
+/// then lexicographic for determinism.
+struct RankedClique {
+  NodeSet nodes;
+  double avg_multiplicity;
+
+  bool operator<(const RankedClique& other) const {
+    if (nodes.size() != other.nodes.size()) {
+      return nodes.size() > other.nodes.size();
+    }
+    if (avg_multiplicity != other.avg_multiplicity) {
+      return avg_multiplicity < other.avg_multiplicity;
+    }
+    return nodes < other.nodes;
+  }
+};
+
+double AverageMultiplicity(const ProjectedGraph& g, const NodeSet& q) {
+  double sum = 0.0;
+  size_t cnt = 0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    for (size_t j = i + 1; j < q.size(); ++j) {
+      sum += static_cast<double>(g.Weight(q[i], q[j]));
+      ++cnt;
+    }
+  }
+  return cnt == 0 ? 0.0 : sum / static_cast<double>(cnt);
+}
+
+}  // namespace
+
+Hypergraph ShyreUnsup::Reconstruct(const ProjectedGraph& g_target) {
+  ProjectedGraph g = g_target;
+  Hypergraph h(g.num_nodes());
+
+  size_t iterations = 0;
+  std::vector<RankedClique> queue;
+  while (!g.Empty() && iterations < max_iterations_) {
+    if (queue.empty()) {
+      // (Re-)enumerate and rank the maximal cliques of the current graph —
+      // the repeated expensive search the paper criticizes.
+      for (NodeSet& q : MaximalCliques(g)) {
+        double avg = AverageMultiplicity(g, q);
+        queue.push_back({std::move(q), avg});
+      }
+      std::sort(queue.begin(), queue.end());
+      std::reverse(queue.begin(), queue.end());  // pop_back = best
+      if (queue.empty()) break;
+    }
+    RankedClique top = std::move(queue.back());
+    queue.pop_back();
+    // The queue may be stale after earlier peels; re-validate.
+    if (!g.IsClique(top.nodes)) continue;
+    h.AddEdge(top.nodes, 1);
+    g.PeelClique(top.nodes);
+    ++iterations;
+  }
+  return h;
+}
+
+}  // namespace marioh::baselines

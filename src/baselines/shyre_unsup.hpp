@@ -1,0 +1,31 @@
+/// \file shyre_unsup.hpp
+/// \brief SHyRe-Unsup baseline ([6], appendix): the only prior method that
+/// uses edge multiplicity. Iteratively selects the top-ranked maximal
+/// clique — preferring larger cliques with lower average edge multiplicity
+/// — converts it to a hyperedge, decrements its edge multiplicities, and
+/// repeats until no edges remain.
+
+#pragma once
+
+#include <cstddef>
+
+#include "baselines/method.hpp"
+
+namespace marioh::baselines {
+
+/// Unsupervised multiplicity-aware maximal-clique peeling.
+class ShyreUnsup : public Reconstructor {
+ public:
+  /// `max_iterations` caps the peel loop (each iteration may re-enumerate
+  /// maximal cliques, which is what makes the original slow).
+  explicit ShyreUnsup(size_t max_iterations = 1'000'000)
+      : max_iterations_(max_iterations) {}
+
+  std::string Name() const override { return "SHyRe-Unsup"; }
+  Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
+
+ private:
+  size_t max_iterations_;
+};
+
+}  // namespace marioh::baselines

@@ -1,0 +1,103 @@
+#include "core/bidirectional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hypergraph/clique.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace marioh::core {
+namespace {
+
+struct ScoredClique {
+  NodeSet nodes;
+  double score;
+};
+
+/// Sorts descending by score; ties broken by the node set for determinism.
+void SortByScoreDesc(std::vector<ScoredClique>* cliques) {
+  std::sort(cliques->begin(), cliques->end(),
+            [](const ScoredClique& a, const ScoredClique& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.nodes < b.nodes;
+            });
+}
+
+/// Applies `clique` as a hyperedge if all its edges still exist in `g`:
+/// adds it to `h` and peels one unit of weight from each clique edge.
+bool TryApply(const NodeSet& clique, ProjectedGraph* g, Hypergraph* h) {
+  if (!g->IsClique(clique)) return false;
+  h->AddEdge(clique, 1);
+  g->PeelClique(clique);
+  return true;
+}
+
+}  // namespace
+
+BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
+                                       const CliqueClassifier& classifier,
+                                       const BidirectionalOptions& options,
+                                       util::Rng* rng, Hypergraph* h) {
+  MARIOH_CHECK(classifier.trained());
+  BidirectionalStats stats;
+
+  std::vector<NodeSet> maximal = MaximalCliques(*g);
+  stats.maximal_cliques = maximal.size();
+  if (maximal.empty()) return stats;
+
+  // Score all maximal cliques against the frozen pre-iteration graph;
+  // each score is independent, so this is embarrassingly parallel and
+  // deterministic for any thread count.
+  std::vector<double> scores(maximal.size());
+  util::ParallelFor(maximal.size(), options.num_threads, [&](size_t i) {
+    scores[i] = classifier.Score(*g, maximal[i], /*is_maximal=*/true);
+  });
+  std::vector<ScoredClique> pos, rest;
+  for (size_t i = 0; i < maximal.size(); ++i) {
+    if (scores[i] > options.theta) {
+      pos.push_back({std::move(maximal[i]), scores[i]});
+    } else {
+      rest.push_back({std::move(maximal[i]), scores[i]});
+    }
+  }
+
+  // Phase 1: most promising cliques, best first, re-validated against the
+  // shrinking graph.
+  SortByScoreDesc(&pos);
+  for (const ScoredClique& sc : pos) {
+    if (TryApply(sc.nodes, g, h)) ++stats.accepted_phase1;
+  }
+
+  if (!options.explore_subcliques || rest.empty()) return stats;
+
+  // Phase 2: the lowest-r% scored cliques among the non-promising ones.
+  std::sort(rest.begin(), rest.end(),
+            [](const ScoredClique& a, const ScoredClique& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.nodes < b.nodes;
+            });
+  size_t take = static_cast<size_t>(
+      std::ceil(options.r_percent / 100.0 * static_cast<double>(rest.size())));
+  take = std::min(take, rest.size());
+
+  std::vector<ScoredClique> subs;
+  for (size_t i = 0; i < take; ++i) {
+    const NodeSet& q = rest[i].nodes;
+    // One random sample per sub-clique size k in [2, |Q|-1].
+    for (size_t k = 2; k < q.size(); ++k) {
+      NodeSet sub = rng->SampleWithoutReplacement(q, k);
+      Canonicalize(&sub);
+      double s = classifier.Score(*g, sub, /*is_maximal=*/false);
+      ++stats.subcliques_scored;
+      if (s > options.theta) subs.push_back({std::move(sub), s});
+    }
+  }
+  SortByScoreDesc(&subs);
+  for (const ScoredClique& sc : subs) {
+    if (TryApply(sc.nodes, g, h)) ++stats.accepted_phase2;
+  }
+  return stats;
+}
+
+}  // namespace marioh::core

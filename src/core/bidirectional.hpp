@@ -1,0 +1,46 @@
+/// \file bidirectional.hpp
+/// \brief One iteration of MARIOH's bidirectional search (Algorithm 3):
+/// apply high-scoring maximal cliques greedily, then explore random
+/// sub-cliques of the least promising cliques.
+
+#pragma once
+
+#include "core/classifier.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::core {
+
+/// Per-iteration statistics.
+struct BidirectionalStats {
+  size_t maximal_cliques = 0;   ///< cliques enumerated this iteration
+  size_t accepted_phase1 = 0;   ///< hyperedges added from Q_pos
+  size_t accepted_phase2 = 0;   ///< hyperedges added from sub-cliques
+  size_t subcliques_scored = 0; ///< sub-clique candidates evaluated
+};
+
+/// Options controlling one bidirectional-search iteration.
+struct BidirectionalOptions {
+  /// Classification threshold theta for this iteration.
+  double theta = 0.9;
+  /// Negative prediction processing ratio r in percent: the fraction of
+  /// non-promising cliques whose sub-cliques are explored.
+  double r_percent = 20.0;
+  /// Run Phase 2 (sub-clique exploration). false reproduces MARIOH-B.
+  bool explore_subcliques = true;
+  /// Threads used to score maximal cliques (0 = all cores). Scoring is a
+  /// pure function of the frozen iteration graph, so results are
+  /// identical for any thread count.
+  int num_threads = 1;
+};
+
+/// Runs one iteration of Algorithm 3 on `g` in place, appending accepted
+/// hyperedges to `h`. Returns per-iteration statistics. `rng` drives the
+/// random sub-clique sampling of Phase 2.
+BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
+                                       const CliqueClassifier& classifier,
+                                       const BidirectionalOptions& options,
+                                       util::Rng* rng, Hypergraph* h);
+
+}  // namespace marioh::core

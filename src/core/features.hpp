@@ -1,0 +1,63 @@
+/// \file features.hpp
+/// \brief Clique feature extraction for the multiplicity-aware classifier
+/// (Sect. III-D) and for the SHyRe-Count-style structural features used by
+/// the MARIOH-M ablation and the SHyRe baselines.
+
+#pragma once
+
+#include <cstddef>
+
+#include "hypergraph/projected_graph.hpp"
+#include "hypergraph/types.hpp"
+#include "la/matrix.hpp"
+
+namespace marioh::core {
+
+/// Which feature family to compute for a clique.
+enum class FeatureMode {
+  /// The paper's multiplicity-aware features: weighted node degrees
+  /// (aggregated), per-edge {multiplicity, MHH, MHH/multiplicity}
+  /// (aggregated), plus {clique size, cut ratio, is-maximal}. 23 dims.
+  kMultiplicityAware,
+  /// SHyRe-Count-style purely structural features (no edge multiplicity):
+  /// unweighted node degrees (aggregated), per-edge common-neighbor counts
+  /// (aggregated), edge density of the neighborhood, clique size,
+  /// is-maximal. 13 dims. Used by MARIOH-M and the SHyRe-Count baseline.
+  kStructural,
+  /// SHyRe-Motif features: the structural features plus motif statistics —
+  /// per-node clustering coefficients and per-edge square (4-cycle) counts
+  /// (both aggregated). 23 dims. Used by the SHyRe-Motif baseline.
+  kMotif,
+};
+
+/// Extracts fixed-length feature vectors for cliques of a projected graph.
+/// Node- and edge-level features are summarized with the five-number
+/// aggregation {sum, mean, min, max, std} exactly as in the paper.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(FeatureMode mode) : mode_(mode) {}
+
+  /// Dimensionality of the produced vectors.
+  size_t dim() const;
+
+  /// Feature vector of `clique` (canonical NodeSet, size >= 2) measured on
+  /// graph `g`. `is_maximal` is the caller-supplied maximality indicator
+  /// (cliques from the maximal enumeration pass 1, sub-cliques 0).
+  la::Vector Extract(const ProjectedGraph& g, const NodeSet& clique,
+                     bool is_maximal) const;
+
+  FeatureMode mode() const { return mode_; }
+
+ private:
+  la::Vector ExtractMultiplicityAware(const ProjectedGraph& g,
+                                      const NodeSet& clique,
+                                      bool is_maximal) const;
+  la::Vector ExtractStructural(const ProjectedGraph& g,
+                               const NodeSet& clique, bool is_maximal) const;
+  la::Vector ExtractMotif(const ProjectedGraph& g, const NodeSet& clique,
+                          bool is_maximal) const;
+
+  FeatureMode mode_;
+};
+
+}  // namespace marioh::core

@@ -1,0 +1,33 @@
+#include "core/filtering.hpp"
+
+#include <vector>
+
+namespace marioh::core {
+
+FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h) {
+  FilteringStats stats;
+  // MHH is defined on the input graph, so compute every residual before
+  // mutating any weight (Algorithm 2 reads w from G, not G').
+  struct Extraction {
+    NodeId u;
+    NodeId v;
+    uint32_t count;
+  };
+  std::vector<Extraction> extractions;
+  for (const ProjectedGraph::Edge& e : g->Edges()) {
+    uint64_t mhh = g->Mhh(e.u, e.v);
+    if (e.weight > mhh) {
+      extractions.push_back(
+          {e.u, e.v, static_cast<uint32_t>(e.weight - mhh)});
+    }
+  }
+  for (const Extraction& ex : extractions) {
+    h->AddEdge(NodeSet{ex.u, ex.v}, ex.count);
+    g->SubtractWeight(ex.u, ex.v, ex.count);
+    ++stats.edges_identified;
+    stats.total_multiplicity += ex.count;
+  }
+  return stats;
+}
+
+}  // namespace marioh::core

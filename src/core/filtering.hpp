@@ -1,0 +1,28 @@
+/// \file filtering.hpp
+/// \brief Theoretically-guaranteed filtering (Algorithm 2): extract edges
+/// whose residual multiplicity proves they are size-2 hyperedges.
+
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+
+namespace marioh::core {
+
+/// Statistics reported by a Filtering run.
+struct FilteringStats {
+  /// Number of distinct edges identified as guaranteed size-2 hyperedges.
+  size_t edges_identified = 0;
+  /// Total multiplicity of extracted size-2 hyperedges (sum of r_uv).
+  size_t total_multiplicity = 0;
+};
+
+/// Runs Algorithm 2 on `g` in place: for every edge (u,v), computes
+/// `MHH(u,v)` (Eq. (1)) on the input graph and the residual
+/// `r_uv = w(u,v) - MHH(u,v)`. If `r_uv > 0`, adds `{u,v}` to `h` with
+/// multiplicity `r_uv` and subtracts `r_uv` from w(u,v), deleting the edge
+/// when the weight reaches zero. By Lemmas 1-2 every extracted hyperedge is
+/// guaranteed to be in the original hypergraph.
+FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h);
+
+}  // namespace marioh::core

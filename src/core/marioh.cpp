@@ -1,0 +1,80 @@
+#include "core/marioh.hpp"
+
+#include <algorithm>
+
+#include "hypergraph/clique.hpp"
+#include "util/check.hpp"
+
+namespace marioh::core {
+
+MariohOptions OptionsForVariant(MariohVariant variant, MariohOptions base) {
+  switch (variant) {
+    case MariohVariant::kFull:
+      break;
+    case MariohVariant::kNoMulti:
+      base.feature_mode = FeatureMode::kStructural;
+      break;
+    case MariohVariant::kNoFilter:
+      base.use_filtering = false;
+      break;
+    case MariohVariant::kNoBidir:
+      base.use_bidirectional = false;
+      break;
+  }
+  return base;
+}
+
+Marioh::Marioh(MariohOptions options)
+    : options_(options),
+      classifier_(options.feature_mode, options.classifier) {}
+
+void Marioh::Train(const ProjectedGraph& g_source,
+                   const Hypergraph& h_source) {
+  util::ScopedStage stage(&timer_, "train");
+  util::Rng rng(options_.seed);
+  classifier_.Train(g_source, h_source, &rng);
+}
+
+Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
+  MARIOH_CHECK(classifier_.trained());
+  ProjectedGraph g = g_target;  // working copy G'
+  Hypergraph h(g.num_nodes());
+
+  if (options_.use_filtering) {
+    util::ScopedStage stage(&timer_, "filtering");
+    Filtering(&g, &h);
+  }
+
+  util::Rng rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  double theta = options_.theta_init;
+  size_t iterations = 0;
+  {
+    util::ScopedStage stage(&timer_, "bidirectional");
+    while (!g.Empty() && iterations < options_.max_iterations) {
+      BidirectionalOptions bopt;
+      bopt.theta = theta;
+      bopt.r_percent = options_.r_percent;
+      bopt.explore_subcliques = options_.use_bidirectional;
+      bopt.num_threads = options_.num_threads;
+      BidirectionalStats stats =
+          BidirectionalSearch(&g, classifier_, bopt, &rng, &h);
+      theta = std::max(theta - options_.alpha * options_.theta_init, 0.0);
+      ++iterations;
+      // Termination safeguard: once theta is 0 every maximal clique scores
+      // above the threshold (sigmoid output > 0), so Phase 1 must accept at
+      // least one clique per iteration. If nothing was accepted anyway
+      // (degenerate classifier), peel the best-scoring maximal clique via
+      // a plain maximal-clique step to guarantee progress.
+      if (theta == 0.0 && stats.accepted_phase1 == 0 &&
+          stats.accepted_phase2 == 0 && !g.Empty()) {
+        std::vector<NodeSet> cliques = MaximalCliques(g);
+        MARIOH_CHECK(!cliques.empty());
+        h.AddEdge(cliques.front(), 1);
+        g.PeelClique(cliques.front());
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace marioh::core

@@ -1,0 +1,64 @@
+#include "core/motif.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace marioh::core {
+
+uint64_t TrianglesThroughEdge(const ProjectedGraph& g, NodeId u, NodeId v) {
+  return g.CommonNeighbors(u, v).size();
+}
+
+uint64_t TrianglesAtNode(const ProjectedGraph& g, NodeId u) {
+  // Sum over incident edges of common-neighbor counts double-counts each
+  // triangle at u exactly twice (once per incident edge).
+  uint64_t twice = 0;
+  for (const auto& [v, w] : g.Neighbors(u)) {
+    (void)w;
+    twice += TrianglesThroughEdge(g, u, v);
+  }
+  return twice / 2;
+}
+
+uint64_t WedgesAtNode(const ProjectedGraph& g, NodeId u) {
+  uint64_t d = g.Degree(u);
+  return d * (d - 1) / 2;
+}
+
+double ClusteringCoefficient(const ProjectedGraph& g, NodeId u) {
+  uint64_t wedges = WedgesAtNode(g, u);
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(TrianglesAtNode(g, u)) /
+         static_cast<double>(wedges);
+}
+
+uint64_t SquaresThroughEdge(const ProjectedGraph& g, NodeId u, NodeId v,
+                            size_t max_neighbors) {
+  // Collect bounded neighbor lists excluding the opposite endpoint.
+  std::vector<NodeId> nu, nv;
+  nu.reserve(std::min(g.Degree(u), max_neighbors));
+  for (const auto& [x, w] : g.Neighbors(u)) {
+    (void)w;
+    if (x == v) continue;
+    nu.push_back(x);
+    if (nu.size() >= max_neighbors) break;
+  }
+  nv.reserve(std::min(g.Degree(v), max_neighbors));
+  for (const auto& [y, w] : g.Neighbors(v)) {
+    (void)w;
+    if (y == u) continue;
+    nv.push_back(y);
+    if (nv.size() >= max_neighbors) break;
+  }
+  // A square u-x-y-v-u needs x in N(u), y in N(v), edge (x,y), x != y.
+  uint64_t squares = 0;
+  for (NodeId x : nu) {
+    for (NodeId y : nv) {
+      if (x == y) continue;
+      if (g.HasEdge(x, y)) ++squares;
+    }
+  }
+  return squares;
+}
+
+}  // namespace marioh::core

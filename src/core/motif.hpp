@@ -1,0 +1,38 @@
+/// \file motif.hpp
+/// \brief Local motif statistics (triangles, wedges, squares) around nodes
+/// and edges of a projected graph — the extra signal SHyRe-Motif adds on
+/// top of count features [6].
+
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/projected_graph.hpp"
+#include "hypergraph/types.hpp"
+
+namespace marioh::core {
+
+/// Number of triangles through the edge (u, v): |N(u) ∩ N(v)|.
+uint64_t TrianglesThroughEdge(const ProjectedGraph& g, NodeId u, NodeId v);
+
+/// Number of triangles containing node u (each counted once).
+uint64_t TrianglesAtNode(const ProjectedGraph& g, NodeId u);
+
+/// Number of wedges (paths of length 2) centered at node u:
+/// C(deg(u), 2).
+uint64_t WedgesAtNode(const ProjectedGraph& g, NodeId u);
+
+/// Local clustering coefficient of node u: triangles / wedges (0 when the
+/// node has fewer than two neighbors).
+double ClusteringCoefficient(const ProjectedGraph& g, NodeId u);
+
+/// Number of squares (4-cycles) through the edge (u, v): pairs (x, y) with
+/// x in N(u)\{v}, y in N(v)\{u}, x != y, {x,y} an edge and neither x nor y
+/// adjacent to closing a triangle requirement — here simply 4-cycles
+/// u-x-?-v... computed as the count of edges between N(u)\{v} and
+/// N(v)\{u} minus triangles counted twice. Work is capped by
+/// `max_neighbors` per endpoint for dense graphs.
+uint64_t SquaresThroughEdge(const ProjectedGraph& g, NodeId u, NodeId v,
+                            size_t max_neighbors = 64);
+
+}  // namespace marioh::core

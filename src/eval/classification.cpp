@@ -1,0 +1,92 @@
+#include "eval/classification.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/mlp.hpp"
+#include "ml/scaler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::eval {
+
+F1Scores ComputeF1(const std::vector<uint32_t>& truth,
+                   const std::vector<uint32_t>& predicted,
+                   size_t num_classes) {
+  MARIOH_CHECK_EQ(truth.size(), predicted.size());
+  MARIOH_CHECK_GT(num_classes, 0u);
+  std::vector<double> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) {
+      tp[truth[i]] += 1;
+    } else {
+      fp[predicted[i]] += 1;
+      fn[truth[i]] += 1;
+    }
+  }
+  double tp_sum = 0, fp_sum = 0, fn_sum = 0, macro = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    tp_sum += tp[c];
+    fp_sum += fp[c];
+    fn_sum += fn[c];
+    double denom = 2 * tp[c] + fp[c] + fn[c];
+    macro += denom > 0 ? 2 * tp[c] / denom : 0.0;
+  }
+  F1Scores f1;
+  double micro_denom = 2 * tp_sum + fp_sum + fn_sum;
+  f1.micro = micro_denom > 0 ? 2 * tp_sum / micro_denom : 0.0;
+  f1.macro = macro / static_cast<double>(num_classes);
+  return f1;
+}
+
+F1Scores NodeClassification(const la::Matrix& embedding,
+                            const std::vector<uint32_t>& labels,
+                            size_t num_classes, double train_fraction,
+                            uint64_t seed) {
+  const size_t n = embedding.rows();
+  MARIOH_CHECK_EQ(n, labels.size());
+  MARIOH_CHECK_GT(n, 4u);
+  util::Rng rng(seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  size_t train_n = std::max<size_t>(
+      2, static_cast<size_t>(train_fraction * static_cast<double>(n)));
+  train_n = std::min(train_n, n - 2);
+
+  la::Matrix x_train(train_n, embedding.cols());
+  std::vector<double> y_train(train_n);
+  la::Matrix x_test(n - train_n, embedding.cols());
+  std::vector<uint32_t> y_test(n - train_n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t row = order[i];
+    if (i < train_n) {
+      std::copy(embedding.Row(row), embedding.Row(row) + embedding.cols(),
+                x_train.Row(i));
+      y_train[i] = static_cast<double>(labels[row]);
+    } else {
+      std::copy(embedding.Row(row), embedding.Row(row) + embedding.cols(),
+                x_test.Row(i - train_n));
+      y_test[i - train_n] = labels[row];
+    }
+  }
+
+  ml::StandardScaler scaler;
+  scaler.Fit(x_train);
+  scaler.Transform(&x_train);
+  scaler.Transform(&x_test);
+
+  ml::MlpOptions options;
+  options.hidden = {32};
+  options.head = ml::Head::kSoftmax;
+  options.epochs = 150;
+  options.learning_rate = 5e-3;
+  options.seed = seed ^ 0x77aa55ccULL;
+  ml::Mlp mlp(embedding.cols(), num_classes, options);
+  mlp.Fit(x_train, y_train);
+  std::vector<uint32_t> predicted = mlp.PredictClasses(x_test);
+  return ComputeF1(y_test, predicted, num_classes);
+}
+
+}  // namespace marioh::eval

@@ -1,0 +1,33 @@
+/// \file classification.hpp
+/// \brief Node classification downstream task (Table VIII): spectral
+/// embeddings fed to an MLP classifier, scored with micro / macro F1.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace marioh::eval {
+
+/// Micro- and macro-averaged F1 scores.
+struct F1Scores {
+  double micro = 0.0;
+  double macro = 0.0;
+};
+
+/// Computes micro/macro F1 of `predicted` against `truth` over
+/// `num_classes` classes.
+F1Scores ComputeF1(const std::vector<uint32_t>& truth,
+                   const std::vector<uint32_t>& predicted,
+                   size_t num_classes);
+
+/// Trains an MLP on a random `train_fraction` of the embedding rows and
+/// evaluates F1 on the held-out rows. Deterministic given `seed`.
+F1Scores NodeClassification(const la::Matrix& embedding,
+                            const std::vector<uint32_t>& labels,
+                            size_t num_classes, double train_fraction,
+                            uint64_t seed);
+
+}  // namespace marioh::eval

@@ -1,0 +1,114 @@
+#include "eval/clustering.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "la/eigen.hpp"
+#include "la/kmeans.hpp"
+#include "util/check.hpp"
+
+namespace marioh::eval {
+
+double Nmi(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  MARIOH_CHECK_EQ(a.size(), b.size());
+  MARIOH_CHECK(!a.empty());
+  const double n = static_cast<double>(a.size());
+
+  std::unordered_map<uint32_t, double> pa, pb;
+  std::unordered_map<uint64_t, double> pab;
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    pab[(static_cast<uint64_t>(a[i]) << 32) | b[i]] += 1.0;
+  }
+  double mi = 0.0;
+  for (const auto& [key, cnt] : pab) {
+    uint32_t ka = static_cast<uint32_t>(key >> 32);
+    uint32_t kb = static_cast<uint32_t>(key & 0xffffffffu);
+    double pxy = cnt / n;
+    double px = pa[ka] / n;
+    double py = pb[kb] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  auto entropy = [&](const std::unordered_map<uint32_t, double>& p) {
+    double h = 0.0;
+    for (const auto& [k, cnt] : p) {
+      (void)k;
+      double q = cnt / n;
+      h -= q * std::log(q);
+    }
+    return h;
+  };
+  double ha = entropy(pa);
+  double hb = entropy(pb);
+  double denom = 0.5 * (ha + hb);
+  if (denom <= 0.0) return 1.0;  // both partitions trivial
+  return mi / denom;
+}
+
+la::Matrix GraphSpectralEmbedding(const ProjectedGraph& g, size_t k) {
+  const size_t n = g.num_nodes();
+  la::Matrix lap = la::Matrix::Identity(n);
+  std::vector<double> dsqrt(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    double d = static_cast<double>(g.WeightedDegree(u));
+    dsqrt[u] = d > 0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      lap(u, v) -= w * dsqrt[u] * dsqrt[v];
+    }
+  }
+  return la::SmallestEigenvectors(lap, k);
+}
+
+la::Matrix HypergraphSpectralEmbedding(const Hypergraph& h, size_t k) {
+  const size_t n = h.num_nodes();
+  // Theta = D_v^{-1/2} H W D_e^{-1} H^T D_v^{-1/2}; Laplacian = I - Theta.
+  std::vector<double> dv(n, 0.0);
+  for (const auto& [e, m] : h.edges()) {
+    for (NodeId u : e) dv[u] += m;
+  }
+  la::Matrix theta(n, n);
+  for (const auto& [e, m] : h.edges()) {
+    double coeff = static_cast<double>(m) / static_cast<double>(e.size());
+    for (NodeId u : e) {
+      for (NodeId v : e) {
+        theta(u, v) += coeff;
+      }
+    }
+  }
+  la::Matrix lap = la::Matrix::Identity(n);
+  for (size_t u = 0; u < n; ++u) {
+    double su = dv[u] > 0 ? 1.0 / std::sqrt(dv[u]) : 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      double sv = dv[v] > 0 ? 1.0 / std::sqrt(dv[v]) : 0.0;
+      lap(u, v) -= theta(u, v) * su * sv;
+    }
+  }
+  return la::SmallestEigenvectors(lap, k);
+}
+
+double SpectralClusteringNmi(const la::Matrix& embedding,
+                             const std::vector<uint32_t>& labels,
+                             size_t num_clusters, uint64_t seed) {
+  MARIOH_CHECK_EQ(embedding.rows(), labels.size());
+  // Row-normalize the embedding (standard for normalized spectral
+  // clustering).
+  la::Matrix points = embedding;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    double norm = 0.0;
+    for (size_t j = 0; j < points.cols(); ++j) {
+      norm += points(i, j) * points(i, j);
+    }
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (size_t j = 0; j < points.cols(); ++j) points(i, j) /= norm;
+    }
+  }
+  util::Rng rng(seed);
+  la::KMeansResult km = la::KMeans(points, num_clusters, &rng);
+  return Nmi(labels, km.assignments);
+}
+
+}  // namespace marioh::eval

@@ -1,0 +1,35 @@
+/// \file clustering.hpp
+/// \brief Spectral clustering on graphs and hypergraphs plus NMI — the
+/// node-clustering downstream task of Table VII.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+#include "la/matrix.hpp"
+
+namespace marioh::eval {
+
+/// Normalized mutual information between two labelings of the same nodes
+/// (arithmetic-mean normalization). Returns 1 for identical partitions.
+double Nmi(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b);
+
+/// Spectral embedding of a weighted graph: the `k` smallest eigenvectors
+/// of the symmetric-normalized Laplacian I - D^{-1/2} W D^{-1/2}.
+la::Matrix GraphSpectralEmbedding(const ProjectedGraph& g, size_t k);
+
+/// Spectral embedding of a hypergraph via Zhou's normalized hypergraph
+/// Laplacian I - D_v^{-1/2} H W D_e^{-1} H^T D_v^{-1/2}, where H is the
+/// incidence matrix and W the hyperedge multiplicities [19].
+la::Matrix HypergraphSpectralEmbedding(const Hypergraph& h, size_t k);
+
+/// Runs k-means on (row-normalized) embedding rows and scores the result
+/// against ground-truth labels with NMI.
+double SpectralClusteringNmi(const la::Matrix& embedding,
+                             const std::vector<uint32_t>& labels,
+                             size_t num_clusters, uint64_t seed);
+
+}  // namespace marioh::eval

@@ -1,0 +1,214 @@
+#include "eval/harness.hpp"
+
+#include <cmath>
+
+#include "baselines/bayesian_mdl.hpp"
+#include "baselines/cfinder.hpp"
+#include "baselines/clique_covering.hpp"
+#include "baselines/demon.hpp"
+#include "baselines/maxclique.hpp"
+#include "baselines/shyre.hpp"
+#include "baselines/shyre_unsup.hpp"
+#include "eval/metrics.hpp"
+#include "gen/split.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace marioh::eval {
+
+MariohMethod::MariohMethod(core::MariohVariant variant,
+                           core::MariohOptions options)
+    : variant_(variant),
+      marioh_(core::OptionsForVariant(variant, std::move(options))) {}
+
+std::string MariohMethod::Name() const {
+  switch (variant_) {
+    case core::MariohVariant::kFull:
+      return "MARIOH";
+    case core::MariohVariant::kNoMulti:
+      return "MARIOH-M";
+    case core::MariohVariant::kNoFilter:
+      return "MARIOH-F";
+    case core::MariohVariant::kNoBidir:
+      return "MARIOH-B";
+  }
+  return "MARIOH";
+}
+
+void MariohMethod::Train(const ProjectedGraph& g_source,
+                         const Hypergraph& h_source) {
+  marioh_.Train(g_source, h_source);
+}
+
+Hypergraph MariohMethod::Reconstruct(const ProjectedGraph& g_target) {
+  return marioh_.Reconstruct(g_target);
+}
+
+std::unique_ptr<baselines::Reconstructor> MakeMethod(
+    const std::string& name, uint64_t seed,
+    const core::MariohOptions& marioh_base) {
+  core::MariohOptions opts = marioh_base;
+  opts.seed = seed;
+  if (name == "MARIOH") {
+    return std::make_unique<MariohMethod>(core::MariohVariant::kFull, opts);
+  }
+  if (name == "MARIOH-M") {
+    return std::make_unique<MariohMethod>(core::MariohVariant::kNoMulti,
+                                          opts);
+  }
+  if (name == "MARIOH-F") {
+    return std::make_unique<MariohMethod>(core::MariohVariant::kNoFilter,
+                                          opts);
+  }
+  if (name == "MARIOH-B") {
+    return std::make_unique<MariohMethod>(core::MariohVariant::kNoBidir,
+                                          opts);
+  }
+  if (name == "CFinder") return std::make_unique<baselines::CFinder>();
+  if (name == "Demon") {
+    return std::make_unique<baselines::Demon>(1.0, 2, seed);
+  }
+  if (name == "MaxClique") {
+    return std::make_unique<baselines::MaxCliqueDecomposition>();
+  }
+  if (name == "CliqueCovering") {
+    return std::make_unique<baselines::CliqueCovering>(seed);
+  }
+  if (name == "Bayesian-MDL") {
+    return std::make_unique<baselines::BayesianMdl>(seed);
+  }
+  if (name == "SHyRe-Unsup") {
+    return std::make_unique<baselines::ShyreUnsup>();
+  }
+  if (name == "SHyRe-Count" || name == "SHyRe-Motif") {
+    baselines::Shyre::Options shyre;
+    shyre.features = name == "SHyRe-Count"
+                         ? baselines::ShyreFeatures::kCount
+                         : baselines::ShyreFeatures::kMotif;
+    shyre.seed = seed;
+    return std::make_unique<baselines::Shyre>(shyre);
+  }
+  MARIOH_CHECK(false);
+  return nullptr;
+}
+
+std::vector<std::string> Table2Methods() {
+  return {"CFinder",      "Demon",        "MaxClique",   "CliqueCovering",
+          "Bayesian-MDL", "SHyRe-Unsup",  "SHyRe-Motif", "SHyRe-Count",
+          "MARIOH-M",     "MARIOH-F",     "MARIOH-B",    "MARIOH"};
+}
+
+std::vector<std::string> Table3Methods() {
+  return {"Bayesian-MDL", "SHyRe-Unsup", "MARIOH-M",
+          "MARIOH-F",     "MARIOH-B",    "MARIOH"};
+}
+
+PreparedDataset PrepareDataset(const std::string& profile_name,
+                               bool multiplicity_reduced, uint64_t seed,
+                               SplitMode split_mode) {
+  gen::GeneratedDataset data =
+      gen::Generate(gen::ProfileByName(profile_name), seed);
+  Hypergraph h = multiplicity_reduced
+                     ? data.hypergraph.MultiplicityReduced()
+                     : data.hypergraph;
+  util::Rng rng(seed ^ 0x5555aaaaULL);
+  gen::SourceTargetSplit split;
+  if (split_mode == SplitMode::kTemporal) {
+    std::vector<gen::TimedHyperedge> events =
+        gen::AttachTimestamps(h, &rng);
+    split = gen::SplitByTime(events, 0.5, h.num_nodes());
+  } else {
+    split = gen::SplitHypergraph(h, &rng, 0.5);
+  }
+  PreparedDataset out;
+  out.name = profile_name;
+  out.g_source = split.source.Project();
+  out.g_target = split.target.Project();
+  out.source = std::move(split.source);
+  out.target = std::move(split.target);
+  out.labels = std::move(data.labels);
+  out.num_classes = data.num_classes;
+  return out;
+}
+
+namespace {
+
+AccuracyResult RunPair(const std::string& method_name,
+                       const std::string& dataset_label,
+                       const std::function<PreparedDataset(uint64_t)>& prep,
+                       const AccuracyOptions& options) {
+  AccuracyResult result;
+  result.method = method_name;
+  result.dataset = dataset_label;
+  util::RunningStats acc_stats;
+  util::RunningStats time_stats;
+
+  for (int s = 0; s < options.num_seeds; ++s) {
+    uint64_t seed = options.base_seed + static_cast<uint64_t>(s) * 7919;
+    PreparedDataset data = prep(seed);
+    std::unique_ptr<baselines::Reconstructor> method =
+        MakeMethod(method_name, seed, options.marioh_base);
+
+    util::Timer timer;
+    if (method->IsSupervised()) {
+      method->Train(data.g_source, data.source);
+    }
+    Hypergraph reconstructed = method->Reconstruct(data.g_target);
+    double elapsed = timer.Seconds();
+    time_stats.Add(elapsed);
+
+    double score = options.multiplicity_reduced
+                       ? Jaccard(data.target, reconstructed)
+                       : MultiJaccard(data.target, reconstructed);
+    acc_stats.Add(100.0 * score);
+
+    if (elapsed > options.time_budget_seconds) {
+      result.out_of_time = true;
+      break;  // OOT: stop burning time on remaining seeds
+    }
+  }
+  result.mean = acc_stats.Mean();
+  result.std_dev = acc_stats.Std();
+  result.mean_seconds = time_stats.Mean();
+  result.seeds = static_cast<int>(acc_stats.count());
+  return result;
+}
+
+}  // namespace
+
+AccuracyResult RunAccuracy(const std::string& method_name,
+                           const std::string& profile_name,
+                           const AccuracyOptions& options) {
+  return RunPair(
+      method_name, profile_name,
+      [&](uint64_t seed) {
+        return PrepareDataset(profile_name, options.multiplicity_reduced,
+                              seed);
+      },
+      options);
+}
+
+AccuracyResult RunTransfer(const std::string& method_name,
+                           const std::string& source_profile,
+                           const std::string& target_profile,
+                           const AccuracyOptions& options) {
+  return RunPair(
+      method_name, source_profile + "->" + target_profile,
+      [&](uint64_t seed) {
+        PreparedDataset src = PrepareDataset(
+            source_profile, options.multiplicity_reduced, seed);
+        PreparedDataset dst = PrepareDataset(
+            target_profile, options.multiplicity_reduced, seed ^ 0xbeefULL);
+        PreparedDataset out;
+        out.name = source_profile + "->" + target_profile;
+        out.source = std::move(src.source);
+        out.g_source = std::move(src.g_source);
+        out.target = std::move(dst.target);
+        out.g_target = std::move(dst.g_target);
+        return out;
+      },
+      options);
+}
+
+}  // namespace marioh::eval

@@ -1,0 +1,124 @@
+/// \file harness.hpp
+/// \brief Shared experiment driver used by the benchmark binaries: method
+/// registry (MARIOH + variants + all baselines), dataset preparation
+/// (generate, optionally multiplicity-reduce, split, project), and
+/// mean ± std accuracy evaluation with per-method time budgets (the
+/// paper's OOT semantics at laptop scale).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/method.hpp"
+#include "core/marioh.hpp"
+#include "gen/profiles.hpp"
+
+namespace marioh::eval {
+
+/// Adapter exposing core::Marioh (any variant) through the common
+/// Reconstructor interface.
+class MariohMethod : public baselines::Reconstructor {
+ public:
+  MariohMethod(core::MariohVariant variant, core::MariohOptions options);
+
+  std::string Name() const override;
+  bool IsSupervised() const override { return true; }
+  void Train(const ProjectedGraph& g_source,
+             const Hypergraph& h_source) override;
+  Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
+
+  /// Stage timing of the wrapped reconstructor (Fig. 6).
+  const util::StageTimer& stage_timer() const {
+    return marioh_.stage_timer();
+  }
+
+ private:
+  core::MariohVariant variant_;
+  core::Marioh marioh_;
+};
+
+/// Builds a method by table name. Known names: CFinder, Demon, MaxClique,
+/// CliqueCovering, Bayesian-MDL, SHyRe-Unsup, SHyRe-Motif, SHyRe-Count,
+/// MARIOH, MARIOH-M, MARIOH-F, MARIOH-B. Aborts on unknown names.
+std::unique_ptr<baselines::Reconstructor> MakeMethod(
+    const std::string& name, uint64_t seed,
+    const core::MariohOptions& marioh_base = {});
+
+/// The Table II method roster, in row order.
+std::vector<std::string> Table2Methods();
+
+/// The Table III roster (methods applicable to multiplicity-preserved
+/// reconstruction), in row order.
+std::vector<std::string> Table3Methods();
+
+/// A prepared experiment instance: the split halves and their projections.
+struct PreparedDataset {
+  std::string name;
+  Hypergraph source;       ///< H_S (training supervision)
+  Hypergraph target;       ///< H_T (hidden ground truth)
+  ProjectedGraph g_source; ///< G_S
+  ProjectedGraph g_target; ///< G_T (reconstruction input)
+  std::vector<uint32_t> labels;
+  size_t num_classes = 0;
+};
+
+/// How the source/target halves are produced.
+enum class SplitMode {
+  /// Uniform random split of the hyperedge multiset (the paper's fallback
+  /// when no timestamps exist).
+  kRandom,
+  /// Timestamp split: synthetic per-occurrence timestamps are attached
+  /// and the earliest half becomes the source (the paper's protocol for
+  /// timestamped datasets).
+  kTemporal,
+};
+
+/// Generates a dataset by profile name, optionally reduces hyperedge
+/// multiplicities to 1 (the Table II setting), splits it into halves, and
+/// projects both.
+PreparedDataset PrepareDataset(const std::string& profile_name,
+                               bool multiplicity_reduced, uint64_t seed,
+                               SplitMode split_mode = SplitMode::kRandom);
+
+/// One accuracy evaluation outcome.
+struct AccuracyResult {
+  std::string method;
+  std::string dataset;
+  double mean = 0.0;     ///< Jaccard (x100) or multi-Jaccard (x100)
+  double std_dev = 0.0;
+  double mean_seconds = 0.0;
+  bool out_of_time = false;  ///< exceeded the time budget
+  int seeds = 0;
+};
+
+/// Options for RunAccuracy.
+struct AccuracyOptions {
+  int num_seeds = 3;
+  /// Per-seed wall-clock budget; a run exceeding it marks the method OOT
+  /// and skips remaining seeds (laptop-scale analogue of the 24 h limit).
+  double time_budget_seconds = 120.0;
+  bool multiplicity_reduced = true;  ///< Table II vs Table III setting
+  uint64_t base_seed = 42;
+  core::MariohOptions marioh_base = {};
+};
+
+/// Runs `method_name` on `profile_name` over several seeds; reports the
+/// mean ± std of Jaccard (multiplicity-reduced) or multi-Jaccard
+/// (multiplicity-preserved), scaled by 100 as in the paper's tables.
+AccuracyResult RunAccuracy(const std::string& method_name,
+                           const std::string& profile_name,
+                           const AccuracyOptions& options);
+
+/// Cross-dataset variant for the transfer experiment (Table V): train on
+/// `source_profile`'s source half, reconstruct `target_profile`'s target
+/// half.
+AccuracyResult RunTransfer(const std::string& method_name,
+                           const std::string& source_profile,
+                           const std::string& target_profile,
+                           const AccuracyOptions& options);
+
+}  // namespace marioh::eval

@@ -1,0 +1,250 @@
+#include "eval/linkpred.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "ml/gcn.hpp"
+#include "ml/mlp.hpp"
+#include "ml/scaler.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::eval {
+namespace {
+
+/// Handcrafted projected-graph pair features.
+void GraphPairFeatures(const ProjectedGraph& g, NodeId u, NodeId v,
+                       la::Vector* out) {
+  double jaccard = 0.0, adamic = 0.0, resource = 0.0;
+  std::vector<NodeId> common = g.CommonNeighbors(u, v);
+  size_t du = g.Degree(u);
+  size_t dv = g.Degree(v);
+  size_t uni = du + dv - common.size();
+  if (uni > 0) {
+    jaccard = static_cast<double>(common.size()) / static_cast<double>(uni);
+  }
+  for (NodeId z : common) {
+    double dz = static_cast<double>(g.Degree(z));
+    if (dz > 1) adamic += 1.0 / std::log(dz);
+    if (dz > 0) resource += 1.0 / dz;
+  }
+  double pref = static_cast<double>(du) * static_cast<double>(dv);
+  double mean_deg = 0.5 * static_cast<double>(du + dv);
+  double min_deg = static_cast<double>(std::min(du, dv));
+  double max_deg = static_cast<double>(std::max(du, dv));
+  double weight = static_cast<double>(g.Weight(u, v));
+  for (double f : {jaccard, adamic, pref, resource, mean_deg, min_deg,
+                   max_deg, weight}) {
+    out->push_back(f);
+  }
+}
+
+/// Hypergraph-specific pair features: hyperedge Jaccard and the
+/// (min, max) of the two nodes' average hyperedge sizes.
+void HypergraphPairFeatures(
+    const std::vector<std::vector<const NodeSet*>>& incidence, NodeId u,
+    NodeId v, la::Vector* out) {
+  const auto& eu = incidence[u];
+  const auto& ev = incidence[v];
+  std::unordered_set<const NodeSet*> set_u(eu.begin(), eu.end());
+  size_t inter = 0;
+  for (const NodeSet* e : ev) {
+    if (set_u.count(e) > 0) ++inter;
+  }
+  size_t uni = eu.size() + ev.size() - inter;
+  double hyper_jaccard =
+      uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+  auto avg_size = [](const std::vector<const NodeSet*>& list) {
+    if (list.empty()) return 0.0;
+    double s = 0.0;
+    for (const NodeSet* e : list) s += static_cast<double>(e->size());
+    return s / static_cast<double>(list.size());
+  };
+  double su = avg_size(eu);
+  double sv = avg_size(ev);
+  out->push_back(hyper_jaccard);
+  out->push_back(std::min(su, sv));
+  out->push_back(std::max(su, sv));
+}
+
+/// Pooled GCN link embedding: concat(elementwise min, elementwise max).
+void GcnPairFeatures(const la::Matrix& z, NodeId u, NodeId v,
+                     la::Vector* out) {
+  const double* zu = z.Row(u);
+  const double* zv = z.Row(v);
+  for (size_t j = 0; j < z.cols(); ++j) {
+    out->push_back(std::min(zu[j], zv[j]));
+  }
+  for (size_t j = 0; j < z.cols(); ++j) {
+    out->push_back(std::max(zu[j], zv[j]));
+  }
+}
+
+}  // namespace
+
+double Auc(const std::vector<double>& positive_scores,
+           const std::vector<double>& negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  // Midrank-based AUC.
+  struct Item {
+    double score;
+    bool positive;
+  };
+  std::vector<Item> items;
+  items.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) items.push_back({s, true});
+  for (double s : negative_scores) items.push_back({s, false});
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.score < b.score; });
+  double rank_sum = 0.0;
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    while (j < items.size() && items[j].score == items[i].score) ++j;
+    double midrank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (size_t k = i; k < j; ++k) {
+      if (items[k].positive) rank_sum += midrank;
+    }
+    i = j;
+  }
+  double np = static_cast<double>(positive_scores.size());
+  double nn = static_cast<double>(negative_scores.size());
+  return (rank_sum - np * (np + 1) / 2.0) / (np * nn);
+}
+
+double LinkPredictionAuc(const ProjectedGraph& g,
+                         const Hypergraph* hypergraph,
+                         const LinkPredOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<ProjectedGraph::Edge> edges = g.Edges();
+  MARIOH_CHECK_GT(edges.size(), 10u);
+  rng.Shuffle(&edges);
+  size_t test_n = std::max<size_t>(
+      1, static_cast<size_t>(options.test_fraction *
+                             static_cast<double>(edges.size())));
+
+  // Split edges; the training graph drops the test edges.
+  ProjectedGraph train = g;
+  std::vector<NodePair> test_pos;
+  std::unordered_set<NodePair, util::PairHash> test_pos_set;
+  for (size_t i = 0; i < test_n; ++i) {
+    NodePair p = MakePair(edges[i].u, edges[i].v);
+    test_pos.push_back(p);
+    test_pos_set.insert(p);
+    train.RemoveEdge(p.first, p.second);
+  }
+  std::vector<NodePair> train_pos;
+  for (size_t i = test_n; i < edges.size(); ++i) {
+    train_pos.push_back(MakePair(edges[i].u, edges[i].v));
+  }
+
+  // Balanced non-edges for train and test.
+  auto sample_non_edges = [&](size_t count) {
+    std::vector<NodePair> out;
+    std::unordered_set<NodePair, util::PairHash> used;
+    size_t guard = 0;
+    while (out.size() < count && guard < count * 200 + 1000) {
+      ++guard;
+      NodeId u = static_cast<NodeId>(rng.UniformIndex(g.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.UniformIndex(g.num_nodes()));
+      if (u == v) continue;
+      NodePair p = MakePair(u, v);
+      if (g.HasEdge(u, v) || test_pos_set.count(p) > 0 ||
+          used.count(p) > 0) {
+        continue;
+      }
+      used.insert(p);
+      out.push_back(p);
+    }
+    return out;
+  };
+  std::vector<NodePair> train_neg = sample_non_edges(train_pos.size());
+  std::vector<NodePair> test_neg = sample_non_edges(test_pos.size());
+
+  // Optional hypergraph view with leaking hyperedges removed: any
+  // hyperedge containing a test edge is excluded.
+  Hypergraph filtered(hypergraph != nullptr ? hypergraph->num_nodes() : 0);
+  std::vector<std::vector<const NodeSet*>> incidence;
+  if (hypergraph != nullptr) {
+    for (const auto& [e, m] : hypergraph->edges()) {
+      bool leaks = false;
+      for (size_t i = 0; i < e.size() && !leaks; ++i) {
+        for (size_t j = i + 1; j < e.size() && !leaks; ++j) {
+          if (test_pos_set.count(MakePair(e[i], e[j])) > 0) leaks = true;
+        }
+      }
+      if (!leaks) filtered.AddEdge(e, m);
+    }
+    incidence = filtered.IncidenceLists();
+    incidence.resize(g.num_nodes());
+  }
+
+  // Optional GCN embeddings trained on the training graph.
+  std::unique_ptr<ml::Gcn> gcn;
+  if (options.use_gcn) {
+    ml::GcnOptions gcn_options;
+    gcn_options.seed = options.seed ^ 0x1234567ULL;
+    gcn = std::make_unique<ml::Gcn>(train, gcn_options);
+    std::vector<std::pair<NodeId, NodeId>> pos, neg;
+    for (const NodePair& p : train_pos) pos.push_back(p);
+    for (const NodePair& p : train_neg) neg.push_back(p);
+    gcn->Fit(pos, neg);
+  }
+
+  auto features = [&](const NodePair& p) {
+    la::Vector f;
+    GraphPairFeatures(train, p.first, p.second, &f);
+    if (hypergraph != nullptr) {
+      HypergraphPairFeatures(incidence, p.first, p.second, &f);
+    }
+    if (gcn != nullptr) {
+      GcnPairFeatures(gcn->Embeddings(), p.first, p.second, &f);
+    }
+    return f;
+  };
+
+  // Assemble training matrix.
+  la::Vector probe = features(train_pos.front());
+  const size_t dim = probe.size();
+  la::Matrix x(train_pos.size() + train_neg.size(), dim);
+  std::vector<double> y(x.rows(), 0.0);
+  size_t row = 0;
+  for (const NodePair& p : train_pos) {
+    la::Vector f = features(p);
+    std::copy(f.begin(), f.end(), x.Row(row));
+    y[row++] = 1.0;
+  }
+  for (const NodePair& p : train_neg) {
+    la::Vector f = features(p);
+    std::copy(f.begin(), f.end(), x.Row(row));
+    y[row++] = 0.0;
+  }
+
+  ml::StandardScaler scaler;
+  scaler.Fit(x);
+  scaler.Transform(&x);
+
+  ml::MlpOptions mlp_options;
+  mlp_options.hidden = {32};
+  mlp_options.epochs = 40;
+  mlp_options.seed = options.seed ^ 0xdeadbeefULL;
+  ml::Mlp mlp(dim, 1, mlp_options);
+  mlp.Fit(x, y);
+
+  auto score_set = [&](const std::vector<NodePair>& pairs) {
+    std::vector<double> scores;
+    scores.reserve(pairs.size());
+    for (const NodePair& p : pairs) {
+      la::Vector f = features(p);
+      scaler.Transform(&f);
+      scores.push_back(mlp.Predict(f));
+    }
+    return scores;
+  };
+  return Auc(score_set(test_pos), score_set(test_neg));
+}
+
+}  // namespace marioh::eval

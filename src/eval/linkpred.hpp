@@ -1,0 +1,39 @@
+/// \file linkpred.hpp
+/// \brief Link prediction downstream task (Table IX): handcrafted pair
+/// features (Jaccard, Adamic-Adar, preferential attachment, resource
+/// allocation, degree statistics, edge weight) optionally augmented with
+/// hypergraph-specific features (hyperedge Jaccard, hyperedge sizes) and
+/// pooled GCN link embeddings; a logistic head scores pairs and AUC is
+/// reported.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+
+namespace marioh::eval {
+
+/// Options for a link-prediction evaluation run.
+struct LinkPredOptions {
+  double test_fraction = 0.1;  ///< fraction of edges held out (paper: 10%)
+  bool use_gcn = true;         ///< pool GCN embeddings as extra features
+  uint64_t seed = 1;
+};
+
+/// Area under the ROC curve from scores of positive and negative examples
+/// (rank-based, ties handled by midranks).
+double Auc(const std::vector<double>& positive_scores,
+           const std::vector<double>& negative_scores);
+
+/// Runs the Table IX protocol: hold out test edges of `g`, sample an equal
+/// number of non-edges, train a classifier on the remaining graph, report
+/// AUC on the held-out set. When `hypergraph` is non-null, its
+/// hyperedge-derived features are added (hyperedges containing a test edge
+/// are excluded to prevent leakage, as in the paper).
+double LinkPredictionAuc(const ProjectedGraph& g,
+                         const Hypergraph* hypergraph,
+                         const LinkPredOptions& options);
+
+}  // namespace marioh::eval

@@ -1,0 +1,55 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace marioh::eval {
+namespace {
+
+size_t IntersectionSize(const Hypergraph& a, const Hypergraph& b) {
+  size_t inter = 0;
+  for (const auto& [e, m] : a.edges()) {
+    (void)m;
+    if (b.Contains(e)) ++inter;
+  }
+  return inter;
+}
+
+}  // namespace
+
+double Jaccard(const Hypergraph& truth, const Hypergraph& reconstructed) {
+  size_t inter = IntersectionSize(truth, reconstructed);
+  size_t uni = truth.num_unique_edges() + reconstructed.num_unique_edges() -
+               inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double MultiJaccard(const Hypergraph& truth,
+                    const Hypergraph& reconstructed) {
+  uint64_t min_sum = 0;
+  uint64_t max_sum = 0;
+  for (const auto& [e, m] : truth.edges()) {
+    uint32_t other = reconstructed.Multiplicity(e);
+    min_sum += std::min(m, other);
+    max_sum += std::max(m, other);
+  }
+  for (const auto& [e, m] : reconstructed.edges()) {
+    if (!truth.Contains(e)) max_sum += m;
+  }
+  if (max_sum == 0) return 1.0;
+  return static_cast<double>(min_sum) / static_cast<double>(max_sum);
+}
+
+double Precision(const Hypergraph& truth, const Hypergraph& reconstructed) {
+  if (reconstructed.num_unique_edges() == 0) return 0.0;
+  return static_cast<double>(IntersectionSize(reconstructed, truth)) /
+         static_cast<double>(reconstructed.num_unique_edges());
+}
+
+double Recall(const Hypergraph& truth, const Hypergraph& reconstructed) {
+  if (truth.num_unique_edges() == 0) return 0.0;
+  return static_cast<double>(IntersectionSize(truth, reconstructed)) /
+         static_cast<double>(truth.num_unique_edges());
+}
+
+}  // namespace marioh::eval

@@ -1,0 +1,27 @@
+/// \file metrics.hpp
+/// \brief Reconstruction accuracy metrics: Jaccard similarity over unique
+/// hyperedges and multi-Jaccard similarity over hyperedge multiplicities
+/// (Sect. II-B).
+
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace marioh::eval {
+
+/// Jaccard similarity |E ∩ Ê| / |E ∪ Ê| over unique hyperedge sets.
+/// Returns 1 when both hypergraphs are empty.
+double Jaccard(const Hypergraph& truth, const Hypergraph& reconstructed);
+
+/// Multi-Jaccard similarity: sum of min multiplicities over sum of max
+/// multiplicities across the union of unique hyperedges [31]. Returns 1
+/// when both hypergraphs are empty.
+double MultiJaccard(const Hypergraph& truth, const Hypergraph& reconstructed);
+
+/// Precision of the reconstruction over unique hyperedges.
+double Precision(const Hypergraph& truth, const Hypergraph& reconstructed);
+
+/// Recall of the reconstruction over unique hyperedges.
+double Recall(const Hypergraph& truth, const Hypergraph& reconstructed);
+
+}  // namespace marioh::eval

@@ -1,0 +1,252 @@
+#include "eval/structural.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hypergraph/projected_graph.hpp"
+#include "la/matrix.hpp"
+#include "la/svd.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace marioh::eval {
+namespace {
+
+constexpr size_t kMaxTriangleSamples = 4000;
+constexpr size_t kMaxTripleSamples = 4000;
+constexpr size_t kMaxSvdDim = 256;
+
+/// Nodes covered by at least one hyperedge.
+size_t CoveredNodes(const std::vector<uint32_t>& degrees) {
+  size_t covered = 0;
+  for (uint32_t d : degrees) {
+    if (d > 0) ++covered;
+  }
+  return covered;
+}
+
+}  // namespace
+
+ScalarProperties ComputeScalars(const Hypergraph& h, uint64_t seed) {
+  ScalarProperties p;
+  std::vector<uint32_t> degrees = h.NodeDegrees();
+  size_t covered = CoveredNodes(degrees);
+  p.num_nodes = static_cast<double>(covered);
+  p.num_hyperedges = static_cast<double>(h.num_unique_edges());
+
+  uint64_t degree_sum = 0;
+  for (uint32_t d : degrees) degree_sum += d;
+  p.avg_node_degree =
+      covered > 0 ? static_cast<double>(degree_sum) /
+                        static_cast<double>(covered)
+                  : 0.0;
+  double size_sum = 0.0;
+  for (const auto& [e, m] : h.edges()) {
+    (void)m;
+    size_sum += static_cast<double>(e.size());
+  }
+  p.avg_edge_size = h.num_unique_edges() > 0
+                        ? size_sum / static_cast<double>(h.num_unique_edges())
+                        : 0.0;
+  p.density = covered > 0 ? p.num_hyperedges / static_cast<double>(covered)
+                          : 0.0;
+  // Overlapness [38]: total size of hyperedges over covered nodes; equals
+  // the average node degree when degrees count multiplicity.
+  double total_size = 0.0;
+  for (const auto& [e, m] : h.edges()) {
+    total_size += static_cast<double>(e.size()) * m;
+  }
+  p.overlapness =
+      covered > 0 ? total_size / static_cast<double>(covered) : 0.0;
+
+  // Simplicial closure ratio [3]: fraction of triangles of the projected
+  // graph whose three nodes co-appear in one hyperedge. Triangles are
+  // sampled when abundant.
+  ProjectedGraph g = h.Project();
+  std::unordered_set<NodeSet, util::VectorHash> edge_set;
+  for (const auto& [e, m] : h.edges()) {
+    (void)m;
+    edge_set.insert(e);
+  }
+  auto covered_by_hyperedge = [&](NodeId a, NodeId b, NodeId c) {
+    for (const auto& [e, m] : h.edges()) {
+      (void)m;
+      if (std::binary_search(e.begin(), e.end(), a) &&
+          std::binary_search(e.begin(), e.end(), b) &&
+          std::binary_search(e.begin(), e.end(), c)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  util::Rng rng(seed);
+  std::vector<ProjectedGraph::Edge> edges = g.Edges();
+  size_t triangles = 0;
+  size_t closed = 0;
+  if (!edges.empty()) {
+    for (size_t s = 0; s < kMaxTriangleSamples; ++s) {
+      const auto& e = edges[rng.UniformIndex(edges.size())];
+      std::vector<NodeId> common = g.CommonNeighbors(e.u, e.v);
+      if (common.empty()) continue;
+      NodeId z = common[rng.UniformIndex(common.size())];
+      ++triangles;
+      if (covered_by_hyperedge(e.u, e.v, z)) ++closed;
+    }
+  }
+  p.simplicial_closure =
+      triangles > 0
+          ? static_cast<double>(closed) / static_cast<double>(triangles)
+          : 0.0;
+  return p;
+}
+
+DistributionalProperties ComputeDistributions(const Hypergraph& h,
+                                              uint64_t seed) {
+  DistributionalProperties d;
+  util::Rng rng(seed);
+
+  for (uint32_t deg : h.NodeDegrees()) {
+    if (deg > 0) d.node_degrees.push_back(static_cast<double>(deg));
+  }
+
+  ProjectedGraph g = h.Project();
+  for (const ProjectedGraph::Edge& e : g.Edges()) {
+    d.pair_degrees.push_back(static_cast<double>(e.weight));
+  }
+
+  // Node-triple degree: hyperedges (with multiplicity) per node triple,
+  // sampled from triples that occur inside hyperedges.
+  std::vector<NodeSet> uniques = h.UniqueEdges();
+  std::vector<const NodeSet*> big;
+  for (const NodeSet& e : uniques) {
+    if (e.size() >= 3) big.push_back(&e);
+  }
+  if (!big.empty()) {
+    std::unordered_set<NodeSet, util::VectorHash> seen;
+    for (size_t s = 0; s < kMaxTripleSamples; ++s) {
+      const NodeSet& e = *big[rng.UniformIndex(big.size())];
+      NodeSet triple = rng.SampleWithoutReplacement(e, 3);
+      Canonicalize(&triple);
+      if (!seen.insert(triple).second) continue;
+      uint64_t count = 0;
+      for (const auto& [other, m] : h.edges()) {
+        if (other.size() < 3) continue;
+        if (std::includes(other.begin(), other.end(), triple.begin(),
+                          triple.end())) {
+          count += m;
+        }
+      }
+      d.triple_degrees.push_back(static_cast<double>(count));
+    }
+  }
+
+  // Hyperedge homogeneity [38]: per hyperedge, the mean pairwise
+  // co-membership Jaccard of its nodes' incident hyperedge sets.
+  std::vector<std::vector<const NodeSet*>> incidence = h.IncidenceLists();
+  auto jaccard_nodes = [&](NodeId u, NodeId v) {
+    std::unordered_set<const NodeSet*> set_u(incidence[u].begin(),
+                                             incidence[u].end());
+    size_t inter = 0;
+    for (const NodeSet* e : incidence[v]) {
+      if (set_u.count(e) > 0) ++inter;
+    }
+    size_t uni = incidence[u].size() + incidence[v].size() - inter;
+    return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                   : 0.0;
+  };
+  for (const NodeSet& e : uniques) {
+    double total = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < e.size(); ++i) {
+      for (size_t j = i + 1; j < e.size(); ++j) {
+        total += jaccard_nodes(e[i], e[j]);
+        ++pairs;
+      }
+    }
+    if (pairs > 0) d.homogeneity.push_back(total / static_cast<double>(pairs));
+  }
+
+  // Singular values of the incidence matrix (nodes x unique hyperedges),
+  // capped: large hypergraphs use a random subsample of hyperedges and the
+  // nodes they touch.
+  {
+    std::vector<const NodeSet*> sample;
+    for (const NodeSet& e : uniques) sample.push_back(&e);
+    if (sample.size() > kMaxSvdDim) {
+      std::vector<const NodeSet*> picked =
+          rng.SampleWithoutReplacement(sample, kMaxSvdDim);
+      sample = std::move(picked);
+    }
+    std::unordered_map<NodeId, size_t> node_index;
+    for (const NodeSet* e : sample) {
+      for (NodeId u : *e) {
+        node_index.try_emplace(u, node_index.size());
+      }
+    }
+    if (!sample.empty() && !node_index.empty()) {
+      la::Matrix inc(node_index.size(), sample.size());
+      for (size_t j = 0; j < sample.size(); ++j) {
+        for (NodeId u : *sample[j]) {
+          inc(node_index[u], j) = 1.0;
+        }
+      }
+      la::Vector sv = la::TopSingularValues(inc, 32);
+      double top = sv.empty() || sv[0] <= 0 ? 1.0 : sv[0];
+      for (double v : sv) d.singular_values.push_back(v / top);
+    }
+  }
+  return d;
+}
+
+double StructuralReport::AverageError() const {
+  double total = 0.0;
+  size_t count = 0;
+  for (const auto& [name, v] : scalar_errors) {
+    (void)name;
+    total += v;
+    ++count;
+  }
+  for (const auto& [name, v] : distributional_errors) {
+    (void)name;
+    total += v;
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+StructuralReport CompareStructure(const Hypergraph& truth,
+                                  const Hypergraph& reconstructed,
+                                  uint64_t seed) {
+  StructuralReport report;
+  ScalarProperties st = ComputeScalars(truth, seed);
+  ScalarProperties sr = ComputeScalars(reconstructed, seed + 1);
+  auto nd = util::NormalizedDifference;
+  report.scalar_errors = {
+      {"Number of Nodes", nd(st.num_nodes, sr.num_nodes)},
+      {"Number of Hyperedges", nd(st.num_hyperedges, sr.num_hyperedges)},
+      {"Average Node Degree", nd(st.avg_node_degree, sr.avg_node_degree)},
+      {"Average Hyperedge Size", nd(st.avg_edge_size, sr.avg_edge_size)},
+      {"Simplicial Closure Ratio",
+       nd(st.simplicial_closure, sr.simplicial_closure)},
+      {"Hypergraph Density", nd(st.density, sr.density)},
+      {"Hypergraph Overlapness", nd(st.overlapness, sr.overlapness)},
+  };
+  DistributionalProperties dt = ComputeDistributions(truth, seed + 2);
+  DistributionalProperties dr = ComputeDistributions(reconstructed, seed + 3);
+  report.distributional_errors = {
+      {"Node Degree", util::KsStatistic(dt.node_degrees, dr.node_degrees)},
+      {"Node-Pair Degree",
+       util::KsStatistic(dt.pair_degrees, dr.pair_degrees)},
+      {"Node-Triple Degree",
+       util::KsStatistic(dt.triple_degrees, dr.triple_degrees)},
+      {"Hyperedge Homogeneity",
+       util::KsStatistic(dt.homogeneity, dr.homogeneity)},
+      {"Singular Values",
+       util::KsStatistic(dt.singular_values, dr.singular_values)},
+  };
+  return report;
+}
+
+}  // namespace marioh::eval

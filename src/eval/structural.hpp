@@ -1,0 +1,64 @@
+/// \file structural.hpp
+/// \brief The 12 structural-property preservation measures of Table IV:
+/// seven scalar properties compared by normalized difference and five
+/// distributional properties compared by the Kolmogorov-Smirnov
+/// D-statistic. Lower is better for every entry.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace marioh::eval {
+
+/// Scalar structural properties of a hypergraph.
+struct ScalarProperties {
+  double num_nodes = 0;        ///< nodes covered by at least one hyperedge
+  double num_hyperedges = 0;   ///< unique hyperedges
+  double avg_node_degree = 0;  ///< mean hyperedges per covered node
+  double avg_edge_size = 0;    ///< mean unique-hyperedge size
+  double simplicial_closure = 0;  ///< fraction of projected triangles
+                                  ///< covered by a single hyperedge [3]
+  double density = 0;          ///< unique hyperedges / covered nodes [37]
+  double overlapness = 0;      ///< sum of sizes / covered nodes [38]
+};
+
+/// Computes the scalar properties. `seed` drives triangle sampling for the
+/// simplicial closure ratio (bounded work on dense graphs).
+ScalarProperties ComputeScalars(const Hypergraph& h, uint64_t seed);
+
+/// Distributional structural properties as raw samples.
+struct DistributionalProperties {
+  std::vector<double> node_degrees;
+  std::vector<double> pair_degrees;    ///< projected edge weights
+  std::vector<double> triple_degrees;  ///< hyperedges per sampled triple
+  std::vector<double> homogeneity;     ///< per-hyperedge homogeneity [38]
+  std::vector<double> singular_values; ///< top singular values of the
+                                       ///< incidence matrix (normalized)
+};
+
+/// Computes the distributional properties; heavy ones are sampled.
+DistributionalProperties ComputeDistributions(const Hypergraph& h,
+                                              uint64_t seed);
+
+/// Full Table IV-style comparison of one reconstruction against the truth.
+struct StructuralReport {
+  /// (property name, normalized difference) for the seven scalars.
+  std::vector<std::pair<std::string, double>> scalar_errors;
+  /// (property name, KS D-statistic) for the five distributions.
+  std::vector<std::pair<std::string, double>> distributional_errors;
+
+  /// Mean over all 12 entries (the paper's "Average (Overall)" row).
+  double AverageError() const;
+};
+
+/// Compares `reconstructed` to `truth` across all 12 properties.
+StructuralReport CompareStructure(const Hypergraph& truth,
+                                  const Hypergraph& reconstructed,
+                                  uint64_t seed);
+
+}  // namespace marioh::eval

@@ -1,0 +1,62 @@
+#include "gen/hypercl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace marioh::gen {
+
+Hypergraph HyperCl(const HyperClConfig& config, util::Rng* rng) {
+  const size_t n = config.degree_weights.size();
+  MARIOH_CHECK_GE(n, 2u);
+  Hypergraph h(n);
+  std::discrete_distribution<size_t> pick(config.degree_weights.begin(),
+                                          config.degree_weights.end());
+  for (size_t raw_size : config.edge_sizes) {
+    size_t size = std::min(std::max<size_t>(raw_size, 2), n);
+    std::unordered_set<NodeId> members;
+    // Rejection-sample distinct members; falls back to sequential fill if
+    // the weight distribution is too concentrated to make progress.
+    size_t attempts = 0;
+    const size_t max_attempts = 50 * size + 100;
+    while (members.size() < size && attempts < max_attempts) {
+      members.insert(static_cast<NodeId>(pick(rng->engine())));
+      ++attempts;
+    }
+    NodeId next = 0;
+    while (members.size() < size) {
+      members.insert(next++);
+    }
+    NodeSet edge(members.begin(), members.end());
+    Canonicalize(&edge);
+    h.AddEdge(edge, 1);
+  }
+  return h;
+}
+
+Hypergraph HyperClLike(size_t num_nodes, size_t num_edges, double size_mean,
+                       double degree_skew, util::Rng* rng) {
+  MARIOH_CHECK_GE(num_nodes, 2u);
+  MARIOH_CHECK_GE(size_mean, 2.0);
+  HyperClConfig config;
+  config.degree_weights.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    // Zipf-like weight for rank i+1.
+    config.degree_weights[i] =
+        1.0 / std::pow(static_cast<double>(i + 1), degree_skew);
+  }
+  config.edge_sizes.resize(num_edges);
+  for (size_t j = 0; j < num_edges; ++j) {
+    double extra_mean = size_mean - 2.0;
+    size_t extra =
+        extra_mean > 1e-9
+            ? static_cast<size_t>(rng->Poisson(extra_mean))
+            : 0;
+    config.edge_sizes[j] = 2 + extra;
+  }
+  return HyperCl(config, rng);
+}
+
+}  // namespace marioh::gen

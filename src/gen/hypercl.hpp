@@ -1,0 +1,36 @@
+/// \file hypercl.hpp
+/// \brief HyperCL hypergraph generator (Lee, Choe, Shin [38]): every
+/// hyperedge draws its size from a target size sequence and fills it with
+/// nodes sampled proportionally to a target degree-weight sequence. The
+/// paper uses HyperCL with DBLP statistics for the Fig. 7 scalability
+/// study.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::gen {
+
+/// Explicit HyperCL configuration: one hyperedge per entry of
+/// `edge_sizes`; node i is chosen with probability proportional to
+/// `degree_weights[i]`.
+struct HyperClConfig {
+  std::vector<double> degree_weights;
+  std::vector<size_t> edge_sizes;
+};
+
+/// Generates a hypergraph from an explicit configuration.
+Hypergraph HyperCl(const HyperClConfig& config, util::Rng* rng);
+
+/// Convenience wrapper mirroring "HyperCL with DBLP dataset statistics":
+/// power-law degree weights with exponent `degree_skew` (larger = more
+/// skewed), `num_edges` hyperedges whose sizes are 2 plus a Poisson draw
+/// with mean `size_mean - 2`.
+Hypergraph HyperClLike(size_t num_nodes, size_t num_edges, double size_mean,
+                       double degree_skew, util::Rng* rng);
+
+}  // namespace marioh::gen

@@ -1,0 +1,89 @@
+#include "gen/split.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace marioh::gen {
+
+SourceTargetSplit SplitHypergraph(const Hypergraph& h, util::Rng* rng,
+                                  double source_fraction) {
+  MARIOH_CHECK_GT(source_fraction, 0.0);
+  MARIOH_CHECK_LT(source_fraction, 1.0);
+  std::vector<NodeSet> expanded = h.ExpandedEdges();
+  rng->Shuffle(&expanded);
+  size_t cut = static_cast<size_t>(source_fraction *
+                                   static_cast<double>(expanded.size()));
+  cut = std::min(std::max<size_t>(cut, 1), expanded.size() - 1);
+
+  SourceTargetSplit split{Hypergraph(h.num_nodes()),
+                          Hypergraph(h.num_nodes())};
+  for (size_t i = 0; i < expanded.size(); ++i) {
+    if (i < cut) {
+      split.source.AddEdge(expanded[i], 1);
+    } else {
+      split.target.AddEdge(expanded[i], 1);
+    }
+  }
+  return split;
+}
+
+SourceTargetSplit SplitByTime(const std::vector<TimedHyperedge>& events,
+                              double source_fraction, size_t num_nodes) {
+  MARIOH_CHECK_GT(source_fraction, 0.0);
+  MARIOH_CHECK_LT(source_fraction, 1.0);
+  MARIOH_CHECK_GE(events.size(), 2u);
+
+  if (num_nodes == 0) {
+    for (const TimedHyperedge& e : events) {
+      for (NodeId u : e.nodes) {
+        num_nodes = std::max<size_t>(num_nodes, u + 1);
+      }
+    }
+  }
+  // Find the cut time: the source_fraction-quantile of event times.
+  std::vector<double> times;
+  times.reserve(events.size());
+  for (const TimedHyperedge& e : events) times.push_back(e.time);
+  std::sort(times.begin(), times.end());
+  size_t cut_index = static_cast<size_t>(
+      source_fraction * static_cast<double>(times.size()));
+  cut_index = std::min(std::max<size_t>(cut_index, 1), times.size() - 1);
+  double cut_time = times[cut_index];
+
+  SourceTargetSplit split{Hypergraph(num_nodes), Hypergraph(num_nodes)};
+  for (const TimedHyperedge& e : events) {
+    if (e.time < cut_time) {
+      split.source.AddEdge(e.nodes, 1);
+    } else {
+      split.target.AddEdge(e.nodes, 1);
+    }
+  }
+  // Degenerate guard: if everything landed on one side (all-equal times),
+  // fall back to an index split.
+  if (split.source.num_total_edges() == 0 ||
+      split.target.num_total_edges() == 0) {
+    split = SourceTargetSplit{Hypergraph(num_nodes), Hypergraph(num_nodes)};
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i < cut_index) {
+        split.source.AddEdge(events[i].nodes, 1);
+      } else {
+        split.target.AddEdge(events[i].nodes, 1);
+      }
+    }
+  }
+  return split;
+}
+
+std::vector<TimedHyperedge> AttachTimestamps(const Hypergraph& h,
+                                             util::Rng* rng) {
+  std::vector<TimedHyperedge> events;
+  events.reserve(h.num_total_edges());
+  for (const NodeSet& e : h.ExpandedEdges()) {
+    events.push_back({e, rng->Uniform(0.0, 1.0)});
+  }
+  return events;
+}
+
+}  // namespace marioh::gen

@@ -1,0 +1,49 @@
+/// \file split.hpp
+/// \brief Source/target split of a hypergraph's hyperedges, mirroring the
+/// paper's experimental setup: hyperedges are split into halves (random
+/// split, standing in for the timestamp split where available), the source
+/// half trains the supervised methods, the target half is reconstructed.
+
+#pragma once
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::gen {
+
+/// The two halves of a split.
+struct SourceTargetSplit {
+  Hypergraph source;
+  Hypergraph target;
+};
+
+/// Splits the expanded hyperedge multiset of `h` into source
+/// (`source_fraction`) and target (rest) halves uniformly at random. Both
+/// halves keep the full node set.
+SourceTargetSplit SplitHypergraph(const Hypergraph& h, util::Rng* rng,
+                                  double source_fraction = 0.5);
+
+/// One hyperedge occurrence with a timestamp (e.g., a paper's year, a
+/// contact event's time). Repeated occurrences of the same node set model
+/// hyperedge multiplicity.
+struct TimedHyperedge {
+  NodeSet nodes;
+  double time = 0.0;
+};
+
+/// Splits timed hyperedge occurrences at the time threshold that puts
+/// (approximately) `source_fraction` of them into the source half — the
+/// paper's "split into halves based on their timestamps" protocol. Ties
+/// at the cut time go to the source. `num_nodes` of 0 infers the node
+/// count.
+SourceTargetSplit SplitByTime(const std::vector<TimedHyperedge>& events,
+                              double source_fraction = 0.5,
+                              size_t num_nodes = 0);
+
+/// Attaches synthetic timestamps to a hypergraph's expanded multiset:
+/// each occurrence gets a uniform draw in [0, 1), so repeated hyperedges
+/// spread across time like recurring contacts. Deterministic given `rng`.
+std::vector<TimedHyperedge> AttachTimestamps(const Hypergraph& h,
+                                             util::Rng* rng);
+
+}  // namespace marioh::gen

@@ -1,0 +1,83 @@
+#include "hypergraph/csr.hpp"
+
+#include <algorithm>
+
+namespace marioh {
+
+CsrGraph::CsrGraph(const ProjectedGraph& g) {
+  const size_t n = g.num_nodes();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + g.Degree(u);
+  }
+  neighbors_.resize(offsets_.back());
+  weights_.resize(offsets_.back());
+  for (NodeId u = 0; u < n; ++u) {
+    // Collect and sort this node's adjacency by neighbor id.
+    std::vector<std::pair<NodeId, uint32_t>> row;
+    row.reserve(g.Degree(u));
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      row.emplace_back(v, w);
+      total_weight_ += w;
+    }
+    std::sort(row.begin(), row.end());
+    size_t base = offsets_[u];
+    for (size_t i = 0; i < row.size(); ++i) {
+      neighbors_[base + i] = row[i].first;
+      weights_[base + i] = row[i].second;
+    }
+  }
+  total_weight_ /= 2;
+}
+
+uint32_t CsrGraph::Weight(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) return 0;
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0;
+  return weights_[offsets_[u] + static_cast<size_t>(it - nbrs.begin())];
+}
+
+std::vector<NodeId> CsrGraph::CommonNeighbors(NodeId u, NodeId v) const {
+  std::vector<NodeId> out;
+  auto nu = Neighbors(u);
+  auto nv = Neighbors(v);
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] == nv[j]) {
+      if (nu[i] != u && nu[i] != v) out.push_back(nu[i]);
+      ++i;
+      ++j;
+    } else if (nu[i] < nv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+uint64_t CsrGraph::Mhh(NodeId u, NodeId v) const {
+  auto nu = Neighbors(u);
+  auto nv = Neighbors(v);
+  auto wu = Weights(u);
+  auto wv = Weights(v);
+  uint64_t total = 0;
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] == nv[j]) {
+      if (nu[i] != u && nu[i] != v) {
+        total += std::min(wu[i], wv[j]);
+      }
+      ++i;
+      ++j;
+    } else if (nu[i] < nv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace marioh

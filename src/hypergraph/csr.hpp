@@ -1,0 +1,72 @@
+/// \file csr.hpp
+/// \brief Immutable CSR (compressed sparse row) snapshot of a projected
+/// graph for read-heavy analytics: cache-friendly sorted neighbor ranges,
+/// O(log d) adjacency tests, and fast sorted-merge common-neighbor
+/// iteration. The mutable hash-map `ProjectedGraph` remains the right
+/// structure for the reconstruction loop; this is the right one for
+/// whole-graph scans (structural metrics, generators, embeddings).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergraph/projected_graph.hpp"
+#include "hypergraph/types.hpp"
+
+namespace marioh {
+
+/// Immutable weighted-graph snapshot in CSR layout.
+class CsrGraph {
+ public:
+  /// Builds a snapshot of `g`. Neighbors of every node are sorted by id.
+  explicit CsrGraph(const ProjectedGraph& g);
+
+  /// Number of nodes.
+  size_t num_nodes() const { return offsets_.size() - 1; }
+
+  /// Number of undirected edges.
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Degree of node u.
+  size_t Degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Sorted neighbor ids of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  /// Weights aligned with Neighbors(u).
+  std::span<const uint32_t> Weights(NodeId u) const {
+    return {weights_.data() + offsets_[u],
+            weights_.data() + offsets_[u + 1]};
+  }
+
+  /// Weight of edge (u, v); 0 if absent. O(log deg(u)).
+  uint32_t Weight(NodeId u, NodeId v) const;
+
+  /// True if {u, v} is an edge.
+  bool HasEdge(NodeId u, NodeId v) const { return Weight(u, v) > 0; }
+
+  /// Common neighbors of u and v by sorted merge; ascending order.
+  std::vector<NodeId> CommonNeighbors(NodeId u, NodeId v) const;
+
+  /// MHH (Eq. (1)) computed on the snapshot; matches
+  /// ProjectedGraph::Mhh on the same graph.
+  uint64_t Mhh(NodeId u, NodeId v) const;
+
+  /// Sum of all edge weights.
+  uint64_t TotalWeight() const { return total_weight_; }
+
+ private:
+  std::vector<size_t> offsets_;     // size num_nodes + 1
+  std::vector<NodeId> neighbors_;   // concatenated sorted adjacency
+  std::vector<uint32_t> weights_;   // aligned with neighbors_
+  uint64_t total_weight_ = 0;
+};
+
+}  // namespace marioh

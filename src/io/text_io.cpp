@@ -1,0 +1,155 @@
+#include "io/text_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace marioh::io {
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+uint64_t ParseNumber(const std::string& token, size_t line_number) {
+  try {
+    size_t pos = 0;
+    uint64_t value = std::stoull(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("line " + std::to_string(line_number) +
+                                ": bad token '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Hypergraph ReadHypergraph(std::istream& in) {
+  Hypergraph h;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream tokens(line);
+    std::vector<std::string> parts;
+    std::string token;
+    while (tokens >> token) parts.push_back(token);
+    uint32_t multiplicity = 1;
+    // Optional trailing "x m".
+    if (parts.size() >= 2 && parts[parts.size() - 2] == "x") {
+      multiplicity = static_cast<uint32_t>(
+          ParseNumber(parts.back(), line_number));
+      parts.resize(parts.size() - 2);
+    }
+    NodeSet edge;
+    edge.reserve(parts.size());
+    for (const std::string& p : parts) {
+      edge.push_back(static_cast<NodeId>(ParseNumber(p, line_number)));
+    }
+    h.AddEdge(std::move(edge), multiplicity);
+  }
+  return h;
+}
+
+Hypergraph ReadHypergraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open hypergraph file: " + path);
+  }
+  return ReadHypergraph(in);
+}
+
+void WriteHypergraph(const Hypergraph& h, std::ostream& out) {
+  out << "# marioh hypergraph: " << h.num_nodes() << " nodes, "
+      << h.num_unique_edges() << " unique hyperedges\n";
+  for (const NodeSet& e : h.UniqueEdges()) {
+    for (size_t i = 0; i < e.size(); ++i) {
+      out << e[i] << (i + 1 < e.size() ? " " : "");
+    }
+    uint32_t m = h.Multiplicity(e);
+    if (m > 1) out << " x " << m;
+    out << "\n";
+  }
+}
+
+void WriteHypergraphFile(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::invalid_argument("cannot open file for writing: " + path);
+  }
+  WriteHypergraph(h, out);
+}
+
+ProjectedGraph ReadProjectedGraph(std::istream& in) {
+  std::string line;
+  size_t line_number = 0;
+  struct Row {
+    NodeId u;
+    NodeId v;
+    uint32_t w;
+  };
+  std::vector<Row> rows;
+  NodeId max_node = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream tokens(line);
+    std::vector<std::string> parts;
+    std::string token;
+    while (tokens >> token) parts.push_back(token);
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": expected 'u v [w]'");
+    }
+    Row row;
+    row.u = static_cast<NodeId>(ParseNumber(parts[0], line_number));
+    row.v = static_cast<NodeId>(ParseNumber(parts[1], line_number));
+    row.w = parts.size() == 3 ? static_cast<uint32_t>(ParseNumber(
+                                    parts[2], line_number))
+                              : 1;
+    if (row.u == row.v) {
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": self loop");
+    }
+    max_node = std::max({max_node, row.u, row.v});
+    rows.push_back(row);
+  }
+  ProjectedGraph g(rows.empty() ? 0 : max_node + 1);
+  for (const Row& row : rows) g.AddWeight(row.u, row.v, row.w);
+  return g;
+}
+
+ProjectedGraph ReadProjectedGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open graph file: " + path);
+  }
+  return ReadProjectedGraph(in);
+}
+
+void WriteProjectedGraph(const ProjectedGraph& g, std::ostream& out) {
+  out << "# marioh projected graph: " << g.num_nodes() << " nodes, "
+      << g.num_edges() << " edges\n";
+  for (const ProjectedGraph::Edge& e : g.Edges()) {
+    out << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+}
+
+void WriteProjectedGraphFile(const ProjectedGraph& g,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::invalid_argument("cannot open file for writing: " + path);
+  }
+  WriteProjectedGraph(g, out);
+}
+
+}  // namespace marioh::io

@@ -1,0 +1,58 @@
+/// \file text_io.hpp
+/// \brief Plain-text serialization of hypergraphs and projected graphs.
+///
+/// Hypergraph format (one hyperedge per line):
+///   `# comment` lines and blank lines are ignored;
+///   `u1 u2 ... uk [x m]` — node ids separated by spaces, an optional
+///   trailing `x m` token pair sets the multiplicity (default 1).
+///
+/// Projected-graph format (one edge per line):
+///   `u v w` — endpoints and integer weight (weight defaults to 1 when
+///   omitted).
+///
+/// These are the de-facto formats of the public hypergraph dataset
+/// releases the paper evaluates on (Benson et al. [3]), so real datasets
+/// drop in directly.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+
+namespace marioh::io {
+
+/// Parses a hypergraph from a stream. Throws std::invalid_argument on
+/// malformed lines (non-numeric tokens, hyperedges with < 2 distinct
+/// nodes are skipped silently to tolerate real-world dumps).
+Hypergraph ReadHypergraph(std::istream& in);
+
+/// Reads a hypergraph from a file. Throws std::invalid_argument if the
+/// file cannot be opened or parsed.
+Hypergraph ReadHypergraphFile(const std::string& path);
+
+/// Writes `h` in the text format (deterministic order, multiplicities as
+/// `x m` suffixes when > 1).
+void WriteHypergraph(const Hypergraph& h, std::ostream& out);
+
+/// Writes a hypergraph to a file. Throws std::invalid_argument on I/O
+/// failure.
+void WriteHypergraphFile(const Hypergraph& h, const std::string& path);
+
+/// Parses a weighted edge list. Throws std::invalid_argument on malformed
+/// lines.
+ProjectedGraph ReadProjectedGraph(std::istream& in);
+
+/// Reads a projected graph from a file.
+ProjectedGraph ReadProjectedGraphFile(const std::string& path);
+
+/// Writes `g` as a weighted edge list (u < v, sorted).
+void WriteProjectedGraph(const ProjectedGraph& g, std::ostream& out);
+
+/// Writes a projected graph to a file.
+void WriteProjectedGraphFile(const ProjectedGraph& g,
+                             const std::string& path);
+
+}  // namespace marioh::io

@@ -1,0 +1,84 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace marioh::la {
+
+EigenResult SymmetricEigen(const Matrix& a, int max_sweeps, double tol) {
+  MARIOH_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    if (off < tol) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = d(p, p);
+        double aqq = d(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double dkp = d(k, p);
+          double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double dpk = d(p, k);
+          double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p);
+          double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t i, size_t j) { return d(i, i) > d(j, j); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.values[j] = d(idx[j], idx[j]);
+    for (size_t i = 0; i < n; ++i) result.vectors(i, j) = v(i, idx[j]);
+  }
+  return result;
+}
+
+Matrix SmallestEigenvectors(const Matrix& a, size_t k) {
+  EigenResult eig = SymmetricEigen(a);
+  const size_t n = a.rows();
+  k = std::min(k, n);
+  Matrix out(n, k);
+  // eig is in descending order; the smallest are the last k columns.
+  for (size_t j = 0; j < k; ++j) {
+    size_t src = n - 1 - j;
+    for (size_t i = 0; i < n; ++i) out(i, j) = eig.vectors(i, src);
+  }
+  return out;
+}
+
+}  // namespace marioh::la

@@ -1,0 +1,32 @@
+/// \file eigen.hpp
+/// \brief Symmetric eigendecomposition via cyclic Jacobi rotations; used by
+/// spectral clustering, the spectral node embeddings, and the singular
+/// value structural property.
+
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace marioh::la {
+
+/// Result of a symmetric eigendecomposition: `values[i]` in descending
+/// order, `vectors` column i is the corresponding unit eigenvector.
+struct EigenResult {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Full eigendecomposition of the symmetric matrix `a` (upper triangle
+/// authoritative) via cyclic Jacobi. Deterministic; suitable for the
+/// matrix sizes used in this repo's experiments (n up to a few thousand).
+EigenResult SymmetricEigen(const Matrix& a, int max_sweeps = 64,
+                           double tol = 1e-12);
+
+/// The `k` smallest-eigenvalue eigenvectors of `a` as an n x k matrix
+/// (columns ordered by ascending eigenvalue) — what spectral clustering
+/// needs from a Laplacian.
+Matrix SmallestEigenvectors(const Matrix& a, size_t k);
+
+}  // namespace marioh::la

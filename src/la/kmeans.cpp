@@ -1,0 +1,107 @@
+#include "la/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace marioh::la {
+namespace {
+
+KMeansResult RunOnce(const Matrix& points, size_t k, util::Rng* rng,
+                     int max_iters) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  MARIOH_CHECK_GE(n, k);
+
+  // k-means++ seeding.
+  std::vector<Vector> centers;
+  centers.reserve(k);
+  {
+    size_t first = rng->UniformIndex(n);
+    centers.emplace_back(points.Row(first), points.Row(first) + dim);
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    while (centers.size() < k) {
+      const Vector& c = centers.back();
+      for (size_t i = 0; i < n; ++i) {
+        Vector row(points.Row(i), points.Row(i) + dim);
+        d2[i] = std::min(d2[i], SquaredDistance(row, c));
+      }
+      double total = 0.0;
+      for (double d : d2) total += d;
+      size_t next;
+      if (total <= 0.0) {
+        next = rng->UniformIndex(n);
+      } else {
+        next = rng->Discrete(d2);
+      }
+      centers.emplace_back(points.Row(next), points.Row(next) + dim);
+    }
+  }
+
+  std::vector<uint32_t> assign(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      Vector row(points.Row(i), points.Row(i) + dim);
+      double best = std::numeric_limits<double>::max();
+      uint32_t arg = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredDistance(row, centers[c]);
+        if (d < best) {
+          best = d;
+          arg = static_cast<uint32_t>(c);
+        }
+      }
+      if (assign[i] != arg) {
+        assign[i] = arg;
+        changed = true;
+      }
+    }
+    std::vector<Vector> sums(k, Vector(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = points.Row(i);
+      Vector& s = sums[assign[i]];
+      for (size_t j = 0; j < dim; ++j) s[j] += row[j];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = rng->UniformIndex(n);
+        centers[c].assign(points.Row(pick), points.Row(pick) + dim);
+        continue;
+      }
+      for (size_t j = 0; j < dim; ++j) {
+        centers[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  KMeansResult result;
+  result.assignments = std::move(assign);
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Vector row(points.Row(i), points.Row(i) + dim);
+    result.inertia += SquaredDistance(row, centers[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& points, size_t k, util::Rng* rng,
+                    int max_iters, int restarts) {
+  MARIOH_CHECK_GT(k, 0u);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult candidate = RunOnce(points, k, rng, max_iters);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace marioh::la

@@ -1,0 +1,29 @@
+/// \file kmeans.hpp
+/// \brief k-means++ clustering on row vectors; the final stage of spectral
+/// clustering in the downstream-task experiments (Table VII).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::la {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster id per row of the input.
+  std::vector<uint32_t> assignments;
+  /// Final within-cluster sum of squared distances.
+  double inertia = 0.0;
+};
+
+/// Runs k-means with k-means++ seeding on the rows of `points`.
+/// `restarts` independent runs are performed and the lowest-inertia result
+/// is returned. Deterministic given `seed`.
+KMeansResult KMeans(const Matrix& points, size_t k, util::Rng* rng,
+                    int max_iters = 100, int restarts = 8);
+
+}  // namespace marioh::la

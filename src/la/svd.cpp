@@ -1,0 +1,33 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen.hpp"
+
+namespace marioh::la {
+
+Vector SingularValues(const Matrix& a) {
+  // Work with the smaller Gram matrix: A^T A (cols x cols) or A A^T.
+  Matrix gram(0, 0);
+  if (a.cols() <= a.rows()) {
+    gram = a.Transposed().Multiply(a);
+  } else {
+    gram = a.Multiply(a.Transposed());
+  }
+  EigenResult eig = SymmetricEigen(gram);
+  Vector sv(eig.values.size());
+  for (size_t i = 0; i < sv.size(); ++i) {
+    sv[i] = eig.values[i] > 0 ? std::sqrt(eig.values[i]) : 0.0;
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<double>());
+  return sv;
+}
+
+Vector TopSingularValues(const Matrix& a, size_t k) {
+  Vector sv = SingularValues(a);
+  sv.resize(k, 0.0);
+  return sv;
+}
+
+}  // namespace marioh::la

@@ -1,0 +1,21 @@
+/// \file svd.hpp
+/// \brief Singular values of arbitrary dense matrices, via the symmetric
+/// eigendecomposition of the smaller Gram matrix. Used by the
+/// "singular values of the incidence matrix" structural property
+/// (Table IV).
+
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace marioh::la {
+
+/// All singular values of `a` in descending order (non-negative; values
+/// numerically below zero are clamped).
+Vector SingularValues(const Matrix& a);
+
+/// The `k` largest singular values of `a` (descending), zero-padded when
+/// rank is smaller than `k`.
+Vector TopSingularValues(const Matrix& a, size_t k);
+
+}  // namespace marioh::la

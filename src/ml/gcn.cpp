@@ -1,0 +1,157 @@
+#include "ml/gcn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace marioh::ml {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Gcn::Gcn(const ProjectedGraph& g, const GcnOptions& options)
+    : options_(options), n_(g.num_nodes()) {
+  // Symmetric normalization with self loops: coeff(u,v) = 1/sqrt(d_u d_v)
+  // where d includes the self loop. Edge weights are used as multiplicities.
+  std::vector<double> deg(n_, 1.0);  // self loop
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      (void)v;
+      deg[u] += w;
+    }
+  }
+  norm_adj_.resize(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    norm_adj_[u].push_back({u, 1.0 / deg[u]});
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      norm_adj_[u].push_back({v, w / std::sqrt(deg[u] * deg[v])});
+    }
+  }
+  util::Rng rng(options_.seed);
+  w0_ = la::Matrix(n_, options_.hidden_dim);
+  double s0 = std::sqrt(2.0 / static_cast<double>(n_ + options_.hidden_dim));
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < options_.hidden_dim; ++j) {
+      w0_(i, j) = rng.Normal(0.0, s0);
+    }
+  }
+  w1_ = la::Matrix(options_.hidden_dim, options_.output_dim);
+  double s1 = std::sqrt(
+      2.0 / static_cast<double>(options_.hidden_dim + options_.output_dim));
+  for (size_t i = 0; i < options_.hidden_dim; ++i) {
+    for (size_t j = 0; j < options_.output_dim; ++j) {
+      w1_(i, j) = rng.Normal(0.0, s1);
+    }
+  }
+  ComputeEmbeddings();
+}
+
+la::Matrix Gcn::Propagate(const la::Matrix& h) const {
+  la::Matrix out(n_, h.cols());
+  for (NodeId u = 0; u < n_; ++u) {
+    double* orow = out.Row(u);
+    for (const auto& [v, c] : norm_adj_[u]) {
+      const double* hrow = h.Row(v);
+      for (size_t j = 0; j < h.cols(); ++j) orow[j] += c * hrow[j];
+    }
+  }
+  return out;
+}
+
+void Gcn::ComputeEmbeddings() {
+  // H1 = ReLU(Â W0) (since X = I), Z = Â H1 W1.
+  la::Matrix h1 = Propagate(w0_);
+  for (size_t i = 0; i < h1.rows(); ++i) {
+    double* row = h1.Row(i);
+    for (size_t j = 0; j < h1.cols(); ++j) row[j] = std::max(0.0, row[j]);
+  }
+  z_ = Propagate(h1).Multiply(w1_);
+}
+
+double Gcn::Fit(const std::vector<std::pair<NodeId, NodeId>>& pos,
+                const std::vector<std::pair<NodeId, NodeId>>& neg) {
+  MARIOH_CHECK(!pos.empty());
+  double loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Forward with cached intermediates.
+    la::Matrix a0 = Propagate(w0_);  // pre-activation of layer 1
+    la::Matrix h1 = a0;
+    for (size_t i = 0; i < h1.rows(); ++i) {
+      double* row = h1.Row(i);
+      for (size_t j = 0; j < h1.cols(); ++j) row[j] = std::max(0.0, row[j]);
+    }
+    la::Matrix p1 = Propagate(h1);    // Â H1
+    la::Matrix z = p1.Multiply(w1_);  // embeddings
+
+    // Dot-product decoder loss over pos (label 1) and neg (label 0).
+    la::Matrix dz(n_, options_.output_dim);
+    loss = 0.0;
+    auto accumulate = [&](const std::vector<std::pair<NodeId, NodeId>>& set,
+                          double label) {
+      for (const auto& [u, v] : set) {
+        double score = 0.0;
+        const double* zu = z.Row(u);
+        const double* zv = z.Row(v);
+        for (size_t j = 0; j < options_.output_dim; ++j) {
+          score += zu[j] * zv[j];
+        }
+        double p = Sigmoid(score);
+        loss += -(label * std::log(std::max(p, 1e-12)) +
+                  (1 - label) * std::log(std::max(1 - p, 1e-12)));
+        double g = p - label;
+        double* du = dz.Row(u);
+        double* dv = dz.Row(v);
+        for (size_t j = 0; j < options_.output_dim; ++j) {
+          du[j] += g * zv[j];
+          dv[j] += g * zu[j];
+        }
+      }
+    };
+    accumulate(pos, 1.0);
+    accumulate(neg, 0.0);
+    double inv = 1.0 / static_cast<double>(pos.size() + neg.size());
+    loss *= inv;
+    dz.Scale(inv);
+
+    // Backprop: Z = P1 W1 with P1 = Â H1 fixed w.r.t. W1.
+    la::Matrix gw1 = p1.Transposed().Multiply(dz);
+    // dP1 = dZ W1^T; dH1 = Â^T dP1 = Â dP1 (Â symmetric).
+    la::Matrix dp1 = dz.Multiply(w1_.Transposed());
+    la::Matrix dh1 = Propagate(dp1);
+    // ReLU mask.
+    for (size_t i = 0; i < dh1.rows(); ++i) {
+      double* drow = dh1.Row(i);
+      const double* arow = a0.Row(i);
+      for (size_t j = 0; j < dh1.cols(); ++j) {
+        if (arow[j] <= 0.0) drow[j] = 0.0;
+      }
+    }
+    // dW0 = Â^T dH1 = Â dH1 (since H0 = I, A0 = Â W0).
+    la::Matrix gw0 = Propagate(dh1);
+
+    double lr = options_.learning_rate;
+    for (size_t i = 0; i < w1_.rows(); ++i) {
+      for (size_t j = 0; j < w1_.cols(); ++j) {
+        w1_(i, j) -= lr * gw1(i, j);
+      }
+    }
+    for (size_t i = 0; i < w0_.rows(); ++i) {
+      for (size_t j = 0; j < w0_.cols(); ++j) {
+        w0_(i, j) -= lr * gw0(i, j);
+      }
+    }
+  }
+  ComputeEmbeddings();
+  return loss;
+}
+
+}  // namespace marioh::ml

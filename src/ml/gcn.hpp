@@ -1,0 +1,57 @@
+/// \file gcn.hpp
+/// \brief Dense two-layer graph convolutional network producing node
+/// embeddings for the link-prediction experiment (Table IX). With one-hot
+/// input features (as in the paper), the first layer reduces to selecting
+/// rows of W0, so we implement X = I implicitly.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/projected_graph.hpp"
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::ml {
+
+/// GCN hyperparameters.
+struct GcnOptions {
+  size_t hidden_dim = 32;
+  size_t output_dim = 16;
+  double learning_rate = 5e-3;
+  int epochs = 120;
+  uint64_t seed = 7;
+};
+
+/// Two-layer GCN over the symmetric-normalized adjacency with self-loops:
+/// `Z = Â ReLU(Â I W0) W1`, trained on a link-classification objective
+/// (dot-product decoder + BCE on positive/negative node pairs).
+class Gcn {
+ public:
+  /// Builds normalization structures for `g`.
+  Gcn(const ProjectedGraph& g, const GcnOptions& options);
+
+  /// Trains on positive pairs `pos` and negative pairs `neg`.
+  /// Returns the final epoch loss.
+  double Fit(const std::vector<std::pair<NodeId, NodeId>>& pos,
+             const std::vector<std::pair<NodeId, NodeId>>& neg);
+
+  /// Embedding of every node (row i = node i), valid after Fit.
+  const la::Matrix& Embeddings() const { return z_; }
+
+ private:
+  la::Matrix Propagate(const la::Matrix& h) const;  // Â * h
+  void ComputeEmbeddings();
+
+  GcnOptions options_;
+  size_t n_;
+  // Â in CSR-ish triplet form: for each node, (neighbor, coeff) pairs
+  // including the self loop.
+  std::vector<std::vector<std::pair<NodeId, double>>> norm_adj_;
+  la::Matrix w0_;  // n x hidden (since X = I)
+  la::Matrix w1_;  // hidden x output
+  la::Matrix z_;   // n x output embeddings
+};
+
+}  // namespace marioh::ml

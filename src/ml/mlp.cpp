@@ -1,0 +1,238 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace marioh::ml {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void SoftmaxInPlace(la::Vector* z) {
+  double mx = *std::max_element(z->begin(), z->end());
+  double sum = 0.0;
+  for (double& v : *z) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : *z) v /= sum;
+}
+
+}  // namespace
+
+Mlp::Mlp(size_t input_dim, size_t output_dim, const MlpOptions& options)
+    : options_(options) {
+  MARIOH_CHECK_GT(input_dim, 0u);
+  MARIOH_CHECK_GT(output_dim, 0u);
+  if (options_.head == Head::kSigmoid) MARIOH_CHECK_EQ(output_dim, 1u);
+  dims_.push_back(input_dim);
+  for (size_t h : options_.hidden) dims_.push_back(h);
+  dims_.push_back(output_dim);
+
+  util::Rng rng(options_.seed);
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    size_t fan_in = dims_[l];
+    size_t fan_out = dims_[l + 1];
+    // He initialization for ReLU layers.
+    double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+    la::Matrix w(fan_out, fan_in);
+    for (size_t i = 0; i < fan_out; ++i) {
+      for (size_t j = 0; j < fan_in; ++j) {
+        w(i, j) = rng.Normal(0.0, scale);
+      }
+    }
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(fan_out, 0.0);
+    m_w_.emplace_back(fan_out, fan_in);
+    v_w_.emplace_back(fan_out, fan_in);
+    m_b_.emplace_back(fan_out, 0.0);
+    v_b_.emplace_back(fan_out, 0.0);
+  }
+}
+
+la::Vector Mlp::Forward(const la::Vector& x,
+                        std::vector<la::Vector>* activations) const {
+  MARIOH_CHECK_EQ(x.size(), dims_.front());
+  la::Vector cur = x;
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(cur);
+  }
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    la::Vector next = weights_[l].Apply(cur);
+    for (size_t i = 0; i < next.size(); ++i) next[i] += biases_[l][i];
+    bool is_output = (l + 1 == weights_.size());
+    if (!is_output) {
+      for (double& v : next) v = std::max(0.0, v);  // ReLU
+    }
+    cur = std::move(next);
+    if (activations != nullptr) activations->push_back(cur);
+  }
+  return cur;  // raw logits for the output layer
+}
+
+void Mlp::AdamStep(size_t layer, const la::Matrix& grad_w,
+                   const la::Vector& grad_b) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  double lr = options_.learning_rate;
+  double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+
+  la::Matrix& w = weights_[layer];
+  la::Matrix& mw = m_w_[layer];
+  la::Matrix& vw = v_w_[layer];
+  for (size_t i = 0; i < w.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      double g = grad_w(i, j) + options_.weight_decay * w(i, j);
+      mw(i, j) = kBeta1 * mw(i, j) + (1 - kBeta1) * g;
+      vw(i, j) = kBeta2 * vw(i, j) + (1 - kBeta2) * g * g;
+      double mhat = mw(i, j) / bc1;
+      double vhat = vw(i, j) / bc2;
+      w(i, j) -= lr * mhat / (std::sqrt(vhat) + kEps);
+    }
+  }
+  la::Vector& b = biases_[layer];
+  la::Vector& mb = m_b_[layer];
+  la::Vector& vb = v_b_[layer];
+  for (size_t i = 0; i < b.size(); ++i) {
+    double g = grad_b[i];
+    mb[i] = kBeta1 * mb[i] + (1 - kBeta1) * g;
+    vb[i] = kBeta2 * vb[i] + (1 - kBeta2) * g * g;
+    double mhat = mb[i] / bc1;
+    double vhat = vb[i] / bc2;
+    b[i] -= lr * mhat / (std::sqrt(vhat) + kEps);
+  }
+}
+
+double Mlp::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  const size_t n = x.rows();
+  MARIOH_CHECK_EQ(n, y.size());
+  MARIOH_CHECK_GT(n, 0u);
+  util::Rng rng(options_.seed ^ 0x5bd1e995u);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  const size_t num_layers = weights_.size();
+  double last_epoch_loss = 0.0;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t processed = 0;
+    for (size_t start = 0; start < n; start += options_.batch_size) {
+      size_t end = std::min(n, start + options_.batch_size);
+      size_t bs = end - start;
+      // Accumulated gradients for the batch.
+      std::vector<la::Matrix> gw;
+      std::vector<la::Vector> gb;
+      for (size_t l = 0; l < num_layers; ++l) {
+        gw.emplace_back(weights_[l].rows(), weights_[l].cols());
+        gb.emplace_back(biases_[l].size(), 0.0);
+      }
+      for (size_t idx = start; idx < end; ++idx) {
+        size_t row = order[idx];
+        la::Vector input(x.Row(row), x.Row(row) + x.cols());
+        std::vector<la::Vector> acts;
+        la::Vector logits = Forward(input, &acts);
+
+        // delta = dLoss/dlogits for cross-entropy heads.
+        la::Vector delta(logits.size());
+        if (options_.head == Head::kSigmoid) {
+          double p = Sigmoid(logits[0]);
+          double target = y[row];
+          delta[0] = p - target;
+          epoch_loss += -(target * std::log(std::max(p, 1e-12)) +
+                          (1 - target) * std::log(std::max(1 - p, 1e-12)));
+        } else {
+          la::Vector probs = logits;
+          SoftmaxInPlace(&probs);
+          size_t target = static_cast<size_t>(y[row]);
+          MARIOH_CHECK_LT(target, probs.size());
+          for (size_t i = 0; i < probs.size(); ++i) {
+            delta[i] = probs[i] - (i == target ? 1.0 : 0.0);
+          }
+          epoch_loss += -std::log(std::max(probs[target], 1e-12));
+        }
+
+        // Backpropagate.
+        for (size_t l = num_layers; l-- > 0;) {
+          const la::Vector& a_in = acts[l];
+          for (size_t i = 0; i < delta.size(); ++i) {
+            gb[l][i] += delta[i];
+            double* grow = gw[l].Row(i);
+            for (size_t j = 0; j < a_in.size(); ++j) {
+              grow[j] += delta[i] * a_in[j];
+            }
+          }
+          if (l == 0) break;
+          la::Vector prev(dims_[l], 0.0);
+          for (size_t j = 0; j < prev.size(); ++j) {
+            double s = 0.0;
+            for (size_t i = 0; i < delta.size(); ++i) {
+              s += weights_[l](i, j) * delta[i];
+            }
+            // ReLU derivative at acts[l][j].
+            prev[j] = acts[l][j] > 0.0 ? s : 0.0;
+          }
+          delta = std::move(prev);
+        }
+      }
+      double inv = 1.0 / static_cast<double>(bs);
+      for (size_t l = 0; l < num_layers; ++l) {
+        gw[l].Scale(inv);
+        for (double& v : gb[l]) v *= inv;
+      }
+      ++adam_t_;
+      for (size_t l = 0; l < num_layers; ++l) AdamStep(l, gw[l], gb[l]);
+      processed += bs;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(processed);
+  }
+  return last_epoch_loss;
+}
+
+double Mlp::Predict(const la::Vector& x) const {
+  MARIOH_CHECK(options_.head == Head::kSigmoid);
+  la::Vector logits = Forward(x, nullptr);
+  return Sigmoid(logits[0]);
+}
+
+la::Vector Mlp::PredictBatch(const la::Matrix& x) const {
+  la::Vector out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    la::Vector row(x.Row(i), x.Row(i) + x.cols());
+    out[i] = Predict(row);
+  }
+  return out;
+}
+
+la::Vector Mlp::PredictProba(const la::Vector& x) const {
+  MARIOH_CHECK(options_.head == Head::kSoftmax);
+  la::Vector logits = Forward(x, nullptr);
+  SoftmaxInPlace(&logits);
+  return logits;
+}
+
+std::vector<uint32_t> Mlp::PredictClasses(const la::Matrix& x) const {
+  std::vector<uint32_t> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    la::Vector row(x.Row(i), x.Row(i) + x.cols());
+    la::Vector probs = PredictProba(row);
+    out[i] = static_cast<uint32_t>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+  return out;
+}
+
+}  // namespace marioh::ml

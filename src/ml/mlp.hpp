@@ -1,0 +1,79 @@
+/// \file mlp.hpp
+/// \brief From-scratch multilayer perceptron with ReLU hidden layers,
+/// sigmoid or softmax heads, Adam optimization, and minibatch training.
+/// This is the "simple MLP" the paper uses as its multiplicity-aware
+/// classifier M (Sect. III-D), and is reused for node classification.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::ml {
+
+/// Output head of the network.
+enum class Head {
+  kSigmoid,  ///< binary classification; Predict returns P(y=1).
+  kSoftmax,  ///< multiclass; PredictClasses returns argmax.
+};
+
+/// Training hyperparameters.
+struct MlpOptions {
+  std::vector<size_t> hidden = {64, 32};  ///< hidden layer widths
+  Head head = Head::kSigmoid;
+  double learning_rate = 1e-3;  ///< Adam step size
+  double weight_decay = 1e-5;   ///< L2 penalty
+  int epochs = 60;
+  size_t batch_size = 64;
+  uint64_t seed = 1;
+};
+
+/// Fully connected network trained with Adam on cross-entropy loss.
+class Mlp {
+ public:
+  /// Builds a network mapping `input_dim` features to `output_dim` logits.
+  /// For Head::kSigmoid, `output_dim` must be 1.
+  Mlp(size_t input_dim, size_t output_dim, const MlpOptions& options);
+
+  /// Trains on rows of `x` with labels `y`. For the sigmoid head, `y` holds
+  /// 0/1 values; for softmax, class indices. Returns the final epoch's mean
+  /// training loss.
+  double Fit(const la::Matrix& x, const std::vector<double>& y);
+
+  /// Sigmoid head: P(y=1 | x) for one example.
+  double Predict(const la::Vector& x) const;
+
+  /// Sigmoid head: probabilities for every row of `x`.
+  la::Vector PredictBatch(const la::Matrix& x) const;
+
+  /// Softmax head: class probabilities for one example.
+  la::Vector PredictProba(const la::Vector& x) const;
+
+  /// Softmax head: argmax class per row.
+  std::vector<uint32_t> PredictClasses(const la::Matrix& x) const;
+
+  size_t input_dim() const { return dims_.front(); }
+  size_t output_dim() const { return dims_.back(); }
+
+ private:
+  // Forward pass; `activations` receives the post-activation output of each
+  // layer (activations[0] is the input).
+  la::Vector Forward(const la::Vector& x,
+                     std::vector<la::Vector>* activations) const;
+  void AdamStep(size_t layer, const la::Matrix& grad_w,
+                const la::Vector& grad_b);
+
+  MlpOptions options_;
+  std::vector<size_t> dims_;          // layer widths incl. input & output
+  std::vector<la::Matrix> weights_;   // weights_[l]: dims_[l+1] x dims_[l]
+  std::vector<la::Vector> biases_;
+  // Adam state.
+  std::vector<la::Matrix> m_w_, v_w_;
+  std::vector<la::Vector> m_b_, v_b_;
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace marioh::ml

@@ -1,0 +1,50 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace marioh::ml {
+
+void StandardScaler::Fit(const la::Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  MARIOH_CHECK_GT(n, 0u);
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      double delta = row[j] - mean_[j];
+      std_[j] += delta * delta;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    std_[j] = std::sqrt(std_[j] / static_cast<double>(n));
+    if (std_[j] < 1e-12) std_[j] = 1.0;
+  }
+}
+
+void StandardScaler::Transform(la::Vector* x) const {
+  MARIOH_CHECK_EQ(x->size(), mean_.size());
+  for (size_t j = 0; j < x->size(); ++j) {
+    (*x)[j] = ((*x)[j] - mean_[j]) / std_[j];
+  }
+}
+
+void StandardScaler::Transform(la::Matrix* x) const {
+  MARIOH_CHECK_EQ(x->cols(), mean_.size());
+  for (size_t i = 0; i < x->rows(); ++i) {
+    double* row = x->Row(i);
+    for (size_t j = 0; j < x->cols(); ++j) {
+      row[j] = (row[j] - mean_[j]) / std_[j];
+    }
+  }
+}
+
+}  // namespace marioh::ml

@@ -1,0 +1,37 @@
+/// \file scaler.hpp
+/// \brief Feature standardization (zero mean, unit variance) fitted on the
+/// training set and applied to inference inputs.
+
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace marioh::ml {
+
+/// Standard scaler: x' = (x - mean) / std per feature dimension.
+/// Dimensions with zero variance are passed through centered only.
+class StandardScaler {
+ public:
+  /// Fits mean and std on the rows of `x`.
+  void Fit(const la::Matrix& x);
+
+  /// Transforms one feature vector in place.
+  void Transform(la::Vector* x) const;
+
+  /// Transforms every row of `x` in place.
+  void Transform(la::Matrix* x) const;
+
+  /// True once Fit has been called.
+  bool fitted() const { return !mean_.empty(); }
+
+  const la::Vector& mean() const { return mean_; }
+  const la::Vector& std_dev() const { return std_; }
+
+ private:
+  la::Vector mean_;
+  la::Vector std_;
+};
+
+}  // namespace marioh::ml

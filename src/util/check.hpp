@@ -1,0 +1,51 @@
+/// \file check.hpp
+/// \brief Assertion macros used across the MARIOH library.
+///
+/// `MARIOH_CHECK` guards programming errors (always on, including release
+/// builds); failures print the condition and location then abort. Use
+/// `MARIOH_CHECK_*` comparison forms to get both operand values in the
+/// message.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace marioh::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[MARIOH_CHECK failed] %s:%d: %s\n", file, line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace marioh::util
+
+#define MARIOH_CHECK(cond)                                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::marioh::util::CheckFailed(__FILE__, __LINE__, #cond);         \
+    }                                                                 \
+  } while (0)
+
+#define MARIOH_CHECK_OP(op, a, b)                                     \
+  do {                                                                \
+    auto mh_a = (a);                                                  \
+    auto mh_b = (b);                                                  \
+    if (!(mh_a op mh_b)) {                                            \
+      std::ostringstream mh_oss;                                      \
+      mh_oss << #a " " #op " " #b " (" << mh_a << " vs " << mh_b      \
+             << ")";                                                  \
+      ::marioh::util::CheckFailed(__FILE__, __LINE__, mh_oss.str());  \
+    }                                                                 \
+  } while (0)
+
+#define MARIOH_CHECK_EQ(a, b) MARIOH_CHECK_OP(==, a, b)
+#define MARIOH_CHECK_NE(a, b) MARIOH_CHECK_OP(!=, a, b)
+#define MARIOH_CHECK_LT(a, b) MARIOH_CHECK_OP(<, a, b)
+#define MARIOH_CHECK_LE(a, b) MARIOH_CHECK_OP(<=, a, b)
+#define MARIOH_CHECK_GT(a, b) MARIOH_CHECK_OP(>, a, b)
+#define MARIOH_CHECK_GE(a, b) MARIOH_CHECK_OP(>=, a, b)

@@ -1,0 +1,38 @@
+/// \file hash.hpp
+/// \brief Hash helpers for node sets and node pairs.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace marioh::util {
+
+/// Combines a value into a running 64-bit hash (boost::hash_combine-style
+/// with a 64-bit golden-ratio constant).
+inline void HashCombine(size_t* seed, uint64_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash functor for sorted node-id vectors (hyperedges, cliques).
+struct VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t seed = v.size();
+    for (uint32_t x : v) HashCombine(&seed, x);
+    return seed;
+  }
+};
+
+/// Hash functor for unordered node pairs stored as (min, max).
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    size_t seed = 2;
+    HashCombine(&seed, p.first);
+    HashCombine(&seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace marioh::util

@@ -1,0 +1,6 @@
+#include "util/rng.hpp"
+
+// Header-only; this translation unit exists so the target has a stable
+// object for the module and to catch ODR issues early.
+
+namespace marioh::util {}

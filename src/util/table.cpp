@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace marioh::util {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string rule(std::max<size_t>(total, title_.size()), '-');
+
+  std::ostringstream out;
+  out << title_ << "\n" << rule << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit(header_);
+  out << rule << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::MeanStd(double mean, double std_dev) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f±%.2f", mean, std_dev);
+  return buf;
+}
+
+std::string TextTable::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace marioh::util

@@ -1,0 +1,37 @@
+/// \file table.hpp
+/// \brief Plain-text table printer used by the benchmark harnesses to emit
+/// rows in the same layout as the paper's tables.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace marioh::util {
+
+/// Accumulates rows of string cells and renders them as an aligned
+/// plain-text table with a title and a header row.
+class TextTable {
+ public:
+  /// Creates a table. `title` is printed above the header.
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header cells.
+  void SetHeader(std::vector<std::string> header);
+  /// Appends a data row; it may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+  /// Renders the full table (title, rule, header, rule, rows).
+  std::string Render() const;
+
+  /// Formats `mean ± std` with two decimals, matching the paper's cells.
+  static std::string MeanStd(double mean, double std_dev);
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace marioh::util

@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+namespace marioh::util {}

@@ -1,0 +1,74 @@
+/// \file timer.hpp
+/// \brief Wall-clock timer and a named stage stopwatch used by the runtime
+/// breakdown experiments (Fig. 6).
+
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace marioh::util {
+
+/// Simple monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() { Reset(); }
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall-clock time per named stage. MARIOH uses this to report
+/// the load/train/filter/bidirectional-search breakdown of Fig. 6.
+class StageTimer {
+ public:
+  /// Adds `seconds` to the stage named `stage`.
+  void Add(const std::string& stage, double seconds) {
+    totals_[stage] += seconds;
+  }
+  /// Total seconds recorded for `stage` (0 if never recorded).
+  double Get(const std::string& stage) const {
+    auto it = totals_.find(stage);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+  /// Sum over all stages.
+  double Total() const {
+    double t = 0.0;
+    for (const auto& [k, v] : totals_) t += v;
+    return t;
+  }
+  /// All recorded stages in name order.
+  const std::map<std::string, double>& stages() const { return totals_; }
+  /// Clears all recorded stages.
+  void Clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper that adds the scope's elapsed time to a StageTimer entry.
+class ScopedStage {
+ public:
+  ScopedStage(StageTimer* timer, std::string stage)
+      : timer_(timer), stage_(std::move(stage)) {}
+  ~ScopedStage() {
+    if (timer_ != nullptr) timer_->Add(stage_, watch_.Seconds());
+  }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTimer* timer_;
+  std::string stage_;
+  Timer watch_;
+};
+
+}  // namespace marioh::util

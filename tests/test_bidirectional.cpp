@@ -1,0 +1,187 @@
+// Focused tests for Algorithm 3 (bidirectional search): threshold
+// behavior, the r% sub-clique exploration, re-validation against the
+// shrinking graph, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/bidirectional.hpp"
+#include "core/classifier.hpp"
+#include "hypergraph/clique.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::core {
+namespace {
+
+/// Trains a classifier on a small community dataset once per suite.
+class BidirectionalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::GeneratedDataset data =
+        gen::Generate(gen::ProfileByName("hosts"), 3);
+    util::Rng split_rng(4);
+    gen::SourceTargetSplit split = gen::SplitHypergraph(
+        data.hypergraph.MultiplicityReduced(), &split_rng, 0.5);
+    source_ = new Hypergraph(std::move(split.source));
+    target_ = new Hypergraph(std::move(split.target));
+    g_source_ = new ProjectedGraph(source_->Project());
+    g_target_ = new ProjectedGraph(target_->Project());
+    classifier_ =
+        new CliqueClassifier(FeatureMode::kMultiplicityAware, {});
+    util::Rng train_rng(5);
+    classifier_->Train(*g_source_, *source_, &train_rng);
+  }
+  static void TearDownTestSuite() {
+    delete classifier_;
+    delete g_target_;
+    delete g_source_;
+    delete target_;
+    delete source_;
+  }
+
+  static Hypergraph* source_;
+  static Hypergraph* target_;
+  static ProjectedGraph* g_source_;
+  static ProjectedGraph* g_target_;
+  static CliqueClassifier* classifier_;
+};
+
+Hypergraph* BidirectionalTest::source_ = nullptr;
+Hypergraph* BidirectionalTest::target_ = nullptr;
+ProjectedGraph* BidirectionalTest::g_source_ = nullptr;
+ProjectedGraph* BidirectionalTest::g_target_ = nullptr;
+CliqueClassifier* BidirectionalTest::classifier_ = nullptr;
+
+TEST_F(BidirectionalTest, ThetaOnePutsEverythingInQneg) {
+  // Scores are sigmoid outputs < 1, so theta = 1 means no clique passes
+  // Phase 1; only Phase 2 sub-clique exploration can accept.
+  ProjectedGraph g = *g_target_;
+  Hypergraph h(g.num_nodes());
+  BidirectionalOptions options;
+  options.theta = 1.0;
+  options.r_percent = 100.0;
+  util::Rng rng(7);
+  BidirectionalStats stats =
+      BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  EXPECT_EQ(stats.accepted_phase1, 0u);
+  // Sub-cliques are scored but cannot pass theta = 1 either.
+  EXPECT_EQ(stats.accepted_phase2, 0u);
+  EXPECT_EQ(h.num_total_edges(), 0u);
+  EXPECT_EQ(g.TotalWeight(), g_target_->TotalWeight());  // untouched
+}
+
+TEST_F(BidirectionalTest, RZeroDisablesSubcliqueSampling) {
+  ProjectedGraph g = *g_target_;
+  Hypergraph h(g.num_nodes());
+  BidirectionalOptions options;
+  options.theta = 0.99;  // keep most cliques below threshold
+  options.r_percent = 0.0;
+  util::Rng rng(8);
+  BidirectionalStats stats =
+      BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  EXPECT_EQ(stats.subcliques_scored, 0u);
+}
+
+TEST_F(BidirectionalTest, RHundredExploresEveryNegClique) {
+  ProjectedGraph g = *g_target_;
+  Hypergraph h(g.num_nodes());
+  BidirectionalOptions options;
+  options.theta = 1.0;  // everything in Q_neg
+  options.r_percent = 100.0;
+  util::Rng rng(9);
+  BidirectionalStats stats =
+      BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  // One sample per size k in [2, |Q|-1] per clique: the total equals
+  // sum over cliques of (|Q| - 2); verify it is positive and bounded.
+  size_t upper = 0;
+  for (const NodeSet& q : MaximalCliques(*g_target_)) {
+    upper += q.size() > 2 ? q.size() - 2 : 0;
+  }
+  EXPECT_LE(stats.subcliques_scored, upper);
+  EXPECT_GT(upper, 0u);
+}
+
+TEST_F(BidirectionalTest, ThetaZeroConsumesWeightEveryIteration) {
+  ProjectedGraph g = *g_target_;
+  Hypergraph h(g.num_nodes());
+  BidirectionalOptions options;
+  options.theta = 0.0;
+  util::Rng rng(10);
+  uint64_t before = g.TotalWeight();
+  BidirectionalStats stats =
+      BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  EXPECT_GT(stats.accepted_phase1, 0u);
+  EXPECT_LT(g.TotalWeight(), before);
+}
+
+TEST_F(BidirectionalTest, AcceptedHyperedgesAreCliquesOfPreGraph) {
+  ProjectedGraph g = *g_target_;
+  Hypergraph h(g.num_nodes());
+  BidirectionalOptions options;
+  options.theta = 0.3;
+  util::Rng rng(11);
+  BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  for (const auto& [e, m] : h.edges()) {
+    (void)m;
+    EXPECT_TRUE(g_target_->IsClique(e));
+  }
+}
+
+TEST_F(BidirectionalTest, WeightConservation) {
+  // Weight removed from the graph equals the total pairwise footprint of
+  // the accepted hyperedges.
+  ProjectedGraph g = *g_target_;
+  Hypergraph h(g.num_nodes());
+  BidirectionalOptions options;
+  options.theta = 0.2;
+  util::Rng rng(12);
+  uint64_t before = g.TotalWeight();
+  BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  uint64_t footprint = 0;
+  for (const auto& [e, m] : h.edges()) {
+    footprint += static_cast<uint64_t>(e.size() * (e.size() - 1) / 2) * m;
+  }
+  EXPECT_EQ(before - g.TotalWeight(), footprint);
+}
+
+TEST_F(BidirectionalTest, DeterministicGivenSeed) {
+  BidirectionalOptions options;
+  options.theta = 0.5;
+  ProjectedGraph g1 = *g_target_;
+  ProjectedGraph g2 = *g_target_;
+  Hypergraph h1(g1.num_nodes()), h2(g2.num_nodes());
+  util::Rng r1(13), r2(13);
+  BidirectionalSearch(&g1, *classifier_, options, &r1, &h1);
+  BidirectionalSearch(&g2, *classifier_, options, &r2, &h2);
+  EXPECT_EQ(h1.UniqueEdges(), h2.UniqueEdges());
+}
+
+TEST_F(BidirectionalTest, EmptyGraphIsNoOp) {
+  ProjectedGraph g(10);
+  Hypergraph h(10);
+  BidirectionalOptions options;
+  util::Rng rng(14);
+  BidirectionalStats stats =
+      BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  EXPECT_EQ(stats.maximal_cliques, 0u);
+  EXPECT_EQ(h.num_total_edges(), 0u);
+}
+
+TEST_F(BidirectionalTest, Size2CliquesHaveNoSubcliques) {
+  // A graph that is a single edge: in Q_neg at theta = 1, but k ranges
+  // over [2, |Q|-1] = empty, so nothing is scored.
+  ProjectedGraph g(2);
+  g.AddWeight(0, 1, 1);
+  Hypergraph h(2);
+  BidirectionalOptions options;
+  options.theta = 1.0;
+  options.r_percent = 100.0;
+  util::Rng rng(15);
+  BidirectionalStats stats =
+      BidirectionalSearch(&g, *classifier_, options, &rng, &h);
+  EXPECT_EQ(stats.subcliques_scored, 0u);
+}
+
+}  // namespace
+}  // namespace marioh::core

@@ -1,0 +1,178 @@
+// Unit + property tests for maximal-clique enumeration and degeneracy
+// ordering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "hypergraph/clique.hpp"
+#include "hypergraph/projected_graph.hpp"
+#include "util/rng.hpp"
+
+namespace marioh {
+namespace {
+
+ProjectedGraph CompleteGraph(size_t n) {
+  ProjectedGraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.AddWeight(u, v, 1);
+  }
+  return g;
+}
+
+TEST(MaximalCliques, EmptyGraph) {
+  ProjectedGraph g(5);
+  EXPECT_TRUE(MaximalCliques(g).empty());
+}
+
+TEST(MaximalCliques, SingleEdge) {
+  ProjectedGraph g(3);
+  g.AddWeight(0, 2, 1);
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (NodeSet{0, 2}));
+}
+
+TEST(MaximalCliques, CompleteGraphHasOneClique) {
+  for (size_t n : {2, 3, 5, 8}) {
+    ProjectedGraph g = CompleteGraph(n);
+    std::vector<NodeSet> cliques = MaximalCliques(g);
+    ASSERT_EQ(cliques.size(), 1u) << "n=" << n;
+    EXPECT_EQ(cliques[0].size(), n);
+  }
+}
+
+TEST(MaximalCliques, TrianglePlusPendant) {
+  // Triangle {0,1,2} plus pendant edge {2,3}.
+  ProjectedGraph g(4);
+  g.AddWeight(0, 1, 1);
+  g.AddWeight(0, 2, 1);
+  g.AddWeight(1, 2, 1);
+  g.AddWeight(2, 3, 1);
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_TRUE(std::find(cliques.begin(), cliques.end(),
+                        NodeSet{0, 1, 2}) != cliques.end());
+  EXPECT_TRUE(std::find(cliques.begin(), cliques.end(), NodeSet{2, 3}) !=
+              cliques.end());
+}
+
+TEST(MaximalCliques, TwoTrianglesSharingAnEdge) {
+  // {0,1,2} and {1,2,3} share edge (1,2); both are maximal.
+  ProjectedGraph g(4);
+  g.AddWeight(0, 1, 1);
+  g.AddWeight(0, 2, 1);
+  g.AddWeight(1, 2, 1);
+  g.AddWeight(1, 3, 1);
+  g.AddWeight(2, 3, 1);
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 2u);
+}
+
+TEST(MaximalCliques, RespectsMaxCliqueCap) {
+  ProjectedGraph g(8);
+  // A matching of 4 disjoint edges = 4 maximal cliques.
+  for (NodeId u = 0; u < 8; u += 2) g.AddWeight(u, u + 1, 1);
+  CliqueOptions options;
+  options.max_cliques = 2;
+  EXPECT_EQ(MaximalCliques(g, options).size(), 2u);
+}
+
+TEST(MaximalCliques, MoonMoserGraph) {
+  // Complete 3-partite graph K_{2,2,2} has 2^3 = 8 maximal cliques (one
+  // node per part) — the classic worst-case family.
+  ProjectedGraph g(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      if (u / 2 != v / 2) g.AddWeight(u, v, 1);
+    }
+  }
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+  EXPECT_EQ(cliques.size(), 8u);
+  for (const NodeSet& q : cliques) EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(DegeneracyOrdering, PathGraphHasDegeneracyOne) {
+  ProjectedGraph g(5);
+  for (NodeId u = 0; u + 1 < 5; ++u) g.AddWeight(u, u + 1, 1);
+  size_t degeneracy = 99;
+  std::vector<NodeId> order = DegeneracyOrdering(g, &degeneracy);
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(degeneracy, 1u);
+  std::set<NodeId> distinct(order.begin(), order.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(DegeneracyOrdering, CompleteGraphDegeneracy) {
+  ProjectedGraph g = CompleteGraph(6);
+  size_t degeneracy = 0;
+  DegeneracyOrdering(g, &degeneracy);
+  EXPECT_EQ(degeneracy, 5u);
+}
+
+TEST(GreedyCliqueAround, FindsTriangle) {
+  ProjectedGraph g(4);
+  g.AddWeight(0, 1, 1);
+  g.AddWeight(0, 2, 1);
+  g.AddWeight(1, 2, 1);
+  NodeSet clique = GreedyCliqueAround(g, 0);
+  EXPECT_EQ(clique, (NodeSet{0, 1, 2}));
+}
+
+TEST(GreedyCliqueAround, IsolatedNode) {
+  ProjectedGraph g(3);
+  EXPECT_EQ(GreedyCliqueAround(g, 1), (NodeSet{1}));
+}
+
+// Property test: on random graphs, every enumerated clique is (a) a clique
+// and (b) maximal, and (c) every edge is inside at least one clique.
+class MaximalCliquesProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaximalCliquesProperty, SoundCompleteMaximal) {
+  util::Rng rng(GetParam());
+  const size_t n = 24;
+  ProjectedGraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(0.25)) g.AddWeight(u, v, 1 + rng.UniformInt(0, 3));
+    }
+  }
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+
+  std::set<NodePair> covered;
+  for (const NodeSet& q : cliques) {
+    EXPECT_TRUE(g.IsClique(q));
+    // Maximality: no node outside q is adjacent to every node of q.
+    for (NodeId z = 0; z < n; ++z) {
+      if (std::binary_search(q.begin(), q.end(), z)) continue;
+      bool adjacent_all = true;
+      for (NodeId u : q) {
+        if (!g.HasEdge(u, z)) {
+          adjacent_all = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(adjacent_all)
+          << "clique not maximal: node " << z << " extends it";
+    }
+    for (size_t i = 0; i < q.size(); ++i) {
+      for (size_t j = i + 1; j < q.size(); ++j) {
+        covered.insert(MakePair(q[i], q[j]));
+      }
+    }
+  }
+  // Completeness: every edge lies in some maximal clique.
+  for (const auto& e : g.Edges()) {
+    EXPECT_TRUE(covered.count(MakePair(e.u, e.v)) > 0);
+  }
+  // No duplicates.
+  std::set<NodeSet> distinct(cliques.begin(), cliques.end());
+  EXPECT_EQ(distinct.size(), cliques.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MaximalCliquesProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace marioh

@@ -1,0 +1,98 @@
+// Tests for the immutable CSR snapshot, including equivalence properties
+// against the mutable ProjectedGraph on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "gen/hypercl.hpp"
+#include "hypergraph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace marioh {
+namespace {
+
+TEST(CsrGraph, BasicAccessors) {
+  ProjectedGraph g(4);
+  g.AddWeight(0, 1, 3);
+  g.AddWeight(0, 2, 1);
+  g.AddWeight(2, 3, 5);
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.num_nodes(), 4u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.Degree(0), 2u);
+  EXPECT_EQ(csr.Degree(3), 1u);
+  EXPECT_EQ(csr.Weight(0, 1), 3u);
+  EXPECT_EQ(csr.Weight(1, 0), 3u);
+  EXPECT_EQ(csr.Weight(1, 3), 0u);
+  EXPECT_EQ(csr.Weight(2, 2), 0u);
+  EXPECT_TRUE(csr.HasEdge(2, 3));
+  EXPECT_EQ(csr.TotalWeight(), 9u);
+}
+
+TEST(CsrGraph, NeighborsAreSorted) {
+  ProjectedGraph g(6);
+  g.AddWeight(3, 5, 1);
+  g.AddWeight(3, 0, 1);
+  g.AddWeight(3, 4, 1);
+  g.AddWeight(3, 1, 1);
+  CsrGraph csr(g);
+  auto nbrs = csr.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(CsrGraph, CommonNeighborsSortedMerge) {
+  ProjectedGraph g(5);
+  g.AddWeight(0, 2, 1);
+  g.AddWeight(0, 3, 1);
+  g.AddWeight(0, 4, 1);
+  g.AddWeight(1, 3, 1);
+  g.AddWeight(1, 4, 1);
+  CsrGraph csr(g);
+  std::vector<NodeId> common = csr.CommonNeighbors(0, 1);
+  EXPECT_EQ(common, (std::vector<NodeId>{3, 4}));
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  ProjectedGraph g(3);
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_EQ(csr.Degree(0), 0u);
+  EXPECT_TRUE(csr.Neighbors(1).empty());
+}
+
+// Equivalence property: on random graphs the CSR snapshot agrees with the
+// hash-map graph on every query.
+class CsrEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsrEquivalence, MatchesProjectedGraphEverywhere) {
+  util::Rng rng(GetParam());
+  Hypergraph h = gen::HyperClLike(60, 120, 3.0, 0.7, &rng);
+  ProjectedGraph g = h.Project();
+  CsrGraph csr(g);
+
+  EXPECT_EQ(csr.num_nodes(), g.num_nodes());
+  EXPECT_EQ(csr.num_edges(), g.num_edges());
+  EXPECT_EQ(csr.TotalWeight(), g.TotalWeight());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(csr.Degree(u), g.Degree(u));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(csr.Weight(u, v), g.Weight(u, v))
+          << "(" << u << "," << v << ")";
+    }
+  }
+  // MHH equivalence on every edge (the hot kernel of Algorithm 2).
+  for (const auto& e : g.Edges()) {
+    EXPECT_EQ(csr.Mhh(e.u, e.v), g.Mhh(e.u, e.v));
+    // Common neighbors agree as sets.
+    std::vector<NodeId> a = csr.CommonNeighbors(e.u, e.v);
+    std::vector<NodeId> b = g.CommonNeighbors(e.u, e.v);
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CsrEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace marioh

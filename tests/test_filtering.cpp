@@ -1,0 +1,147 @@
+// Tests for the theoretically-guaranteed filtering step (Algorithm 2,
+// Lemmas 1-2), including the soundness property on random hypergraphs:
+// every hyperedge that filtering extracts must be a true size-2 hyperedge
+// with at least the extracted multiplicity.
+
+#include <gtest/gtest.h>
+
+#include "core/filtering.hpp"
+#include "gen/hypercl.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::core {
+namespace {
+
+TEST(Filtering, IsolatedEdgeIsExtracted) {
+  // A single weighted edge has no common neighbors: MHH = 0, so the full
+  // weight is guaranteed size-2 multiplicity.
+  ProjectedGraph g(2);
+  g.AddWeight(0, 1, 3);
+  Hypergraph h(2);
+  FilteringStats stats = Filtering(&g, &h);
+  EXPECT_EQ(stats.edges_identified, 1u);
+  EXPECT_EQ(stats.total_multiplicity, 3u);
+  EXPECT_EQ(h.Multiplicity({0, 1}), 3u);
+  EXPECT_TRUE(g.Empty());
+}
+
+TEST(Filtering, TriangleFromOneHyperedgeExtractsNothing) {
+  // {0,1,2} as a single size-3 hyperedge: every edge has MHH = 1 >= w = 1.
+  Hypergraph truth;
+  truth.AddEdge({0, 1, 2}, 1);
+  ProjectedGraph g = truth.Project();
+  Hypergraph h(3);
+  FilteringStats stats = Filtering(&g, &h);
+  EXPECT_EQ(stats.edges_identified, 0u);
+  EXPECT_EQ(h.num_total_edges(), 0u);
+  EXPECT_EQ(g.num_edges(), 3u);  // untouched
+}
+
+TEST(Filtering, MixedPairAndTriangle) {
+  // Hyperedges: {0,1} x2 and {0,1,2} x1. w(0,1) = 3, MHH(0,1) = 1 ->
+  // residual 2 guaranteed size-2 copies.
+  Hypergraph truth;
+  truth.AddEdge({0, 1}, 2);
+  truth.AddEdge({0, 1, 2}, 1);
+  ProjectedGraph g = truth.Project();
+  Hypergraph h(3);
+  Filtering(&g, &h);
+  EXPECT_EQ(h.Multiplicity({0, 1}), 2u);
+  EXPECT_EQ(g.Weight(0, 1), 1u);  // the triangle's contribution remains
+  EXPECT_EQ(g.Weight(0, 2), 1u);
+}
+
+TEST(Filtering, PairsHiddenInsideTrianglesAreNotExtracted) {
+  // Hyperedges {0,1}, {0,2}, {1,2}, {0,1,2}: every projected edge has
+  // w = 2 and MHH = min(2,2) = 2, so the MHH upper bound cannot certify
+  // any size-2 hyperedge here even though three exist — the bound is safe
+  // but conservative; the classifier handles these cases instead.
+  Hypergraph truth;
+  truth.AddEdge({0, 1}, 1);
+  truth.AddEdge({0, 2}, 1);
+  truth.AddEdge({1, 2}, 1);
+  truth.AddEdge({0, 1, 2}, 1);
+  ProjectedGraph g = truth.Project();
+  Hypergraph h(3);
+  FilteringStats stats = Filtering(&g, &h);
+  EXPECT_EQ(stats.edges_identified, 0u);
+  EXPECT_EQ(g.Weight(0, 1), 2u);
+  EXPECT_EQ(g.Weight(0, 2), 2u);
+  EXPECT_EQ(g.Weight(1, 2), 2u);
+}
+
+TEST(Filtering, DominantPairBesideWeakTriangleIsExtracted) {
+  // {0,1} x3 plus one triangle {0,1,2}: w(0,1) = 4, MHH(0,1) =
+  // min(w(0,2), w(1,2)) = 1 -> residual 3 copies are certified.
+  Hypergraph truth;
+  truth.AddEdge({0, 1}, 3);
+  truth.AddEdge({0, 1, 2}, 1);
+  ProjectedGraph g = truth.Project();
+  Hypergraph h(3);
+  Filtering(&g, &h);
+  EXPECT_EQ(h.Multiplicity({0, 1}), 3u);
+  EXPECT_EQ(g.Weight(0, 1), 1u);
+}
+
+TEST(Filtering, EmptyGraphNoOp) {
+  ProjectedGraph g(5);
+  Hypergraph h(5);
+  FilteringStats stats = Filtering(&g, &h);
+  EXPECT_EQ(stats.edges_identified, 0u);
+  EXPECT_TRUE(g.Empty());
+}
+
+// Soundness property (Lemma 2): on random hypergraphs, every extracted
+// size-2 hyperedge must exist in the ground truth with multiplicity >= the
+// extracted count. This is the theoretical guarantee the paper proves.
+class FilteringSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilteringSoundness, ExtractionsAreTrueHyperedges) {
+  util::Rng rng(GetParam());
+  // Random hypergraph with many size-2 hyperedges mixed with larger ones.
+  Hypergraph truth(30);
+  size_t num_edges = 40;
+  for (size_t i = 0; i < num_edges; ++i) {
+    size_t size = 2 + static_cast<size_t>(rng.UniformInt(0, 2));
+    NodeSet e;
+    while (e.size() < size) {
+      NodeId u = static_cast<NodeId>(rng.UniformIndex(30));
+      if (std::find(e.begin(), e.end(), u) == e.end()) e.push_back(u);
+    }
+    truth.AddEdge(e, 1 + static_cast<uint32_t>(rng.UniformInt(0, 2)));
+  }
+  ProjectedGraph g = truth.Project();
+  Hypergraph extracted(30);
+  Filtering(&g, &extracted);
+  for (const auto& [e, m] : extracted.edges()) {
+    ASSERT_EQ(e.size(), 2u);
+    EXPECT_GE(truth.Multiplicity(e), m)
+        << "filtering extracted a non-existent or over-counted pair";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHypergraphs, FilteringSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Weight-conservation property: filtering only ever removes weight, and
+// the removed weight equals the extracted multiplicity per edge.
+class FilteringConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilteringConservation, WeightRemovedEqualsExtracted) {
+  util::Rng rng(GetParam() * 131);
+  Hypergraph truth = gen::HyperClLike(40, 60, 2.8, 0.6, &rng);
+  ProjectedGraph g = truth.Project();
+  uint64_t before = g.TotalWeight();
+  Hypergraph extracted(truth.num_nodes());
+  FilteringStats stats = Filtering(&g, &extracted);
+  uint64_t after = g.TotalWeight();
+  EXPECT_EQ(before - after, stats.total_multiplicity);
+  EXPECT_EQ(extracted.num_total_edges(), stats.total_multiplicity);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHypergraphs, FilteringConservation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace marioh::core

@@ -1,0 +1,219 @@
+// Tests for the dataset substrate: HyperCL generator, domain profiles
+// (Table I statistics), and the source/target splitter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/hypercl.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::gen {
+namespace {
+
+TEST(HyperCl, RespectsEdgeSizeSequence) {
+  HyperClConfig config;
+  config.degree_weights.assign(20, 1.0);
+  config.edge_sizes = {2, 3, 4, 5};
+  util::Rng rng(1);
+  Hypergraph h = HyperCl(config, &rng);
+  EXPECT_EQ(h.num_total_edges(), 4u);
+  std::vector<size_t> sizes;
+  for (const auto& [e, m] : h.edges()) {
+    for (uint32_t i = 0; i < m; ++i) sizes.push_back(e.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 3, 4, 5}));
+}
+
+TEST(HyperCl, ClampsOversizedEdges) {
+  HyperClConfig config;
+  config.degree_weights.assign(3, 1.0);
+  config.edge_sizes = {10};  // larger than the node set
+  util::Rng rng(2);
+  Hypergraph h = HyperCl(config, &rng);
+  ASSERT_EQ(h.num_unique_edges(), 1u);
+  EXPECT_EQ(h.UniqueEdges()[0].size(), 3u);
+}
+
+TEST(HyperCl, SkewConcentratesDegrees) {
+  util::Rng r1(3), r2(3);
+  Hypergraph flat = HyperClLike(200, 400, 3.0, 0.0, &r1);
+  Hypergraph skewed = HyperClLike(200, 400, 3.0, 1.5, &r2);
+  auto max_degree = [](const Hypergraph& h) {
+    uint32_t mx = 0;
+    for (uint32_t d : h.NodeDegrees()) mx = std::max(mx, d);
+    return mx;
+  };
+  EXPECT_GT(max_degree(skewed), max_degree(flat));
+}
+
+TEST(HyperCl, DeterministicGivenSeed) {
+  util::Rng r1(4), r2(4);
+  Hypergraph a = HyperClLike(50, 80, 3.0, 0.7, &r1);
+  Hypergraph b = HyperClLike(50, 80, 3.0, 0.7, &r2);
+  EXPECT_EQ(a.UniqueEdges(), b.UniqueEdges());
+}
+
+TEST(Profiles, AllTableDatasetsGenerate) {
+  for (const std::string& name : TableDatasets()) {
+    GeneratedDataset data = Generate(ProfileByName(name), 42);
+    EXPECT_GT(data.hypergraph.num_unique_edges(), 0u) << name;
+    EXPECT_GT(data.hypergraph.num_nodes(), 0u) << name;
+    // Every hyperedge has >= 2 nodes by construction.
+    for (const auto& [e, m] : data.hypergraph.edges()) {
+      (void)m;
+      EXPECT_GE(e.size(), 2u) << name;
+    }
+  }
+}
+
+TEST(Profiles, EnronLikeIsHeavilyDuplicated) {
+  GeneratedDataset data = Generate(ProfileByName("enron"), 7);
+  // Table I: Enron's average hyperedge multiplicity is 5.85; ours must be
+  // in the same heavy-duplication regime (paper-faithful shape, not exact).
+  EXPECT_GT(data.hypergraph.AverageMultiplicity(), 3.0);
+  EXPECT_LT(data.hypergraph.AverageMultiplicity(), 10.0);
+}
+
+TEST(Profiles, SparseProfilesHaveLowMultiplicity) {
+  for (const std::string name : {"crime", "directors", "foursquare",
+                                  "mag_topcs"}) {
+    GeneratedDataset data = Generate(ProfileByName(name), 11);
+    EXPECT_LT(data.hypergraph.AverageMultiplicity(), 1.2) << name;
+  }
+}
+
+TEST(Profiles, HschoolHasExtremeDuplication) {
+  GeneratedDataset data = Generate(ProfileByName("hschool"), 13);
+  // Table I: H.School has avg M_H 17.01.
+  EXPECT_GT(data.hypergraph.AverageMultiplicity(), 8.0);
+}
+
+TEST(Profiles, NodeCountsMatchTableI) {
+  EXPECT_EQ(Generate(ProfileByName("enron"), 1).hypergraph.num_nodes(),
+            141u);
+  EXPECT_EQ(Generate(ProfileByName("pschool"), 1).hypergraph.num_nodes(),
+            238u);
+  EXPECT_EQ(Generate(ProfileByName("hschool"), 1).hypergraph.num_nodes(),
+            318u);
+  EXPECT_EQ(Generate(ProfileByName("foursquare"), 1).hypergraph.num_nodes(),
+            2254u);
+}
+
+TEST(Profiles, SchoolProfilesExposeLabels) {
+  GeneratedDataset p = Generate(ProfileByName("pschool"), 17);
+  EXPECT_EQ(p.num_classes, 10u);
+  ASSERT_EQ(p.labels.size(), p.hypergraph.num_nodes());
+  for (uint32_t label : p.labels) EXPECT_LT(label, p.num_classes);
+  GeneratedDataset h = Generate(ProfileByName("hschool"), 17);
+  EXPECT_EQ(h.num_classes, 9u);
+}
+
+TEST(Profiles, DeterministicGivenSeed) {
+  GeneratedDataset a = Generate(ProfileByName("hosts"), 23);
+  GeneratedDataset b = Generate(ProfileByName("hosts"), 23);
+  EXPECT_EQ(a.hypergraph.UniqueEdges(), b.hypergraph.UniqueEdges());
+  GeneratedDataset c = Generate(ProfileByName("hosts"), 24);
+  EXPECT_NE(a.hypergraph.UniqueEdges(), c.hypergraph.UniqueEdges());
+}
+
+TEST(Split, HalvesPartitionTheMultiset) {
+  GeneratedDataset data = Generate(ProfileByName("pschool"), 29);
+  util::Rng rng(30);
+  SourceTargetSplit split = SplitHypergraph(data.hypergraph, &rng, 0.5);
+  EXPECT_EQ(split.source.num_total_edges() + split.target.num_total_edges(),
+            data.hypergraph.num_total_edges());
+  // Every source/target hyperedge exists in the original.
+  for (const auto& [e, m] : split.source.edges()) {
+    EXPECT_GE(data.hypergraph.Multiplicity(e), 1u);
+    EXPECT_LE(m, data.hypergraph.Multiplicity(e));
+  }
+  EXPECT_EQ(split.source.num_nodes(), data.hypergraph.num_nodes());
+  EXPECT_EQ(split.target.num_nodes(), data.hypergraph.num_nodes());
+}
+
+TEST(Split, FractionControlsSizes) {
+  GeneratedDataset data = Generate(ProfileByName("eu"), 31);
+  util::Rng rng(32);
+  SourceTargetSplit split = SplitHypergraph(data.hypergraph, &rng, 0.25);
+  double frac = static_cast<double>(split.source.num_total_edges()) /
+                static_cast<double>(data.hypergraph.num_total_edges());
+  EXPECT_NEAR(frac, 0.25, 0.02);
+}
+
+TEST(Split, DeterministicGivenSeed) {
+  GeneratedDataset data = Generate(ProfileByName("crime"), 33);
+  util::Rng r1(34), r2(34);
+  SourceTargetSplit a = SplitHypergraph(data.hypergraph, &r1, 0.5);
+  SourceTargetSplit b = SplitHypergraph(data.hypergraph, &r2, 0.5);
+  EXPECT_EQ(a.source.UniqueEdges(), b.source.UniqueEdges());
+  EXPECT_EQ(a.target.UniqueEdges(), b.target.UniqueEdges());
+}
+
+TEST(SplitByTime, PartitionsAtQuantile) {
+  std::vector<TimedHyperedge> events;
+  for (uint32_t i = 0; i < 10; ++i) {
+    events.push_back({{i, i + 1}, static_cast<double>(i)});
+  }
+  SourceTargetSplit split = SplitByTime(events, 0.5);
+  EXPECT_EQ(split.source.num_total_edges(), 5u);
+  EXPECT_EQ(split.target.num_total_edges(), 5u);
+  // Earliest events go to the source.
+  EXPECT_TRUE(split.source.Contains({0, 1}));
+  EXPECT_TRUE(split.target.Contains({9, 10}));
+}
+
+TEST(SplitByTime, RepeatedHyperedgesSpreadAcrossHalves) {
+  // The same hyperedge occurring before and after the cut appears in
+  // both halves — recurring contacts, the multiplicity-preserved setting.
+  std::vector<TimedHyperedge> events = {
+      {{0, 1}, 0.1}, {{0, 1}, 0.9}, {{2, 3}, 0.2}, {{4, 5}, 0.8}};
+  SourceTargetSplit split = SplitByTime(events, 0.5);
+  EXPECT_TRUE(split.source.Contains({0, 1}));
+  EXPECT_TRUE(split.target.Contains({0, 1}));
+}
+
+TEST(SplitByTime, AllEqualTimesFallsBackToIndexSplit) {
+  std::vector<TimedHyperedge> events = {
+      {{0, 1}, 1.0}, {{1, 2}, 1.0}, {{2, 3}, 1.0}, {{3, 4}, 1.0}};
+  SourceTargetSplit split = SplitByTime(events, 0.5);
+  EXPECT_GT(split.source.num_total_edges(), 0u);
+  EXPECT_GT(split.target.num_total_edges(), 0u);
+}
+
+TEST(AttachTimestamps, OneEventPerOccurrence) {
+  Hypergraph h;
+  h.AddEdge({0, 1}, 3);
+  h.AddEdge({1, 2, 3}, 1);
+  util::Rng rng(5);
+  std::vector<TimedHyperedge> events = AttachTimestamps(h, &rng);
+  EXPECT_EQ(events.size(), 4u);
+  for (const TimedHyperedge& e : events) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LT(e.time, 1.0);
+  }
+}
+
+TEST(SplitByTime, RoundTripWithAttachTimestamps) {
+  GeneratedDataset data = Generate(ProfileByName("enron"), 37);
+  util::Rng rng(38);
+  std::vector<TimedHyperedge> events =
+      AttachTimestamps(data.hypergraph, &rng);
+  SourceTargetSplit split = SplitByTime(events, 0.5,
+                                        data.hypergraph.num_nodes());
+  EXPECT_EQ(split.source.num_total_edges() + split.target.num_total_edges(),
+            data.hypergraph.num_total_edges());
+  EXPECT_NEAR(static_cast<double>(split.source.num_total_edges()) /
+                  static_cast<double>(data.hypergraph.num_total_edges()),
+              0.5, 0.05);
+}
+
+TEST(Profiles, UnknownNameAborts) {
+  EXPECT_DEATH(ProfileByName("not_a_dataset"), "MARIOH_CHECK");
+}
+
+}  // namespace
+}  // namespace marioh::gen

@@ -1,0 +1,226 @@
+// Unit tests for the linear-algebra substrate: dense matrix ops, Jacobi
+// symmetric eigendecomposition, singular values, and k-means.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/eigen.hpp"
+#include "la/kmeans.hpp"
+#include "la/matrix.hpp"
+#include "la/svd.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::la {
+namespace {
+
+TEST(Matrix, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(0, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  Matrix c = a.Multiply(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) a(i, j) = static_cast<double>(i * 3 + j);
+  }
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  Matrix tt = t.Transposed();
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(tt(i, j), a(i, j));
+  }
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0;
+  a(1, 0) = 1; a(1, 1) = 3;
+  Vector y = a.Apply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ScaleAndFrobenius) {
+  Matrix a(1, 2);
+  a(0, 0) = 3; a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 10.0);
+}
+
+TEST(VectorOps, DotNormAxpyDistance) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+  Vector c = Axpy(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(c[0], 9.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 27.0);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3; a(1, 1) = 1; a(2, 2) = 2;
+  EigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 2;
+  EigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  double v0 = eig.vectors(0, 0);
+  double v1 = eig.vectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  // A = V diag(values) V^T must reproduce the input.
+  util::Rng rng(5);
+  const size_t n = 8;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  EigenResult eig = SymmetricEigen(a);
+  Matrix d(n, n);
+  for (size_t i = 0; i < n; ++i) d(i, i) = eig.values[i];
+  Matrix rec = eig.vectors.Multiply(d).Multiply(eig.vectors.Transposed());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigen, OrthonormalEigenvectors) {
+  util::Rng rng(11);
+  const size_t n = 6;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Uniform(-1, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  EigenResult eig = SymmetricEigen(a);
+  for (size_t c1 = 0; c1 < n; ++c1) {
+    for (size_t c2 = 0; c2 < n; ++c2) {
+      double dot = 0;
+      for (size_t r = 0; r < n; ++r) {
+        dot += eig.vectors(r, c1) * eig.vectors(r, c2);
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SmallestEigenvectors, PicksBottomOfSpectrum) {
+  Matrix a(3, 3);
+  a(0, 0) = 5; a(1, 1) = 1; a(2, 2) = 3;
+  Matrix v = SmallestEigenvectors(a, 1);
+  ASSERT_EQ(v.cols(), 1u);
+  // Smallest eigenvalue 1 -> eigenvector e1.
+  EXPECT_NEAR(std::fabs(v(1, 0)), 1.0, 1e-8);
+}
+
+TEST(SingularValues, KnownDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(1, 1) = 4;
+  Vector sv = SingularValues(a);
+  EXPECT_NEAR(sv[0], 4.0, 1e-8);
+  EXPECT_NEAR(sv[1], 3.0, 1e-8);
+}
+
+TEST(SingularValues, RectangularMatchesGram) {
+  // A = [[1,0],[0,1],[1,1]]: A^T A = [[2,1],[1,2]] -> eigen 3,1 ->
+  // singular values sqrt(3), 1.
+  Matrix a(3, 2);
+  a(0, 0) = 1; a(1, 1) = 1; a(2, 0) = 1; a(2, 1) = 1;
+  Vector sv = SingularValues(a);
+  ASSERT_EQ(sv.size(), 2u);
+  EXPECT_NEAR(sv[0], std::sqrt(3.0), 1e-8);
+  EXPECT_NEAR(sv[1], 1.0, 1e-8);
+}
+
+TEST(TopSingularValues, PadsWithZeros) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  Vector sv = TopSingularValues(a, 4);
+  ASSERT_EQ(sv.size(), 4u);
+  EXPECT_NEAR(sv[0], 2.0, 1e-8);
+  EXPECT_NEAR(sv[3], 0.0, 1e-12);
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  // Two tight blobs on a line.
+  Matrix points(8, 1);
+  for (size_t i = 0; i < 4; ++i) points(i, 0) = 0.0 + 0.01 * i;
+  for (size_t i = 4; i < 8; ++i) points(i, 0) = 10.0 + 0.01 * i;
+  util::Rng rng(3);
+  KMeansResult result = KMeans(points, 2, &rng);
+  EXPECT_EQ(result.assignments[0], result.assignments[3]);
+  EXPECT_EQ(result.assignments[4], result.assignments[7]);
+  EXPECT_NE(result.assignments[0], result.assignments[4]);
+  EXPECT_LT(result.inertia, 0.01);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  Matrix points(3, 2);
+  points(0, 0) = 1; points(1, 0) = 5; points(2, 1) = 9;
+  util::Rng rng(4);
+  KMeansResult result = KMeans(points, 3, &rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  util::Rng fill(9);
+  Matrix points(20, 2);
+  for (size_t i = 0; i < 20; ++i) {
+    points(i, 0) = fill.Normal();
+    points(i, 1) = fill.Normal();
+  }
+  util::Rng r1(77), r2(77);
+  KMeansResult a = KMeans(points, 3, &r1);
+  KMeansResult b = KMeans(points, 3, &r2);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+}  // namespace
+}  // namespace marioh::la

@@ -1,0 +1,100 @@
+// Tests for reconstruction accuracy metrics (Jaccard / multi-Jaccard,
+// Sect. II-B) and precision/recall.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace marioh::eval {
+namespace {
+
+Hypergraph Make(const std::vector<std::pair<NodeSet, uint32_t>>& edges) {
+  Hypergraph h;
+  for (const auto& [e, m] : edges) h.AddEdge(e, m);
+  return h;
+}
+
+TEST(Jaccard, IdenticalHypergraphs) {
+  Hypergraph h = Make({{{0, 1}, 1}, {{1, 2, 3}, 1}});
+  EXPECT_DOUBLE_EQ(Jaccard(h, h), 1.0);
+}
+
+TEST(Jaccard, DisjointHypergraphs) {
+  Hypergraph a = Make({{{0, 1}, 1}});
+  Hypergraph b = Make({{{2, 3}, 1}});
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  Hypergraph truth = Make({{{0, 1}, 1}, {{1, 2}, 1}, {{2, 3}, 1}});
+  Hypergraph rec = Make({{{0, 1}, 1}, {{1, 2}, 1}, {{4, 5}, 1}});
+  // Intersection 2, union 4.
+  EXPECT_DOUBLE_EQ(Jaccard(truth, rec), 0.5);
+}
+
+TEST(Jaccard, IgnoresMultiplicity) {
+  Hypergraph a = Make({{{0, 1}, 5}});
+  Hypergraph b = Make({{{0, 1}, 1}});
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 1.0);
+}
+
+TEST(Jaccard, BothEmpty) {
+  Hypergraph a, b;
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 1.0);
+}
+
+TEST(Jaccard, OneEmpty) {
+  Hypergraph a = Make({{{0, 1}, 1}});
+  Hypergraph b;
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 0.0);
+}
+
+TEST(MultiJaccard, IdenticalWithMultiplicities) {
+  Hypergraph h = Make({{{0, 1}, 3}, {{1, 2, 3}, 2}});
+  EXPECT_DOUBLE_EQ(MultiJaccard(h, h), 1.0);
+}
+
+TEST(MultiJaccard, PenalizesWrongMultiplicity) {
+  Hypergraph truth = Make({{{0, 1}, 4}});
+  Hypergraph rec = Make({{{0, 1}, 2}});
+  // min 2 / max 4.
+  EXPECT_DOUBLE_EQ(MultiJaccard(truth, rec), 0.5);
+}
+
+TEST(MultiJaccard, MixedEdges) {
+  Hypergraph truth = Make({{{0, 1}, 2}, {{2, 3}, 1}});
+  Hypergraph rec = Make({{{0, 1}, 1}, {{4, 5}, 3}});
+  // mins: 1 + 0 + 0 = 1; maxes: 2 + 1 + 3 = 6.
+  EXPECT_DOUBLE_EQ(MultiJaccard(truth, rec), 1.0 / 6.0);
+}
+
+TEST(MultiJaccard, ReducesToJaccardWhenAllOnes) {
+  Hypergraph truth = Make({{{0, 1}, 1}, {{1, 2}, 1}, {{2, 3}, 1}});
+  Hypergraph rec = Make({{{0, 1}, 1}, {{1, 2}, 1}, {{4, 5}, 1}});
+  EXPECT_DOUBLE_EQ(MultiJaccard(truth, rec), Jaccard(truth, rec));
+}
+
+TEST(PrecisionRecall, Basics) {
+  Hypergraph truth = Make({{{0, 1}, 1}, {{1, 2}, 1}, {{2, 3}, 1},
+                           {{3, 4}, 1}});
+  Hypergraph rec = Make({{{0, 1}, 1}, {{1, 2}, 1}, {{7, 8}, 1}});
+  EXPECT_DOUBLE_EQ(Precision(truth, rec), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Recall(truth, rec), 0.5);
+}
+
+TEST(PrecisionRecall, EmptyReconstruction) {
+  Hypergraph truth = Make({{{0, 1}, 1}});
+  Hypergraph rec;
+  EXPECT_DOUBLE_EQ(Precision(truth, rec), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(truth, rec), 0.0);
+}
+
+TEST(Metrics, SymmetryOfJaccard) {
+  Hypergraph a = Make({{{0, 1}, 1}, {{1, 2}, 1}});
+  Hypergraph b = Make({{{0, 1}, 1}, {{5, 6}, 1}, {{2, 3}, 1}});
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), Jaccard(b, a));
+  EXPECT_DOUBLE_EQ(MultiJaccard(a, b), MultiJaccard(b, a));
+}
+
+}  // namespace
+}  // namespace marioh::eval

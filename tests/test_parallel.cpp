@@ -1,0 +1,81 @@
+// Tests for the deterministic parallel helper and for thread-count
+// invariance of the parallelized reconstruction path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "core/marioh.hpp"
+#include "eval/metrics.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace marioh::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 0}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelFor(hits.size(), threads, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads "
+                                   << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleElement) {
+  int count = 0;
+  ParallelFor(0, 4, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  ParallelFor(1, 4, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, ResultsMatchSequential) {
+  const size_t n = 1000;
+  std::vector<double> seq(n), par(n);
+  auto work = [](size_t i) {
+    return std::sin(static_cast<double>(i)) * std::sqrt(i + 1.0);
+  };
+  ParallelFor(n, 1, [&](size_t i) { seq[i] = work(i); });
+  ParallelFor(n, 4, [&](size_t i) { par[i] = work(i); });
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ResolveThreads, Basics) {
+  EXPECT_EQ(ResolveThreads(3), 3);
+  EXPECT_GE(ResolveThreads(0), 1);
+}
+
+TEST(ParallelReconstruction, ThreadCountDoesNotChangeResult) {
+  gen::GeneratedDataset data =
+      gen::Generate(gen::ProfileByName("hosts"), 5);
+  Rng rng(6);
+  gen::SourceTargetSplit split =
+      gen::SplitHypergraph(data.hypergraph, &rng, 0.5);
+  ProjectedGraph g_source = split.source.Project();
+  ProjectedGraph g_target = split.target.Project();
+
+  core::MariohOptions sequential;
+  sequential.seed = 9;
+  sequential.num_threads = 1;
+  core::MariohOptions parallel = sequential;
+  parallel.num_threads = 4;
+
+  core::Marioh a(sequential), b(parallel);
+  a.Train(g_source, split.source);
+  b.Train(g_source, split.source);
+  Hypergraph ha = a.Reconstruct(g_target);
+  Hypergraph hb = b.Reconstruct(g_target);
+  EXPECT_EQ(ha.UniqueEdges(), hb.UniqueEdges());
+  EXPECT_DOUBLE_EQ(eval::MultiJaccard(ha, hb), 1.0);
+}
+
+}  // namespace
+}  // namespace marioh::util
