@@ -1,0 +1,50 @@
+// Smoke test mirroring examples/quickstart.cpp: the whole public API —
+// generate, split, project, train, reconstruct, score — must run end-to-end
+// on a tiny synthetic graph and produce a sane reconstruction. The quickstart
+// binary itself is additionally registered with ctest as
+// `examples_quickstart_smoke` (see examples/CMakeLists.txt); this suite
+// asserts on the intermediate values the example only prints.
+
+#include <gtest/gtest.h>
+
+#include "core/marioh.hpp"
+#include "eval/metrics.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "util/rng.hpp"
+
+namespace marioh {
+namespace {
+
+TEST(ExamplesSmoke, QuickstartPipelineRunsEndToEnd) {
+  gen::GeneratedDataset data =
+      gen::Generate(gen::ProfileByName("crime"), /*seed=*/1);
+  ASSERT_GT(data.hypergraph.num_nodes(), 0u);
+  ASSERT_GT(data.hypergraph.num_unique_edges(), 0u);
+
+  util::Rng rng(7);
+  gen::SourceTargetSplit split =
+      gen::SplitHypergraph(data.hypergraph, &rng, 0.5);
+  ProjectedGraph g_source = split.source.Project();
+  ProjectedGraph g_target = split.target.Project();
+  ASSERT_GT(g_source.num_edges(), 0u);
+  ASSERT_GT(g_target.num_edges(), 0u);
+
+  core::MariohOptions options;  // paper defaults
+  core::Marioh marioh(options);
+  marioh.Train(g_source, split.source);
+  Hypergraph reconstructed = marioh.Reconstruct(g_target);
+  ASSERT_GT(reconstructed.num_unique_edges(), 0u);
+
+  // The crime profile is one of the easiest regimes in Table II; anything
+  // below 0.5 Jaccard means the pipeline is broken, not merely inaccurate.
+  const double jaccard = eval::Jaccard(split.target, reconstructed);
+  const double multi_jaccard = eval::MultiJaccard(split.target, reconstructed);
+  EXPECT_GE(jaccard, 0.5);
+  EXPECT_GE(multi_jaccard, 0.5);
+  EXPECT_LE(jaccard, 1.0);
+  EXPECT_LE(multi_jaccard, 1.0);
+}
+
+}  // namespace
+}  // namespace marioh
