@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "util/table.hpp"
 
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   for (const std::string& dataset : datasets) {
     marioh::eval::PreparedDataset data = marioh::eval::PrepareDataset(
         dataset, /*multiplicity_reduced=*/true, /*seed=*/42);
-    auto method = marioh::eval::MakeMethod("MARIOH", 42);
+    auto method = marioh::api::MustCreateMethod("MARIOH", 42);
     method->Train(data.g_source, data.source);
     marioh::Hypergraph reconstructed = method->Reconstruct(data.g_target);
 

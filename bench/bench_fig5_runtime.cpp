@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
     for (const std::string& dataset : datasets) {
       marioh::eval::PreparedDataset data = marioh::eval::PrepareDataset(
           dataset, /*multiplicity_reduced=*/true, /*seed=*/42);
-      auto reconstructor = marioh::eval::MakeMethod(method, 42);
+      auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       marioh::util::Timer timer;
       if (reconstructor->IsSupervised()) {
         reconstructor->Train(data.g_source, data.source);

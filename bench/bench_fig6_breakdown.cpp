@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "api/marioh_method.hpp"
 #include "baselines/shyre.hpp"
 #include "eval/harness.hpp"
 #include "util/table.hpp"
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     marioh::eval::PreparedDataset data = marioh::eval::PrepareDataset(
         dataset, /*multiplicity_reduced=*/true, /*seed=*/42);
 
-    marioh::eval::MariohMethod marioh_method(
+    marioh::api::MariohMethod marioh_method(
         marioh::core::MariohVariant::kFull, {});
     marioh_method.Train(data.g_source, data.source);
     marioh_method.Reconstruct(data.g_target);

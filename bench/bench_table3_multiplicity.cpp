@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "util/table.hpp"
 
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::string>{"crime", "directors", "hosts",
                                        "enron"}
             : marioh::gen::TableDatasets();
-  std::vector<std::string> methods = marioh::eval::Table3Methods();
+  std::vector<std::string> methods = marioh::api::Table3Roster();
 
   marioh::util::TextTable table(
       "Table III: multi-Jaccard similarity (x100), multiplicity-preserved");

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "eval/structural.hpp"
 #include "util/stats.hpp"
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
     marioh::eval::PreparedDataset data = marioh::eval::PrepareDataset(
         dataset, /*multiplicity_reduced=*/true, /*seed=*/42);
     for (const std::string& method : methods) {
-      auto reconstructor = marioh::eval::MakeMethod(method, 42);
+      auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
         reconstructor->Train(data.g_source, data.source);
       }

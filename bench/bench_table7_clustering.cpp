@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "eval/clustering.hpp"
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "util/table.hpp"
 
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
     rows[row_idx++].push_back(
         marioh::util::TextTable::Num(nmi_of_graph(data.g_target), 4));
     for (const std::string& method : methods) {
-      auto reconstructor = marioh::eval::MakeMethod(method, 42);
+      auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
         reconstructor->Train(data.g_source, data.source);
       }

@@ -11,6 +11,7 @@
 
 #include "eval/classification.hpp"
 #include "eval/clustering.hpp"
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
                                                         embed_dim),
                    data.labels, data.num_classes));
     for (const std::string& method : methods) {
-      auto reconstructor = marioh::eval::MakeMethod(method, 42);
+      auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
         reconstructor->Train(data.g_source, data.source);
       }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "eval/harness.hpp"
 #include "eval/linkpred.hpp"
 #include "util/stats.hpp"
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
     std::cerr << "[table9] projected / " << dataset << " AUC " << g_auc
               << "\n";
     for (const std::string& method : methods) {
-      auto reconstructor = marioh::eval::MakeMethod(method, 42);
+      auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
         reconstructor->Train(data.g_source, data.source);
       }

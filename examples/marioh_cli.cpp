@@ -1,65 +1,162 @@
 // Command-line reconstruction tool: the workflow a downstream user runs on
-// their own files.
+// their own files, built entirely on the public `api::Session` façade.
 //
-//   marioh_cli train.hg target.eg out.hg [theta_init r alpha]
+//   marioh_cli [flags] train.hg target.eg out.hg [theta_init r alpha]
 //
 // where `train.hg` is a source hypergraph (text format, see
 // io/text_io.hpp), `target.eg` a weighted edge list of the projected graph
-// to reconstruct, and `out.hg` the output hypergraph path. When invoked
+// to reconstruct, and `out.hg` the output hypergraph path. Flags:
+//
+//   --method NAME     reconstruction method (default MARIOH); see
+//                     --list-methods for the roster
+//   --set key=value   session or method option override (repeatable),
+//                     e.g. --set theta_init=0.8 --set seed=7
+//   --budget SECONDS  wall-clock budget over train+reconstruct; an
+//                     overrunning run still writes its output but is
+//                     reported as out of time with exit code 1
+//   --list-methods    print the registered methods and exit
+//
+// Errors (unknown method, unreadable/malformed files, bad options) are
+// reported on stderr with exit code 1 — never an abort. When invoked
 // without arguments, runs a self-contained demo on generated files in the
 // current directory.
 
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/marioh.hpp"
+#include "api/registry.hpp"
+#include "api/session.hpp"
 #include "gen/profiles.hpp"
 #include "gen/split.hpp"
 #include "io/text_io.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
 
 namespace {
 
+int Fail(const marioh::api::Status& status) {
+  std::cerr << "error: " << status.message() << "\n";
+  return 1;
+}
+
+int ListMethods() {
+  std::cout << "registered methods:\n";
+  for (const marioh::api::MethodInfo& info :
+       marioh::api::MethodRegistry::Global().Methods()) {
+    std::cout << "  " << info.name
+              << (info.supervised ? "  [supervised]" : "  [unsupervised]")
+              << (info.multiplicity_aware ? " [multiplicity-aware]" : "")
+              << "\n      " << info.summary << "\n";
+  }
+  return 0;
+}
+
 int Run(const std::string& train_path, const std::string& target_path,
-        const std::string& out_path, const marioh::core::MariohOptions&
-        options) {
-  using namespace marioh;
-  util::Timer timer;
-  Hypergraph source = io::ReadHypergraphFile(train_path);
-  ProjectedGraph g_target = io::ReadProjectedGraphFile(target_path);
-  std::cout << "loaded source hypergraph: " << source.num_nodes()
-            << " nodes, " << source.num_unique_edges()
-            << " unique hyperedges\n"
-            << "loaded target graph: " << g_target.num_nodes()
-            << " nodes, " << g_target.num_edges() << " edges\n";
+        const std::string& out_path,
+        marioh::api::SessionOptions options) {
+  using marioh::api::Session;
+  using marioh::api::Status;
 
-  core::Marioh marioh(options);
-  marioh.Train(source.Project(), source);
-  Hypergraph reconstructed = marioh.Reconstruct(g_target);
-  io::WriteHypergraphFile(reconstructed, out_path);
+  Session session;
+  if (Status status = session.Configure(std::move(options)); !status.ok()) {
+    return Fail(status);
+  }
 
-  std::cout << "reconstructed " << reconstructed.num_unique_edges()
-            << " unique hyperedges ("
-            << reconstructed.num_total_edges() << " total) -> " << out_path
-            << "\n"
-            << "stages: train "
-            << marioh.stage_timer().Get("train") << "s, filtering "
-            << marioh.stage_timer().Get("filtering") << "s, bidirectional "
-            << marioh.stage_timer().Get("bidirectional") << "s (total "
-            << timer.Seconds() << "s)\n";
+  if (Status status = session.TrainFromFile(train_path); !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = session.ReconstructFromFile(target_path);
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = session.WriteReconstruction(out_path);
+      !status.ok()) {
+    return Fail(status);
+  }
+
+  const marioh::Hypergraph& reconstructed = *session.reconstruction();
+  std::cout << "method: " << session.method_info().name << "\n"
+            << "reconstructed " << reconstructed.num_unique_edges()
+            << " unique hyperedges (" << reconstructed.num_total_edges()
+            << " total) -> " << out_path << "\n"
+            << "stages: train " << session.stage_timer().Get("train")
+            << "s, reconstruct "
+            << session.stage_timer().Get("reconstruct") << "s (total "
+            << session.elapsed_seconds() << "s)\n";
+  if (session.deadline_exceeded()) {
+    // The output was still written (the paper's OOT accounting keeps the
+    // overrunning run), but the run is reported as out of time.
+    std::cerr << "error: out of time: train+reconstruct exceeded the "
+                 "budget\n";
+    return 1;
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  marioh::core::MariohOptions options;
-  if (argc >= 4) {
-    if (argc >= 5) options.theta_init = std::stod(argv[4]);
-    if (argc >= 6) options.r_percent = std::stod(argv[5]);
-    if (argc >= 7) options.alpha = std::stod(argv[6]);
-    return Run(argv[1], argv[2], argv[3], options);
+  marioh::api::SessionOptions options;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " requires an argument\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list-methods") return ListMethods();
+    if (arg == "--method") {
+      const char* value = next("--method");
+      if (value == nullptr) return 1;
+      options.method = value;
+    } else if (arg == "--set") {
+      const char* value = next("--set");
+      if (value == nullptr) return 1;
+      if (marioh::api::Status status =
+              marioh::api::ApplySessionOverride(&options, value);
+          !status.ok()) {
+        return Fail(status);
+      }
+    } else if (arg == "--budget") {
+      const char* value = next("--budget");
+      if (value == nullptr) return 1;
+      if (marioh::api::Status status = marioh::api::ApplySessionOverride(
+              &options, std::string("time_budget_seconds=") + value);
+          !status.ok()) {
+        return Fail(status);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return 1;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (positional.size() >= 3) {
+    // Backward-compatible positional knobs: [theta_init r alpha].
+    try {
+      if (positional.size() >= 4)
+        options.marioh.theta_init = std::stod(positional[3]);
+      if (positional.size() >= 5)
+        options.marioh.r_percent = std::stod(positional[4]);
+      if (positional.size() >= 6)
+        options.marioh.alpha = std::stod(positional[5]);
+    } catch (const std::exception&) {
+      std::cerr << "error: theta/r/alpha must be numbers\n";
+      return 1;
+    }
+    return Run(positional[0], positional[1], positional[2],
+               std::move(options));
+  }
+  if (!positional.empty()) {
+    std::cerr << "usage: marioh_cli [flags] train.hg target.eg out.hg "
+                 "[theta r alpha]\n       marioh_cli --list-methods\n";
+    return 1;
   }
 
   // Demo mode: generate a dataset, write the files a user would have, then
@@ -71,8 +168,16 @@ int main(int argc, char** argv) {
   marioh::util::Rng rng(12);
   marioh::gen::SourceTargetSplit split =
       marioh::gen::SplitHypergraph(data.hypergraph, &rng, 0.5);
-  marioh::io::WriteHypergraphFile(split.source, "demo_train.hg");
-  marioh::io::WriteProjectedGraphFile(split.target.Project(),
-                                      "demo_target.eg");
-  return Run("demo_train.hg", "demo_target.eg", "demo_out.hg", options);
+  if (marioh::api::Status status = marioh::io::TryWriteHypergraphFile(
+          split.source, "demo_train.hg");
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (marioh::api::Status status = marioh::io::TryWriteProjectedGraphFile(
+          split.target.Project(), "demo_target.eg");
+      !status.ok()) {
+    return Fail(status);
+  }
+  return Run("demo_train.hg", "demo_target.eg", "demo_out.hg",
+             std::move(options));
 }

@@ -1,11 +1,11 @@
 // Quickstart: build a tiny co-authorship-style hypergraph, project it,
-// train MARIOH on one half, reconstruct the other half, and print the
-// accuracy — the whole public API in ~60 lines.
+// train MARIOH on one half through the public `api::Session` façade,
+// reconstruct the other half, and print the accuracy — the whole public
+// API in ~60 lines.
 
 #include <iostream>
 
-#include "core/marioh.hpp"
-#include "eval/metrics.hpp"
+#include "api/session.hpp"
 #include "gen/profiles.hpp"
 #include "gen/split.hpp"
 #include "util/rng.hpp"
@@ -31,18 +31,35 @@ int main() {
             << " weighted edges (avg multiplicity "
             << g_target.AverageWeight() << ")\n";
 
-  // 3. Train MARIOH on the source pair and reconstruct the target.
-  core::MariohOptions options;  // paper defaults: theta=0.9, r=20, a=1/20
-  core::Marioh marioh(options);
-  marioh.Train(g_source, split.source);
-  Hypergraph reconstructed = marioh.Reconstruct(g_target);
+  // 3. Configure a session (paper defaults: theta=0.9, r=20, a=1/20),
+  //    train MARIOH on the source pair, and reconstruct the target.
+  //    Every failure mode arrives as a Status, never an abort.
+  api::SessionOptions options;
+  options.method = "MARIOH";
+  api::Session session;
+  if (api::Status s = session.Configure(options); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  if (api::Status s = session.Train(g_source, split.source); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  if (api::Status s = session.Reconstruct(g_target); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
 
   // 4. Score against the hidden target hypergraph.
-  std::cout << "Reconstructed " << reconstructed.num_unique_edges()
+  auto scores = session.Evaluate(split.target);
+  if (!scores.ok()) {
+    std::cerr << scores.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Reconstructed " << scores->reconstructed_unique_edges
             << " unique hyperedges\n";
-  std::cout << "Jaccard similarity      = "
-            << eval::Jaccard(split.target, reconstructed) << "\n";
-  std::cout << "multi-Jaccard similarity = "
-            << eval::MultiJaccard(split.target, reconstructed) << "\n";
+  std::cout << "Jaccard similarity      = " << scores->jaccard << "\n";
+  std::cout << "multi-Jaccard similarity = " << scores->multi_jaccard
+            << "\n";
   return 0;
 }

@@ -1,0 +1,46 @@
+/// \file builtin_methods.cpp
+/// \brief Force-links every in-tree method registration.
+///
+/// The library is a static archive, so the linker only pulls in a
+/// registration TU when some symbol in it is referenced. Each
+/// `MARIOH_REGISTER_METHOD(tag, ...)` emits a no-op token function
+/// `MariohMethodLinkToken_<tag>`; referencing the tokens here (and calling
+/// this from `MethodRegistry::Global()`) guarantees the full roster is
+/// present in every binary that touches the registry.
+
+#include "api/registry.hpp"
+
+namespace marioh::api::internal {
+
+// One token per MARIOH_REGISTER_METHOD invocation, defined in the
+// respective implementation TU.
+int MariohMethodLinkToken_BayesianMdl();
+int MariohMethodLinkToken_CFinder();
+int MariohMethodLinkToken_CliqueCovering();
+int MariohMethodLinkToken_Demon();
+int MariohMethodLinkToken_Marioh();
+int MariohMethodLinkToken_MariohB();
+int MariohMethodLinkToken_MariohF();
+int MariohMethodLinkToken_MariohM();
+int MariohMethodLinkToken_MaxClique();
+int MariohMethodLinkToken_ShyreCount();
+int MariohMethodLinkToken_ShyreMotif();
+int MariohMethodLinkToken_ShyreUnsup();
+
+}  // namespace marioh::api::internal
+
+namespace marioh::api {
+
+void EnsureBuiltinMethodsRegistered() {
+  using namespace internal;
+  static const int kForceLink =
+      MariohMethodLinkToken_BayesianMdl() + MariohMethodLinkToken_CFinder() +
+      MariohMethodLinkToken_CliqueCovering() + MariohMethodLinkToken_Demon() +
+      MariohMethodLinkToken_Marioh() + MariohMethodLinkToken_MariohB() +
+      MariohMethodLinkToken_MariohF() + MariohMethodLinkToken_MariohM() +
+      MariohMethodLinkToken_MaxClique() + MariohMethodLinkToken_ShyreCount() +
+      MariohMethodLinkToken_ShyreMotif() + MariohMethodLinkToken_ShyreUnsup();
+  (void)kForceLink;
+}
+
+}  // namespace marioh::api

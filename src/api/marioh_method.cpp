@@ -1,0 +1,121 @@
+#include "api/marioh_method.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "api/registry.hpp"
+
+namespace marioh::api {
+
+MariohMethod::MariohMethod(core::MariohVariant variant,
+                           core::MariohOptions options)
+    : variant_(variant),
+      marioh_(core::OptionsForVariant(variant, std::move(options))) {}
+
+std::string MariohMethod::Name() const {
+  switch (variant_) {
+    case core::MariohVariant::kFull:
+      return "MARIOH";
+    case core::MariohVariant::kNoMulti:
+      return "MARIOH-M";
+    case core::MariohVariant::kNoFilter:
+      return "MARIOH-F";
+    case core::MariohVariant::kNoBidir:
+      return "MARIOH-B";
+  }
+  return "MARIOH";
+}
+
+void MariohMethod::Train(const ProjectedGraph& g_source,
+                         const Hypergraph& h_source) {
+  marioh_.Train(g_source, h_source);
+}
+
+Hypergraph MariohMethod::Reconstruct(const ProjectedGraph& g_target) {
+  return marioh_.Reconstruct(g_target);
+}
+
+namespace {
+
+/// Shared factory body for the four registered variants: typed base
+/// options (if provided) + string overrides + the config seed.
+StatusOr<std::unique_ptr<Reconstructor>> MakeVariant(
+    core::MariohVariant variant, const std::string& name,
+    const MethodConfig& config) {
+  core::MariohOptions options =
+      config.marioh_base != nullptr ? *config.marioh_base
+                                    : core::MariohOptions{};
+  OverrideReader reader(config);
+  reader.Get("theta_init", &options.theta_init);
+  reader.Get("r_percent", &options.r_percent);
+  reader.Get("alpha", &options.alpha);
+  reader.Get("max_iterations", &options.max_iterations);
+  reader.Get("num_threads", &options.num_threads);
+  MARIOH_RETURN_IF_ERROR(reader.Finish(name));
+  options.seed = config.seed;
+  std::unique_ptr<Reconstructor> method =
+      std::make_unique<MariohMethod>(variant, std::move(options));
+  return method;
+}
+
+}  // namespace
+}  // namespace marioh::api
+
+MARIOH_REGISTER_METHOD(
+    Marioh,
+    (marioh::api::MethodInfo{
+        .name = "MARIOH",
+        .summary = "multiplicity-aware supervised reconstruction "
+                   "(filtering + bidirectional search, the paper's full "
+                   "method)",
+        .supervised = true,
+        .multiplicity_aware = true,
+        .table2_order = 11,
+        .table3_order = 5}),
+    [](const marioh::api::MethodConfig& config) {
+      return marioh::api::MakeVariant(marioh::core::MariohVariant::kFull,
+                                      "MARIOH", config);
+    })
+
+MARIOH_REGISTER_METHOD(
+    MariohM,
+    (marioh::api::MethodInfo{
+        .name = "MARIOH-M",
+        .summary = "MARIOH ablation: structural features only (no "
+                   "multiplicity-aware features)",
+        .supervised = true,
+        .multiplicity_aware = true,
+        .table2_order = 8,
+        .table3_order = 2}),
+    [](const marioh::api::MethodConfig& config) {
+      return marioh::api::MakeVariant(marioh::core::MariohVariant::kNoMulti,
+                                      "MARIOH-M", config);
+    })
+
+MARIOH_REGISTER_METHOD(
+    MariohF,
+    (marioh::api::MethodInfo{
+        .name = "MARIOH-F",
+        .summary = "MARIOH ablation: no guaranteed-recovery filtering",
+        .supervised = true,
+        .multiplicity_aware = true,
+        .table2_order = 9,
+        .table3_order = 3}),
+    [](const marioh::api::MethodConfig& config) {
+      return marioh::api::MakeVariant(marioh::core::MariohVariant::kNoFilter,
+                                      "MARIOH-F", config);
+    })
+
+MARIOH_REGISTER_METHOD(
+    MariohB,
+    (marioh::api::MethodInfo{
+        .name = "MARIOH-B",
+        .summary = "MARIOH ablation: no bidirectional sub-clique search",
+        .supervised = true,
+        .multiplicity_aware = true,
+        .table2_order = 10,
+        .table3_order = 4}),
+    [](const marioh::api::MethodConfig& config) {
+      return marioh::api::MakeVariant(marioh::core::MariohVariant::kNoBidir,
+                                      "MARIOH-B", config);
+    })

@@ -1,0 +1,38 @@
+/// \file marioh_method.hpp
+/// \brief Adapter exposing core::Marioh (any ablation variant) through the
+/// common `api::Reconstructor` interface, and the registry entries for
+/// MARIOH / MARIOH-M / MARIOH-F / MARIOH-B.
+
+#pragma once
+
+#include <string>
+
+#include "api/method.hpp"
+#include "core/marioh.hpp"
+
+namespace marioh::api {
+
+/// core::Marioh behind the `Reconstructor` interface. Usually obtained
+/// from the registry (names MARIOH, MARIOH-M, MARIOH-F, MARIOH-B); the
+/// concrete type remains public for callers that need `stage_timer()`.
+class MariohMethod : public Reconstructor {
+ public:
+  MariohMethod(core::MariohVariant variant, core::MariohOptions options);
+
+  std::string Name() const override;
+  bool IsSupervised() const override { return true; }
+  void Train(const ProjectedGraph& g_source,
+             const Hypergraph& h_source) override;
+  Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
+
+  /// Stage timing of the wrapped reconstructor (Fig. 6).
+  const util::StageTimer& stage_timer() const {
+    return marioh_.stage_timer();
+  }
+
+ private:
+  core::MariohVariant variant_;
+  core::Marioh marioh_;
+};
+
+}  // namespace marioh::api

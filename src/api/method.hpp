@@ -1,0 +1,45 @@
+/// \file method.hpp
+/// \brief The `Reconstructor` interface every hypergraph-reconstruction
+/// method implements — MARIOH, its ablation variants, and all baselines —
+/// so one code path can run the paper's whole evaluation protocol.
+///
+/// This is the bottom of the public `api/` layer: it depends only on the
+/// `hypergraph/` data model. `core/` and `baselines/` *implement* this
+/// interface (dependency inversion); they do not own it. Instances are
+/// normally created through the method registry (`api/registry.hpp`) or
+/// the `Session` façade (`api/session.hpp`), not constructed directly.
+
+#pragma once
+
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+
+namespace marioh::api {
+
+/// A hypergraph reconstruction method. Supervised methods receive the
+/// source pair through Train before Reconstruct is called; unsupervised
+/// methods ignore Train.
+class Reconstructor {
+ public:
+  virtual ~Reconstructor() = default;
+
+  /// Display name used in benchmark tables.
+  virtual std::string Name() const = 0;
+
+  /// True if the method consumes the source pair.
+  virtual bool IsSupervised() const { return false; }
+
+  /// Trains on the source projected graph and hypergraph. Default: no-op.
+  virtual void Train(const ProjectedGraph& g_source,
+                     const Hypergraph& h_source) {
+    (void)g_source;
+    (void)h_source;
+  }
+
+  /// Reconstructs a hypergraph from the target projected graph.
+  virtual Hypergraph Reconstruct(const ProjectedGraph& g_target) = 0;
+};
+
+}  // namespace marioh::api

@@ -1,0 +1,181 @@
+/// \file registry.hpp
+/// \brief Self-registering method registry: the one place that maps table
+/// names ("MARIOH", "CFinder", ...) to `Reconstructor` factories.
+///
+/// Each implementation translation unit registers itself with
+/// `MARIOH_REGISTER_METHOD` at static-initialization time, so adding a
+/// method never touches a central switch. Lookups of unknown names return
+/// a `Status` that lists the known methods instead of aborting, which is
+/// what lets `marioh_cli` (and a future server) report bad requests and
+/// keep running.
+///
+/// Because the library is a static archive, a registration TU is only
+/// linked into a binary if some symbol in it is referenced; the
+/// force-link tokens emitted by the macro (and collected in
+/// `builtin_methods.cpp`) guarantee the in-tree roster is always present.
+/// Out-of-tree methods compiled directly into an executable need no
+/// token: their registrar runs because executable objects are always
+/// linked.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/method.hpp"
+#include "api/status.hpp"
+
+namespace marioh::core {
+struct MariohOptions;  // typed base options, forwarded opaquely
+}  // namespace marioh::core
+
+namespace marioh::api {
+
+/// Static metadata describing a registered method.
+struct MethodInfo {
+  std::string name;     ///< table name, unique registry key
+  std::string summary;  ///< one-line description for --list-methods
+  bool supervised = false;  ///< consumes the source pair in Train
+  /// Meaningful in the multiplicity-preserved (Table III) setting.
+  bool multiplicity_aware = false;
+  int table2_order = -1;  ///< row position in Table II (-1: not listed)
+  int table3_order = -1;  ///< row position in Table III (-1: not listed)
+};
+
+/// Construction-time configuration handed to a method factory.
+struct MethodConfig {
+  uint64_t seed = 1;
+  /// Typed base options for the MARIOH family; null means defaults.
+  /// Opaque here so the registry stays below `core/` in the layering.
+  const core::MariohOptions* marioh_base = nullptr;
+  /// `key=value` overrides. Factories must reject unknown keys and bad
+  /// values with kInvalidArgument (see OverrideReader).
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+using MethodFactory =
+    std::function<StatusOr<std::unique_ptr<Reconstructor>>(
+        const MethodConfig&)>;
+
+/// Name → factory + metadata map. Thread-safe; normally used through the
+/// process-wide `Global()` instance, but instantiable so tests can
+/// exercise registration in isolation.
+class MethodRegistry {
+ public:
+  /// The process-wide registry, with every in-tree method registered.
+  static MethodRegistry& Global();
+
+  /// Adds a method. kAlreadyExists if `info.name` is taken, and
+  /// kInvalidArgument if the name or factory is empty.
+  Status Register(MethodInfo info, MethodFactory factory);
+
+  /// Instantiates `name`, or kNotFound listing the known methods.
+  StatusOr<std::unique_ptr<Reconstructor>> Create(
+      const std::string& name, const MethodConfig& config) const;
+
+  /// Metadata for `name`, or kNotFound listing the known methods.
+  StatusOr<MethodInfo> Info(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// All registered metadata, sorted by name.
+  std::vector<MethodInfo> Methods() const;
+
+ private:
+  struct Entry {
+    MethodInfo info;
+    MethodFactory factory;
+  };
+
+  Status UnknownMethod(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The Table II method roster, in row order (from registry metadata).
+std::vector<std::string> Table2Roster();
+
+/// The Table III roster (methods applicable to multiplicity-preserved
+/// reconstruction), in row order.
+std::vector<std::string> Table3Roster();
+
+/// Convenience for benches and tests running the fixed paper rosters:
+/// creates the method or dies with a check failure. User-facing code
+/// paths must use `MethodRegistry::Create` (or `Session`) instead.
+std::unique_ptr<Reconstructor> MustCreateMethod(
+    const std::string& name, uint64_t seed,
+    const core::MariohOptions* marioh_base = nullptr);
+
+/// Force-links every in-tree registration TU (defined in
+/// builtin_methods.cpp). Called by `MethodRegistry::Global()`.
+void EnsureBuiltinMethodsRegistered();
+
+/// Typed consumption of `MethodConfig::overrides` inside a factory: call
+/// `Get` once per supported key, then `Finish` to fail on unknown keys or
+/// unparsable values.
+class OverrideReader {
+ public:
+  explicit OverrideReader(const MethodConfig& config);
+
+  void Get(const std::string& key, double* out);
+  // Both unsigned widths so that uint64_t and size_t bind on every
+  // platform (they are different underlying types on e.g. macOS).
+  void Get(const std::string& key, unsigned long* out);       // NOLINT
+  void Get(const std::string& key, unsigned long long* out);  // NOLINT
+  void Get(const std::string& key, int* out);
+  void Get(const std::string& key, bool* out);
+
+  /// kInvalidArgument naming the offending key (and the supported keys
+  /// of `method_name`) if any override was left unconsumed or failed to
+  /// parse; OK otherwise.
+  Status Finish(const std::string& method_name) const;
+
+ private:
+  const std::string* Find(const std::string& key);
+
+  const MethodConfig& config_;
+  std::vector<bool> consumed_;
+  std::vector<std::string> known_keys_;
+  std::string first_error_;
+};
+
+namespace internal {
+
+/// Performs registration at static-init time; duplicate in-tree names are
+/// programming errors and fail a check.
+struct MethodRegistrar {
+  MethodRegistrar(MethodInfo info, MethodFactory factory);
+};
+
+}  // namespace internal
+}  // namespace marioh::api
+
+/// Registers a method from an implementation TU. Use at namespace scope
+/// (global namespace), typically at the bottom of the .cpp file:
+///
+///   MARIOH_REGISTER_METHOD(
+///       CFinder,
+///       (marioh::api::MethodInfo{...}),
+///       [](const marioh::api::MethodConfig& config) -> ... { ... });
+///
+/// `tag` must be a unique identifier; it names the force-link token
+/// (`MariohMethodLinkToken_<tag>`) that keeps the TU in static-library
+/// links (see builtin_methods.cpp).
+#define MARIOH_REGISTER_METHOD(tag, info, factory)                     \
+  namespace marioh::api::internal {                                    \
+  int MariohMethodLinkToken_##tag() { return 0; }                      \
+  namespace {                                                          \
+  const ::marioh::api::internal::MethodRegistrar                       \
+      marioh_method_registrar_##tag((info), (factory));                \
+  }                                                                    \
+  }

@@ -1,0 +1,182 @@
+#include "api/session.hpp"
+
+#include <utility>
+
+#include "eval/metrics.hpp"
+#include "io/text_io.hpp"
+#include "util/check.hpp"
+
+namespace marioh::api {
+
+Status ApplySessionOverride(SessionOptions* options,
+                            const std::string& assignment) {
+  size_t eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected key=value, got '" +
+                                   assignment + "'");
+  }
+  std::string key = assignment.substr(0, eq);
+  std::string value = assignment.substr(eq + 1);
+  if (key == "method") {
+    options->method = value;
+    return Status::Ok();
+  }
+  if (key == "seed" || key == "time_budget_seconds") {
+    try {
+      size_t pos = 0;
+      if (key == "seed") {
+        // stoull would silently wrap negatives; reject them instead.
+        if (value.find('-') != std::string::npos) {
+          throw std::invalid_argument(value);
+        }
+        options->seed = std::stoull(value, &pos);
+      } else {
+        options->time_budget_seconds = std::stod(value, &pos);
+      }
+      if (pos != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad value '" + value +
+                                     "' for option '" + key + "'");
+    }
+    return Status::Ok();
+  }
+  options->overrides.emplace_back(std::move(key), std::move(value));
+  return Status::Ok();
+}
+
+Status Session::Configure(SessionOptions options) {
+  // Reset everything so a Session can be reused for a fresh run.
+  method_.reset();
+  reconstruction_.reset();
+  stage_timer_.Clear();
+  clock_.reset();
+  trained_ = false;
+  deadline_exceeded_ = false;
+
+  StatusOr<MethodInfo> info =
+      MethodRegistry::Global().Info(options.method);
+  if (!info.ok()) return info.status();
+
+  MethodConfig config;
+  config.seed = options.seed;
+  config.marioh_base = &options.marioh;
+  config.overrides = options.overrides;
+  StatusOr<std::unique_ptr<Reconstructor>> method =
+      MethodRegistry::Global().Create(options.method, config);
+  if (!method.ok()) return method.status();
+
+  options_ = std::move(options);
+  info_ = std::move(info).value();
+  method_ = std::move(method).value();
+  // The instantiated method is the source of truth for supervision; keep
+  // the metadata the session enforces in sync with it.
+  info_.supervised = method_->IsSupervised();
+  return Status::Ok();
+}
+
+const MethodInfo& Session::method_info() const {
+  MARIOH_CHECK(configured());
+  return info_;
+}
+
+double Session::elapsed_seconds() const {
+  return clock_ ? clock_->Seconds() : 0.0;
+}
+
+Status Session::BeginStage(const std::string& stage) {
+  if (!configured()) {
+    return Status::FailedPrecondition(
+        "session is not configured; call Configure before '" + stage +
+        "'");
+  }
+  if (!clock_) clock_.emplace();
+  double elapsed = clock_->Seconds();
+  if (deadline_exceeded_) {
+    return Status::DeadlineExceeded(
+        info_.name + ": time budget of " +
+        std::to_string(options_.time_budget_seconds) +
+        "s exhausted before stage '" + stage + "'");
+  }
+  if (options_.progress && !options_.progress(stage, elapsed)) {
+    return Status::Cancelled(info_.name + ": run cancelled before stage '" +
+                             stage + "'");
+  }
+  return Status::Ok();
+}
+
+void Session::EndStage(const std::string& stage, double stage_seconds) {
+  stage_timer_.Add(stage, stage_seconds);
+  // The budget covers train + reconstruct only (not evaluation or idle
+  // time between stages) and is accounted when a reconstruction
+  // completes: a train stage alone never trips it (pre-empting between
+  // train and reconstruct would pay for training and produce nothing).
+  double budgeted_seconds = stage_timer_.Get("train") +
+                            stage_timer_.Get("reconstruct");
+  if (stage == "reconstruct" && options_.time_budget_seconds >= 0.0 &&
+      budgeted_seconds > options_.time_budget_seconds) {
+    deadline_exceeded_ = true;
+  }
+}
+
+Status Session::Train(const ProjectedGraph& g_source,
+                      const Hypergraph& h_source) {
+  MARIOH_RETURN_IF_ERROR(BeginStage("train"));
+  util::Timer watch;
+  method_->Train(g_source, h_source);
+  trained_ = true;
+  EndStage("train", watch.Seconds());
+  return Status::Ok();
+}
+
+Status Session::TrainFromFile(const std::string& path) {
+  StatusOr<Hypergraph> source = io::TryReadHypergraphFile(path);
+  if (!source.ok()) return source.status();
+  return Train(source->Project(), *source);
+}
+
+Status Session::Reconstruct(const ProjectedGraph& g_target) {
+  if (configured() && info_.supervised && !trained_) {
+    return Status::FailedPrecondition(
+        "supervised method '" + info_.name +
+        "' requires Train before Reconstruct");
+  }
+  MARIOH_RETURN_IF_ERROR(BeginStage("reconstruct"));
+  util::Timer watch;
+  reconstruction_ = method_->Reconstruct(g_target);
+  EndStage("reconstruct", watch.Seconds());
+  return Status::Ok();
+}
+
+Status Session::ReconstructFromFile(const std::string& path) {
+  StatusOr<ProjectedGraph> target = io::TryReadProjectedGraphFile(path);
+  if (!target.ok()) return target.status();
+  return Reconstruct(*target);
+}
+
+StatusOr<EvaluationResult> Session::Evaluate(
+    const Hypergraph& ground_truth) {
+  if (!reconstruction_) {
+    return Status::FailedPrecondition(
+        "nothing to evaluate: call Reconstruct first");
+  }
+  // Evaluation is outside the Train+Reconstruct budget (the paper's OOT
+  // clock stops at reconstruction), so no BeginStage gate here.
+  util::Timer watch;
+  EvaluationResult result;
+  result.jaccard = eval::Jaccard(ground_truth, *reconstruction_);
+  result.multi_jaccard = eval::MultiJaccard(ground_truth, *reconstruction_);
+  result.reconstructed_unique_edges = reconstruction_->num_unique_edges();
+  result.reconstructed_total_edges = reconstruction_->num_total_edges();
+  stage_timer_.Add("evaluate", watch.Seconds());
+  return result;
+}
+
+Status Session::WriteReconstruction(const std::string& path) const {
+  if (!reconstruction_) {
+    return Status::FailedPrecondition(
+        "nothing to write: call Reconstruct first");
+  }
+  return io::TryWriteHypergraphFile(*reconstruction_, path);
+}
+
+}  // namespace marioh::api

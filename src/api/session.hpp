@@ -1,0 +1,146 @@
+/// \file session.hpp
+/// \brief The `Session` façade: one reusable object that walks the
+/// paper's whole protocol — configure a method, Train on the source pair,
+/// Reconstruct the target, Evaluate against ground truth — with per-stage
+/// timing, a wall-clock budget (the harness's OOT semantics), and a
+/// progress/cancellation callback.
+///
+/// Every consumer of the library goes through this façade (or the
+/// registry below it): the evaluation harness, `marioh_cli`, the bench
+/// drivers, and examples. It is the surface a multi-request server front
+/// end will sit on: all failure modes arrive as `Status` values, never
+/// aborts.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/status.hpp"
+#include "core/marioh.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+#include "util/timer.hpp"
+
+namespace marioh::api {
+
+/// Invoked at the start of each stage ("train", "reconstruct",
+/// "evaluate") with the wall-clock seconds elapsed since the first stage
+/// began. Returning false cancels the run: the stage is not executed and
+/// fails with kCancelled.
+using ProgressCallback =
+    std::function<bool(const std::string& stage, double elapsed_seconds)>;
+
+/// Full configuration of a Session.
+struct SessionOptions {
+  /// Registry name of the method to run (see `MethodRegistry::Names()`).
+  std::string method = "MARIOH";
+  uint64_t seed = 1;
+  /// Wall-clock budget over Train + Reconstruct, in seconds; negative
+  /// means unlimited. The budget is evaluated each time a reconstruction
+  /// completes (the paper's OOT accounting point, which still scores the
+  /// overrunning run): once exceeded the session is marked
+  /// `deadline_exceeded()` and any further stage fails with
+  /// kDeadlineExceeded.
+  double time_budget_seconds = -1.0;
+  /// Typed base options for the MARIOH-family methods; ignored by
+  /// baselines.
+  core::MariohOptions marioh;
+  /// `key=value` overrides forwarded to the method factory (e.g.
+  /// "theta_init=0.8"); unknown keys fail Configure.
+  std::vector<std::pair<std::string, std::string>> overrides;
+  ProgressCallback progress;
+};
+
+/// Applies one `key=value` assignment to `options`. Session-level keys
+/// (`method`, `seed`, `time_budget_seconds`) are set directly; any other
+/// key is appended to `options.overrides` for the method factory to
+/// validate at Configure time. kInvalidArgument on syntax errors or bad
+/// session-level values.
+Status ApplySessionOverride(SessionOptions* options,
+                            const std::string& assignment);
+
+/// Scores of the most recent reconstruction.
+struct EvaluationResult {
+  double jaccard = 0.0;        ///< Table II metric
+  double multi_jaccard = 0.0;  ///< Table III metric
+  size_t reconstructed_unique_edges = 0;
+  size_t reconstructed_total_edges = 0;
+};
+
+/// A configured reconstruction run. Reusable across stages but
+/// single-shot per reconstruction: Configure again for a fresh run.
+class Session {
+ public:
+  Session() = default;
+
+  /// Resolves the method in the registry and instantiates it. kNotFound
+  /// for unknown methods (listing the candidates), kInvalidArgument for
+  /// bad overrides. Resets all prior state.
+  Status Configure(SessionOptions options);
+
+  bool configured() const { return method_ != nullptr; }
+
+  /// Metadata of the configured method. Configure first.
+  const MethodInfo& method_info() const;
+
+  /// Trains the configured method on the source pair. A no-op stage for
+  /// unsupervised methods (still recorded in the stage timer).
+  Status Train(const ProjectedGraph& g_source, const Hypergraph& h_source);
+
+  /// Loads a source hypergraph from `path` (text format), projects it,
+  /// and trains on the pair.
+  Status TrainFromFile(const std::string& path);
+
+  /// Reconstructs a hypergraph from the target projected graph; the
+  /// result is available through `reconstruction()` (no copy is made).
+  /// kFailedPrecondition if a supervised method was not trained.
+  Status Reconstruct(const ProjectedGraph& g_target);
+
+  /// Loads a projected graph from `path` (text format) and reconstructs.
+  Status ReconstructFromFile(const std::string& path);
+
+  /// Scores the most recent reconstruction against `ground_truth`.
+  StatusOr<EvaluationResult> Evaluate(const Hypergraph& ground_truth);
+
+  /// Writes the most recent reconstruction to `path` (text format).
+  Status WriteReconstruction(const std::string& path) const;
+
+  /// The most recent reconstruction, or null before Reconstruct.
+  const Hypergraph* reconstruction() const {
+    return reconstruction_ ? &*reconstruction_ : nullptr;
+  }
+
+  /// Per-stage wall-clock of this session ("train", "reconstruct",
+  /// "evaluate").
+  const util::StageTimer& stage_timer() const { return stage_timer_; }
+
+  /// Seconds since the first stage began (0 before any stage).
+  double elapsed_seconds() const;
+
+  /// True once Train + Reconstruct wall-clock exceeded the budget.
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
+ private:
+  /// Budget/cancellation gate at stage entry; starts the session clock.
+  Status BeginStage(const std::string& stage);
+  /// Records stage time and post-hoc budget overrun.
+  void EndStage(const std::string& stage, double stage_seconds);
+
+  SessionOptions options_;
+  MethodInfo info_;
+  std::unique_ptr<Reconstructor> method_;
+  std::optional<Hypergraph> reconstruction_;
+  util::StageTimer stage_timer_;
+  std::optional<util::Timer> clock_;
+  bool trained_ = false;
+  bool deadline_exceeded_ = false;
+};
+
+}  // namespace marioh::api

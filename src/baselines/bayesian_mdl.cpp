@@ -1,5 +1,7 @@
 #include "baselines/bayesian_mdl.hpp"
 
+#include "api/registry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
@@ -118,3 +120,26 @@ Hypergraph BayesianMdl::Reconstruct(const ProjectedGraph& g_target) {
 }
 
 }  // namespace marioh::baselines
+
+MARIOH_REGISTER_METHOD(
+    BayesianMdl,
+    (marioh::api::MethodInfo{
+        .name = "Bayesian-MDL",
+        .summary = "minimum-description-length clique cover with "
+                   "simulated-annealing refinement",
+        .supervised = false,
+        .multiplicity_aware = true,
+        .table2_order = 4,
+        .table3_order = 0}),
+    [](const marioh::api::MethodConfig& config)
+        -> marioh::api::StatusOr<
+            std::unique_ptr<marioh::api::Reconstructor>> {
+      size_t anneal_steps = 2000;
+      marioh::api::OverrideReader reader(config);
+      reader.Get("anneal_steps", &anneal_steps);
+      MARIOH_RETURN_IF_ERROR(reader.Finish("Bayesian-MDL"));
+      std::unique_ptr<marioh::api::Reconstructor> method =
+          std::make_unique<marioh::baselines::BayesianMdl>(config.seed,
+                                                           anneal_steps);
+      return method;
+    })

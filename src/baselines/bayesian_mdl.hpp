@@ -13,12 +13,12 @@
 
 #include <cstdint>
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
 /// MDL clique-cover reconstructor.
-class BayesianMdl : public Reconstructor {
+class BayesianMdl : public api::Reconstructor {
  public:
   /// `anneal_steps` local-search moves refine the greedy cover;
   /// deterministic given `seed`.

@@ -1,5 +1,7 @@
 #include "baselines/cfinder.hpp"
 
+#include "api/registry.hpp"
+
 #include <algorithm>
 #include <functional>
 #include <unordered_map>
@@ -118,3 +120,24 @@ Hypergraph CFinder::Reconstruct(const ProjectedGraph& g_target) {
 }
 
 }  // namespace marioh::baselines
+
+MARIOH_REGISTER_METHOD(
+    CFinder,
+    (marioh::api::MethodInfo{
+        .name = "CFinder",
+        .summary = "k-clique percolation communities as hyperedges",
+        .supervised = true,
+        .multiplicity_aware = false,
+        .table2_order = 0,
+        .table3_order = -1}),
+    [](const marioh::api::MethodConfig& config)
+        -> marioh::api::StatusOr<
+            std::unique_ptr<marioh::api::Reconstructor>> {
+      size_t k = 3;
+      marioh::api::OverrideReader reader(config);
+      reader.Get("k", &k);
+      MARIOH_RETURN_IF_ERROR(reader.Finish("CFinder"));
+      std::unique_ptr<marioh::api::Reconstructor> method =
+          std::make_unique<marioh::baselines::CFinder>(k);
+      return method;
+    })

@@ -7,7 +7,7 @@
 
 #include <cstddef>
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
@@ -15,7 +15,7 @@ namespace marioh::baselines {
 /// chosen from the source hypergraph's hyperedge-size quantiles (the paper
 /// selects the optimal k within the [0.1, 0.5] quantile range); untrained
 /// runs use the constructor default.
-class CFinder : public Reconstructor {
+class CFinder : public api::Reconstructor {
  public:
   explicit CFinder(size_t k = 3) : k_(k) {}
 

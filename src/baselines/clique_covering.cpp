@@ -1,5 +1,7 @@
 #include "baselines/clique_covering.hpp"
 
+#include "api/registry.hpp"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -48,3 +50,22 @@ Hypergraph CliqueCovering::Reconstruct(const ProjectedGraph& g_target) {
 }
 
 }  // namespace marioh::baselines
+
+MARIOH_REGISTER_METHOD(
+    CliqueCovering,
+    (marioh::api::MethodInfo{
+        .name = "CliqueCovering",
+        .summary = "greedy edge clique cover emitted as hyperedges",
+        .supervised = false,
+        .multiplicity_aware = false,
+        .table2_order = 3,
+        .table3_order = -1}),
+    [](const marioh::api::MethodConfig& config)
+        -> marioh::api::StatusOr<
+            std::unique_ptr<marioh::api::Reconstructor>> {
+      marioh::api::OverrideReader reader(config);
+      MARIOH_RETURN_IF_ERROR(reader.Finish("CliqueCovering"));
+      std::unique_ptr<marioh::api::Reconstructor> method =
+          std::make_unique<marioh::baselines::CliqueCovering>(config.seed);
+      return method;
+    })

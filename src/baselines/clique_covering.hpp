@@ -7,7 +7,7 @@
 
 #include <cstdint>
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
@@ -15,7 +15,7 @@ namespace marioh::baselines {
 /// into a maximal clique preferring neighbors that cover many uncovered
 /// edges, and emits the clique as a hyperedge. Terminates when every edge
 /// is covered.
-class CliqueCovering : public Reconstructor {
+class CliqueCovering : public api::Reconstructor {
  public:
   explicit CliqueCovering(uint64_t seed = 1) : seed_(seed) {}
   std::string Name() const override { return "CliqueCovering"; }

@@ -8,12 +8,12 @@
 
 #include <cstdint>
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
 /// Demon overlapping community detector used as a reconstruction baseline.
-class Demon : public Reconstructor {
+class Demon : public api::Reconstructor {
  public:
   /// `epsilon` is the merge containment threshold (the paper uses
   /// epsilon = 1, i.e. merge only full containment); `min_size` the

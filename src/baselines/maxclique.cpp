@@ -1,5 +1,7 @@
 #include "baselines/maxclique.hpp"
 
+#include "api/registry.hpp"
+
 #include "hypergraph/clique.hpp"
 
 namespace marioh::baselines {
@@ -14,3 +16,23 @@ Hypergraph MaxCliqueDecomposition::Reconstruct(
 }
 
 }  // namespace marioh::baselines
+
+MARIOH_REGISTER_METHOD(
+    MaxClique,
+    (marioh::api::MethodInfo{
+        .name = "MaxClique",
+        .summary = "every maximal clique of the projected graph becomes a "
+                   "hyperedge",
+        .supervised = false,
+        .multiplicity_aware = false,
+        .table2_order = 2,
+        .table3_order = -1}),
+    [](const marioh::api::MethodConfig& config)
+        -> marioh::api::StatusOr<
+            std::unique_ptr<marioh::api::Reconstructor>> {
+      marioh::api::OverrideReader reader(config);
+      MARIOH_RETURN_IF_ERROR(reader.Finish("MaxClique"));
+      std::unique_ptr<marioh::api::Reconstructor> method =
+          std::make_unique<marioh::baselines::MaxCliqueDecomposition>();
+      return method;
+    })

@@ -4,13 +4,13 @@
 
 #pragma once
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
 /// Outputs the set of maximal cliques (via Bron–Kerbosch) as hyperedges,
 /// each with multiplicity 1. Fast but blind to overlaps and multiplicity.
-class MaxCliqueDecomposition : public Reconstructor {
+class MaxCliqueDecomposition : public api::Reconstructor {
  public:
   std::string Name() const override { return "MaxClique"; }
   Hypergraph Reconstruct(const ProjectedGraph& g_target) override;

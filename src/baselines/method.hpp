@@ -1,40 +1,18 @@
 /// \file method.hpp
-/// \brief Common interface for all hypergraph-reconstruction methods, so
-/// the experiment harness can evaluate MARIOH and every baseline through
-/// one code path (as the paper's evaluation does).
+/// \brief DEPRECATED forwarding header. The `Reconstructor` interface
+/// moved to `api/method.hpp` (the public API layer); `baselines/` now
+/// implements it rather than owning it. This shim keeps out-of-tree
+/// includes of `baselines/method.hpp` compiling for one PR cycle — switch
+/// to `api/method.hpp` (and `marioh::api::Reconstructor`); this header
+/// will be removed.
 
 #pragma once
 
-#include <memory>
-#include <string>
-
-#include "hypergraph/hypergraph.hpp"
-#include "hypergraph/projected_graph.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
-/// A hypergraph reconstruction method. Supervised methods receive the
-/// source pair through Train before Reconstruct is called; unsupervised
-/// methods ignore Train.
-class Reconstructor {
- public:
-  virtual ~Reconstructor() = default;
-
-  /// Display name used in benchmark tables.
-  virtual std::string Name() const = 0;
-
-  /// True if the method consumes the source pair.
-  virtual bool IsSupervised() const { return false; }
-
-  /// Trains on the source projected graph and hypergraph. Default: no-op.
-  virtual void Train(const ProjectedGraph& g_source,
-                     const Hypergraph& h_source) {
-    (void)g_source;
-    (void)h_source;
-  }
-
-  /// Reconstructs a hypergraph from the target projected graph.
-  virtual Hypergraph Reconstruct(const ProjectedGraph& g_target) = 0;
-};
+/// Deprecated alias; use marioh::api::Reconstructor.
+using Reconstructor = ::marioh::api::Reconstructor;
 
 }  // namespace marioh::baselines

@@ -12,7 +12,7 @@
 #include <memory>
 #include <vector>
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 #include "core/classifier.hpp"
 
 namespace marioh::baselines {
@@ -24,7 +24,7 @@ enum class ShyreFeatures {
 };
 
 /// Supervised SHyRe reconstructor.
-class Shyre : public Reconstructor {
+class Shyre : public api::Reconstructor {
  public:
   /// Training / inference knobs.
   struct Options {

@@ -1,5 +1,7 @@
 #include "baselines/shyre_unsup.hpp"
 
+#include "api/registry.hpp"
+
 #include <algorithm>
 
 #include "hypergraph/clique.hpp"
@@ -68,3 +70,24 @@ Hypergraph ShyreUnsup::Reconstruct(const ProjectedGraph& g_target) {
 }
 
 }  // namespace marioh::baselines
+
+MARIOH_REGISTER_METHOD(
+    ShyreUnsup,
+    (marioh::api::MethodInfo{
+        .name = "SHyRe-Unsup",
+        .summary = "unsupervised multiplicity-aware maximal-clique peeling",
+        .supervised = false,
+        .multiplicity_aware = true,
+        .table2_order = 5,
+        .table3_order = 1}),
+    [](const marioh::api::MethodConfig& config)
+        -> marioh::api::StatusOr<
+            std::unique_ptr<marioh::api::Reconstructor>> {
+      size_t max_iterations = 1'000'000;
+      marioh::api::OverrideReader reader(config);
+      reader.Get("max_iterations", &max_iterations);
+      MARIOH_RETURN_IF_ERROR(reader.Finish("SHyRe-Unsup"));
+      std::unique_ptr<marioh::api::Reconstructor> method =
+          std::make_unique<marioh::baselines::ShyreUnsup>(max_iterations);
+      return method;
+    })

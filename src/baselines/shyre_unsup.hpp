@@ -9,12 +9,12 @@
 
 #include <cstddef>
 
-#include "baselines/method.hpp"
+#include "api/method.hpp"
 
 namespace marioh::baselines {
 
 /// Unsupervised multiplicity-aware maximal-clique peeling.
-class ShyreUnsup : public Reconstructor {
+class ShyreUnsup : public api::Reconstructor {
  public:
   /// `max_iterations` caps the peel loop (each iteration may re-enumerate
   /// maximal cliques, which is what makes the original slow).

@@ -1,114 +1,25 @@
 #include "eval/harness.hpp"
 
 #include <cmath>
+#include <utility>
 
-#include "baselines/bayesian_mdl.hpp"
-#include "baselines/cfinder.hpp"
-#include "baselines/clique_covering.hpp"
-#include "baselines/demon.hpp"
-#include "baselines/maxclique.hpp"
-#include "baselines/shyre.hpp"
-#include "baselines/shyre_unsup.hpp"
-#include "eval/metrics.hpp"
 #include "gen/split.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
-#include "util/timer.hpp"
 
 namespace marioh::eval {
 
-MariohMethod::MariohMethod(core::MariohVariant variant,
-                           core::MariohOptions options)
-    : variant_(variant),
-      marioh_(core::OptionsForVariant(variant, std::move(options))) {}
+std::vector<std::string> Table2Methods() { return api::Table2Roster(); }
 
-std::string MariohMethod::Name() const {
-  switch (variant_) {
-    case core::MariohVariant::kFull:
-      return "MARIOH";
-    case core::MariohVariant::kNoMulti:
-      return "MARIOH-M";
-    case core::MariohVariant::kNoFilter:
-      return "MARIOH-F";
-    case core::MariohVariant::kNoBidir:
-      return "MARIOH-B";
-  }
-  return "MARIOH";
-}
+std::vector<std::string> Table3Methods() { return api::Table3Roster(); }
 
-void MariohMethod::Train(const ProjectedGraph& g_source,
-                         const Hypergraph& h_source) {
-  marioh_.Train(g_source, h_source);
-}
-
-Hypergraph MariohMethod::Reconstruct(const ProjectedGraph& g_target) {
-  return marioh_.Reconstruct(g_target);
-}
-
-std::unique_ptr<baselines::Reconstructor> MakeMethod(
-    const std::string& name, uint64_t seed,
-    const core::MariohOptions& marioh_base) {
-  core::MariohOptions opts = marioh_base;
-  opts.seed = seed;
-  if (name == "MARIOH") {
-    return std::make_unique<MariohMethod>(core::MariohVariant::kFull, opts);
-  }
-  if (name == "MARIOH-M") {
-    return std::make_unique<MariohMethod>(core::MariohVariant::kNoMulti,
-                                          opts);
-  }
-  if (name == "MARIOH-F") {
-    return std::make_unique<MariohMethod>(core::MariohVariant::kNoFilter,
-                                          opts);
-  }
-  if (name == "MARIOH-B") {
-    return std::make_unique<MariohMethod>(core::MariohVariant::kNoBidir,
-                                          opts);
-  }
-  if (name == "CFinder") return std::make_unique<baselines::CFinder>();
-  if (name == "Demon") {
-    return std::make_unique<baselines::Demon>(1.0, 2, seed);
-  }
-  if (name == "MaxClique") {
-    return std::make_unique<baselines::MaxCliqueDecomposition>();
-  }
-  if (name == "CliqueCovering") {
-    return std::make_unique<baselines::CliqueCovering>(seed);
-  }
-  if (name == "Bayesian-MDL") {
-    return std::make_unique<baselines::BayesianMdl>(seed);
-  }
-  if (name == "SHyRe-Unsup") {
-    return std::make_unique<baselines::ShyreUnsup>();
-  }
-  if (name == "SHyRe-Count" || name == "SHyRe-Motif") {
-    baselines::Shyre::Options shyre;
-    shyre.features = name == "SHyRe-Count"
-                         ? baselines::ShyreFeatures::kCount
-                         : baselines::ShyreFeatures::kMotif;
-    shyre.seed = seed;
-    return std::make_unique<baselines::Shyre>(shyre);
-  }
-  MARIOH_CHECK(false);
-  return nullptr;
-}
-
-std::vector<std::string> Table2Methods() {
-  return {"CFinder",      "Demon",        "MaxClique",   "CliqueCovering",
-          "Bayesian-MDL", "SHyRe-Unsup",  "SHyRe-Motif", "SHyRe-Count",
-          "MARIOH-M",     "MARIOH-F",     "MARIOH-B",    "MARIOH"};
-}
-
-std::vector<std::string> Table3Methods() {
-  return {"Bayesian-MDL", "SHyRe-Unsup", "MARIOH-M",
-          "MARIOH-F",     "MARIOH-B",    "MARIOH"};
-}
-
-PreparedDataset PrepareDataset(const std::string& profile_name,
-                               bool multiplicity_reduced, uint64_t seed,
-                               SplitMode split_mode) {
-  gen::GeneratedDataset data =
-      gen::Generate(gen::ProfileByName(profile_name), seed);
+api::StatusOr<PreparedDataset> TryPrepareDataset(
+    const std::string& profile_name, bool multiplicity_reduced,
+    uint64_t seed, SplitMode split_mode) {
+  api::StatusOr<gen::DomainProfile> profile =
+      gen::TryProfileByName(profile_name);
+  if (!profile.ok()) return profile.status();
+  gen::GeneratedDataset data = gen::Generate(*profile, seed);
   Hypergraph h = multiplicity_reduced
                      ? data.hypergraph.MultiplicityReduced()
                      : data.hypergraph;
@@ -132,12 +43,28 @@ PreparedDataset PrepareDataset(const std::string& profile_name,
   return out;
 }
 
+PreparedDataset PrepareDataset(const std::string& profile_name,
+                               bool multiplicity_reduced, uint64_t seed,
+                               SplitMode split_mode) {
+  return api::ValueOrDie(
+      TryPrepareDataset(profile_name, multiplicity_reduced, seed,
+                        split_mode),
+      __FILE__, __LINE__);
+}
+
 namespace {
 
-AccuracyResult RunPair(const std::string& method_name,
-                       const std::string& dataset_label,
-                       const std::function<PreparedDataset(uint64_t)>& prep,
-                       const AccuracyOptions& options) {
+using PrepFn = std::function<api::StatusOr<PreparedDataset>(uint64_t)>;
+
+api::StatusOr<AccuracyResult> RunPair(const std::string& method_name,
+                                      const std::string& dataset_label,
+                                      const PrepFn& prep,
+                                      const AccuracyOptions& options) {
+  // Validate the method name before paying for dataset generation.
+  api::StatusOr<api::MethodInfo> info =
+      api::MethodRegistry::Global().Info(method_name);
+  if (!info.ok()) return info.status();
+
   AccuracyResult result;
   result.method = method_name;
   result.dataset = dataset_label;
@@ -146,26 +73,32 @@ AccuracyResult RunPair(const std::string& method_name,
 
   for (int s = 0; s < options.num_seeds; ++s) {
     uint64_t seed = options.base_seed + static_cast<uint64_t>(s) * 7919;
-    PreparedDataset data = prep(seed);
-    std::unique_ptr<baselines::Reconstructor> method =
-        MakeMethod(method_name, seed, options.marioh_base);
+    api::StatusOr<PreparedDataset> data = prep(seed);
+    if (!data.ok()) return data.status();
 
-    util::Timer timer;
-    if (method->IsSupervised()) {
-      method->Train(data.g_source, data.source);
-    }
-    Hypergraph reconstructed = method->Reconstruct(data.g_target);
-    double elapsed = timer.Seconds();
-    time_stats.Add(elapsed);
+    api::SessionOptions session_options;
+    session_options.method = method_name;
+    session_options.seed = seed;
+    session_options.time_budget_seconds = options.time_budget_seconds;
+    session_options.marioh = options.marioh_base;
+    api::Session session;
+    MARIOH_RETURN_IF_ERROR(session.Configure(std::move(session_options)));
 
-    double score = options.multiplicity_reduced
-                       ? Jaccard(data.target, reconstructed)
-                       : MultiJaccard(data.target, reconstructed);
+    MARIOH_RETURN_IF_ERROR(session.Train(data->g_source, data->source));
+    MARIOH_RETURN_IF_ERROR(session.Reconstruct(data->g_target));
+    time_stats.Add(session.stage_timer().Get("train") +
+                   session.stage_timer().Get("reconstruct"));
+
+    api::StatusOr<api::EvaluationResult> scores =
+        session.Evaluate(data->target);
+    if (!scores.ok()) return scores.status();
+    double score = options.multiplicity_reduced ? scores->jaccard
+                                                : scores->multi_jaccard;
     acc_stats.Add(100.0 * score);
 
-    if (elapsed > options.time_budget_seconds) {
+    if (session.deadline_exceeded()) {
       result.out_of_time = true;
-      break;  // OOT: stop burning time on remaining seeds
+      break;  // OOT: the overrunning seed still scored, later seeds don't
     }
   }
   result.mean = acc_stats.Mean();
@@ -177,38 +110,50 @@ AccuracyResult RunPair(const std::string& method_name,
 
 }  // namespace
 
-AccuracyResult RunAccuracy(const std::string& method_name,
-                           const std::string& profile_name,
-                           const AccuracyOptions& options) {
+api::StatusOr<AccuracyResult> TryRunAccuracy(
+    const std::string& method_name, const std::string& profile_name,
+    const AccuracyOptions& options) {
   return RunPair(
       method_name, profile_name,
       [&](uint64_t seed) {
-        return PrepareDataset(profile_name, options.multiplicity_reduced,
-                              seed);
+        return TryPrepareDataset(profile_name,
+                                 options.multiplicity_reduced, seed);
       },
       options);
+}
+
+AccuracyResult RunAccuracy(const std::string& method_name,
+                           const std::string& profile_name,
+                           const AccuracyOptions& options) {
+  return api::ValueOrDie(
+      TryRunAccuracy(method_name, profile_name, options), __FILE__,
+      __LINE__);
 }
 
 AccuracyResult RunTransfer(const std::string& method_name,
                            const std::string& source_profile,
                            const std::string& target_profile,
                            const AccuracyOptions& options) {
-  return RunPair(
+  api::StatusOr<AccuracyResult> result = RunPair(
       method_name, source_profile + "->" + target_profile,
-      [&](uint64_t seed) {
-        PreparedDataset src = PrepareDataset(
+      [&](uint64_t seed) -> api::StatusOr<PreparedDataset> {
+        api::StatusOr<PreparedDataset> src = TryPrepareDataset(
             source_profile, options.multiplicity_reduced, seed);
-        PreparedDataset dst = PrepareDataset(
-            target_profile, options.multiplicity_reduced, seed ^ 0xbeefULL);
+        if (!src.ok()) return src.status();
+        api::StatusOr<PreparedDataset> dst = TryPrepareDataset(
+            target_profile, options.multiplicity_reduced,
+            seed ^ 0xbeefULL);
+        if (!dst.ok()) return dst.status();
         PreparedDataset out;
         out.name = source_profile + "->" + target_profile;
-        out.source = std::move(src.source);
-        out.g_source = std::move(src.g_source);
-        out.target = std::move(dst.target);
-        out.g_target = std::move(dst.g_target);
+        out.source = std::move(src->source);
+        out.g_source = std::move(src->g_source);
+        out.target = std::move(dst->target);
+        out.g_target = std::move(dst->g_target);
         return out;
       },
       options);
+  return api::ValueOrDie(std::move(result), __FILE__, __LINE__);
 }
 
 }  // namespace marioh::eval

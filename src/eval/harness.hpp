@@ -1,58 +1,35 @@
 /// \file harness.hpp
-/// \brief Shared experiment driver used by the benchmark binaries: method
-/// registry (MARIOH + variants + all baselines), dataset preparation
-/// (generate, optionally multiplicity-reduce, split, project), and
-/// mean ± std accuracy evaluation with per-method time budgets (the
-/// paper's OOT semantics at laptop scale).
+/// \brief Shared experiment driver used by the benchmark binaries:
+/// dataset preparation (generate, optionally multiplicity-reduce, split,
+/// project) and mean ± std accuracy evaluation with per-method time
+/// budgets (the paper's OOT semantics at laptop scale).
+///
+/// Methods are resolved through the `api/` layer: the self-registering
+/// registry (`api/registry.hpp`) supplies the rosters and factories, and
+/// each seed runs inside an `api::Session` (train → reconstruct →
+/// evaluate under a wall-clock budget).
 
 #pragma once
 
 #include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "baselines/method.hpp"
+#include "api/session.hpp"
+#include "api/status.hpp"
 #include "core/marioh.hpp"
 #include "gen/profiles.hpp"
 
 namespace marioh::eval {
 
-/// Adapter exposing core::Marioh (any variant) through the common
-/// Reconstructor interface.
-class MariohMethod : public baselines::Reconstructor {
- public:
-  MariohMethod(core::MariohVariant variant, core::MariohOptions options);
-
-  std::string Name() const override;
-  bool IsSupervised() const override { return true; }
-  void Train(const ProjectedGraph& g_source,
-             const Hypergraph& h_source) override;
-  Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
-
-  /// Stage timing of the wrapped reconstructor (Fig. 6).
-  const util::StageTimer& stage_timer() const {
-    return marioh_.stage_timer();
-  }
-
- private:
-  core::MariohVariant variant_;
-  core::Marioh marioh_;
-};
-
-/// Builds a method by table name. Known names: CFinder, Demon, MaxClique,
-/// CliqueCovering, Bayesian-MDL, SHyRe-Unsup, SHyRe-Motif, SHyRe-Count,
-/// MARIOH, MARIOH-M, MARIOH-F, MARIOH-B. Aborts on unknown names.
-std::unique_ptr<baselines::Reconstructor> MakeMethod(
-    const std::string& name, uint64_t seed,
-    const core::MariohOptions& marioh_base = {});
-
-/// The Table II method roster, in row order.
+/// The Table II method roster, in row order. Thin wrapper over
+/// `api::Table2Roster()`.
 std::vector<std::string> Table2Methods();
 
 /// The Table III roster (methods applicable to multiplicity-preserved
-/// reconstruction), in row order.
+/// reconstruction), in row order. Thin wrapper over
+/// `api::Table3Roster()`.
 std::vector<std::string> Table3Methods();
 
 /// A prepared experiment instance: the split halves and their projections.
@@ -79,7 +56,13 @@ enum class SplitMode {
 
 /// Generates a dataset by profile name, optionally reduces hyperedge
 /// multiplicities to 1 (the Table II setting), splits it into halves, and
-/// projects both.
+/// projects both. kNotFound (listing known profiles) on unknown names.
+api::StatusOr<PreparedDataset> TryPrepareDataset(
+    const std::string& profile_name, bool multiplicity_reduced,
+    uint64_t seed, SplitMode split_mode = SplitMode::kRandom);
+
+/// Like TryPrepareDataset but dies on unknown profile names; for call
+/// sites that pass roster constants.
 PreparedDataset PrepareDataset(const std::string& profile_name,
                                bool multiplicity_reduced, uint64_t seed,
                                SplitMode split_mode = SplitMode::kRandom);
@@ -109,6 +92,13 @@ struct AccuracyOptions {
 /// Runs `method_name` on `profile_name` over several seeds; reports the
 /// mean ± std of Jaccard (multiplicity-reduced) or multi-Jaccard
 /// (multiplicity-preserved), scaled by 100 as in the paper's tables.
+/// kNotFound for unknown methods or profiles.
+api::StatusOr<AccuracyResult> TryRunAccuracy(
+    const std::string& method_name, const std::string& profile_name,
+    const AccuracyOptions& options);
+
+/// Like TryRunAccuracy but dies on unknown names; for roster-driven
+/// benches.
 AccuracyResult RunAccuracy(const std::string& method_name,
                            const std::string& profile_name,
                            const AccuracyOptions& options);

@@ -122,7 +122,7 @@ GeneratedDataset Generate(const DomainProfile& profile, uint64_t seed) {
   return out;
 }
 
-DomainProfile ProfileByName(const std::string& name) {
+api::StatusOr<DomainProfile> TryProfileByName(const std::string& name) {
   DomainProfile p;
   p.name = name;
   if (name == "enron") {
@@ -264,9 +264,27 @@ DomainProfile ProfileByName(const std::string& name) {
     p.degree_skew = 0.6;
     p.background_fraction = 0.05;
   } else {
-    MARIOH_CHECK(false);
+    std::string known;
+    for (const std::string& k : KnownProfiles()) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    return api::Status::NotFound("unknown dataset profile '" + name +
+                                 "'; known profiles: " + known);
   }
   return p;
+}
+
+DomainProfile ProfileByName(const std::string& name) {
+  return api::ValueOrDie(TryProfileByName(name), __FILE__, __LINE__);
+}
+
+std::vector<std::string> KnownProfiles() {
+  std::vector<std::string> names = TableDatasets();
+  names.push_back("mag_history");
+  names.push_back("mag_geology");
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 std::vector<std::string> TableDatasets() {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/status.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "util/rng.hpp"
 
@@ -58,11 +59,17 @@ struct GeneratedDataset {
 /// Generates a dataset from a profile. Deterministic given `seed`.
 GeneratedDataset Generate(const DomainProfile& profile, uint64_t seed);
 
-/// Profile mirroring one of the paper's datasets. Known names: enron,
-/// pschool, hschool, crime, hosts, directors, foursquare, dblp, eu,
-/// mag_topcs, plus the transfer targets mag_history and mag_geology.
-/// Aborts on unknown names.
+/// Profile mirroring one of the paper's datasets. Unknown names return a
+/// kNotFound status listing the known profiles.
+api::StatusOr<DomainProfile> TryProfileByName(const std::string& name);
+
+/// Like TryProfileByName but dies on unknown names; for call sites that
+/// pass roster constants.
 DomainProfile ProfileByName(const std::string& name);
+
+/// Every known profile name (TableDatasets plus the transfer targets
+/// mag_history and mag_geology), sorted.
+std::vector<std::string> KnownProfiles();
 
 /// The 10 dataset names of Table I, in the paper's column order.
 std::vector<std::string> TableDatasets();

@@ -9,6 +9,9 @@
 namespace marioh::io {
 namespace {
 
+using api::Status;
+using api::StatusOr;
+
 bool IsCommentOrBlank(const std::string& line) {
   for (char c : line) {
     if (c == '#') return true;
@@ -17,21 +20,31 @@ bool IsCommentOrBlank(const std::string& line) {
   return true;
 }
 
-uint64_t ParseNumber(const std::string& token, size_t line_number) {
+StatusOr<uint64_t> ParseNumber(const std::string& token,
+                               size_t line_number) {
   try {
     size_t pos = 0;
     uint64_t value = std::stoull(token, &pos);
     if (pos != token.size()) throw std::invalid_argument(token);
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("line " + std::to_string(line_number) +
-                                ": bad token '" + token + "'");
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": bad token '" + token + "'");
   }
+}
+
+/// Unwraps a StatusOr for the throwing wrapper functions.
+template <typename T>
+T ValueOrThrow(StatusOr<T> result) {
+  if (!result.ok()) {
+    throw std::invalid_argument(result.status().message());
+  }
+  return std::move(result).value();
 }
 
 }  // namespace
 
-Hypergraph ReadHypergraph(std::istream& in) {
+StatusOr<Hypergraph> TryReadHypergraph(std::istream& in) {
   Hypergraph h;
   std::string line;
   size_t line_number = 0;
@@ -45,26 +58,29 @@ Hypergraph ReadHypergraph(std::istream& in) {
     uint32_t multiplicity = 1;
     // Optional trailing "x m".
     if (parts.size() >= 2 && parts[parts.size() - 2] == "x") {
-      multiplicity = static_cast<uint32_t>(
-          ParseNumber(parts.back(), line_number));
+      StatusOr<uint64_t> m = ParseNumber(parts.back(), line_number);
+      if (!m.ok()) return m.status();
+      multiplicity = static_cast<uint32_t>(*m);
       parts.resize(parts.size() - 2);
     }
     NodeSet edge;
     edge.reserve(parts.size());
     for (const std::string& p : parts) {
-      edge.push_back(static_cast<NodeId>(ParseNumber(p, line_number)));
+      StatusOr<uint64_t> id = ParseNumber(p, line_number);
+      if (!id.ok()) return id.status();
+      edge.push_back(static_cast<NodeId>(*id));
     }
     h.AddEdge(std::move(edge), multiplicity);
   }
   return h;
 }
 
-Hypergraph ReadHypergraphFile(const std::string& path) {
+StatusOr<Hypergraph> TryReadHypergraphFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::invalid_argument("cannot open hypergraph file: " + path);
+    return Status::NotFound("cannot open hypergraph file: " + path);
   }
-  return ReadHypergraph(in);
+  return TryReadHypergraph(in);
 }
 
 void WriteHypergraph(const Hypergraph& h, std::ostream& out) {
@@ -80,15 +96,19 @@ void WriteHypergraph(const Hypergraph& h, std::ostream& out) {
   }
 }
 
-void WriteHypergraphFile(const Hypergraph& h, const std::string& path) {
+api::Status TryWriteHypergraphFile(const Hypergraph& h,
+                                   const std::string& path) {
   std::ofstream out(path);
   if (!out) {
-    throw std::invalid_argument("cannot open file for writing: " + path);
+    // Not kNotFound: the path is caller-supplied output, so an unopenable
+    // target (missing directory, no permission) is a bad argument.
+    return Status::InvalidArgument("cannot open file for writing: " + path);
   }
   WriteHypergraph(h, out);
+  return Status::Ok();
 }
 
-ProjectedGraph ReadProjectedGraph(std::istream& in) {
+StatusOr<ProjectedGraph> TryReadProjectedGraph(std::istream& in) {
   std::string line;
   size_t line_number = 0;
   struct Row {
@@ -106,18 +126,27 @@ ProjectedGraph ReadProjectedGraph(std::istream& in) {
     std::string token;
     while (tokens >> token) parts.push_back(token);
     if (parts.size() < 2 || parts.size() > 3) {
-      throw std::invalid_argument("line " + std::to_string(line_number) +
-                                  ": expected 'u v [w]'");
+      return Status::InvalidArgument("line " +
+                                     std::to_string(line_number) +
+                                     ": expected 'u v [w]'");
     }
+    StatusOr<uint64_t> u = ParseNumber(parts[0], line_number);
+    if (!u.ok()) return u.status();
+    StatusOr<uint64_t> v = ParseNumber(parts[1], line_number);
+    if (!v.ok()) return v.status();
     Row row;
-    row.u = static_cast<NodeId>(ParseNumber(parts[0], line_number));
-    row.v = static_cast<NodeId>(ParseNumber(parts[1], line_number));
-    row.w = parts.size() == 3 ? static_cast<uint32_t>(ParseNumber(
-                                    parts[2], line_number))
-                              : 1;
+    row.u = static_cast<NodeId>(*u);
+    row.v = static_cast<NodeId>(*v);
+    row.w = 1;
+    if (parts.size() == 3) {
+      StatusOr<uint64_t> w = ParseNumber(parts[2], line_number);
+      if (!w.ok()) return w.status();
+      row.w = static_cast<uint32_t>(*w);
+    }
     if (row.u == row.v) {
-      throw std::invalid_argument("line " + std::to_string(line_number) +
-                                  ": self loop");
+      return Status::InvalidArgument("line " +
+                                     std::to_string(line_number) +
+                                     ": self loop");
     }
     max_node = std::max({max_node, row.u, row.v});
     rows.push_back(row);
@@ -127,12 +156,12 @@ ProjectedGraph ReadProjectedGraph(std::istream& in) {
   return g;
 }
 
-ProjectedGraph ReadProjectedGraphFile(const std::string& path) {
+StatusOr<ProjectedGraph> TryReadProjectedGraphFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::invalid_argument("cannot open graph file: " + path);
+    return Status::NotFound("cannot open graph file: " + path);
   }
-  return ReadProjectedGraph(in);
+  return TryReadProjectedGraph(in);
 }
 
 void WriteProjectedGraph(const ProjectedGraph& g, std::ostream& out) {
@@ -143,13 +172,43 @@ void WriteProjectedGraph(const ProjectedGraph& g, std::ostream& out) {
   }
 }
 
-void WriteProjectedGraphFile(const ProjectedGraph& g,
-                             const std::string& path) {
+api::Status TryWriteProjectedGraphFile(const ProjectedGraph& g,
+                                       const std::string& path) {
   std::ofstream out(path);
   if (!out) {
-    throw std::invalid_argument("cannot open file for writing: " + path);
+    // Not kNotFound: the path is caller-supplied output, so an unopenable
+    // target (missing directory, no permission) is a bad argument.
+    return Status::InvalidArgument("cannot open file for writing: " + path);
   }
   WriteProjectedGraph(g, out);
+  return Status::Ok();
+}
+
+Hypergraph ReadHypergraph(std::istream& in) {
+  return ValueOrThrow(TryReadHypergraph(in));
+}
+
+Hypergraph ReadHypergraphFile(const std::string& path) {
+  return ValueOrThrow(TryReadHypergraphFile(path));
+}
+
+ProjectedGraph ReadProjectedGraph(std::istream& in) {
+  return ValueOrThrow(TryReadProjectedGraph(in));
+}
+
+ProjectedGraph ReadProjectedGraphFile(const std::string& path) {
+  return ValueOrThrow(TryReadProjectedGraphFile(path));
+}
+
+void WriteHypergraphFile(const Hypergraph& h, const std::string& path) {
+  api::Status status = TryWriteHypergraphFile(h, path);
+  if (!status.ok()) throw std::invalid_argument(status.message());
+}
+
+void WriteProjectedGraphFile(const ProjectedGraph& g,
+                             const std::string& path) {
+  api::Status status = TryWriteProjectedGraphFile(g, path);
+  if (!status.ok()) throw std::invalid_argument(status.message());
 }
 
 }  // namespace marioh::io

@@ -13,46 +13,65 @@
 /// These are the de-facto formats of the public hypergraph dataset
 /// releases the paper evaluates on (Benson et al. [3]), so real datasets
 /// drop in directly.
+///
+/// The `Try*` functions are the primary API: they report unopenable files
+/// and malformed lines as an `api::Status` (with the offending line
+/// number) so callers like `marioh_cli` can diagnose bad input without
+/// dying. The exception-throwing forms are thin wrappers kept for callers
+/// that prefer throw-on-error.
 
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "api/status.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/projected_graph.hpp"
 
 namespace marioh::io {
 
-/// Parses a hypergraph from a stream. Throws std::invalid_argument on
-/// malformed lines (non-numeric tokens, hyperedges with < 2 distinct
-/// nodes are skipped silently to tolerate real-world dumps).
+/// Parses a hypergraph from a stream. kInvalidArgument on malformed lines
+/// (non-numeric tokens; hyperedges with < 2 distinct nodes are skipped
+/// silently to tolerate real-world dumps).
+api::StatusOr<Hypergraph> TryReadHypergraph(std::istream& in);
+
+/// Reads a hypergraph from a file. kNotFound if the file cannot be
+/// opened, kInvalidArgument if it cannot be parsed.
+api::StatusOr<Hypergraph> TryReadHypergraphFile(const std::string& path);
+
+/// Writes a hypergraph to a file (deterministic order, multiplicities as
+/// `x m` suffixes when > 1). kInvalidArgument if the caller-supplied
+/// output path cannot be opened for writing.
+api::Status TryWriteHypergraphFile(const Hypergraph& h,
+                                   const std::string& path);
+
+/// Parses a weighted edge list. kInvalidArgument on malformed lines.
+api::StatusOr<ProjectedGraph> TryReadProjectedGraph(std::istream& in);
+
+/// Reads a projected graph from a file. kNotFound if the file cannot be
+/// opened, kInvalidArgument if it cannot be parsed.
+api::StatusOr<ProjectedGraph> TryReadProjectedGraphFile(
+    const std::string& path);
+
+/// Writes a projected graph to a file (u < v, sorted). kInvalidArgument
+/// if the caller-supplied output path cannot be opened for writing.
+api::Status TryWriteProjectedGraphFile(const ProjectedGraph& g,
+                                       const std::string& path);
+
+/// Throwing wrappers over the `Try*` forms: std::invalid_argument
+/// carrying the status message on any error.
 Hypergraph ReadHypergraph(std::istream& in);
-
-/// Reads a hypergraph from a file. Throws std::invalid_argument if the
-/// file cannot be opened or parsed.
 Hypergraph ReadHypergraphFile(const std::string& path);
-
-/// Writes `h` in the text format (deterministic order, multiplicities as
-/// `x m` suffixes when > 1).
-void WriteHypergraph(const Hypergraph& h, std::ostream& out);
-
-/// Writes a hypergraph to a file. Throws std::invalid_argument on I/O
-/// failure.
-void WriteHypergraphFile(const Hypergraph& h, const std::string& path);
-
-/// Parses a weighted edge list. Throws std::invalid_argument on malformed
-/// lines.
 ProjectedGraph ReadProjectedGraph(std::istream& in);
-
-/// Reads a projected graph from a file.
 ProjectedGraph ReadProjectedGraphFile(const std::string& path);
-
-/// Writes `g` as a weighted edge list (u < v, sorted).
-void WriteProjectedGraph(const ProjectedGraph& g, std::ostream& out);
-
-/// Writes a projected graph to a file.
+void WriteHypergraphFile(const Hypergraph& h, const std::string& path);
 void WriteProjectedGraphFile(const ProjectedGraph& g,
                              const std::string& path);
+
+/// Stream writers (cannot fail short of stream errors, which the caller
+/// owns).
+void WriteHypergraph(const Hypergraph& h, std::ostream& out);
+void WriteProjectedGraph(const ProjectedGraph& g, std::ostream& out);
 
 }  // namespace marioh::io

@@ -1,0 +1,144 @@
+// Tests for the self-registering method registry (api/registry.hpp): the
+// paper rosters resolve, metadata agrees with the instantiated methods,
+// duplicate registration is rejected, and unknown names come back as a
+// diagnosable Status naming the candidates — never an abort.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/registry.hpp"
+#include "api/session.hpp"
+
+namespace marioh::api {
+namespace {
+
+TEST(Status, DefaultIsOkAndErrorsCarryCodeAndMessage) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, StatusOrHoldsValueOrError) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  StatusOr<int> error = Status::InvalidArgument("nope");
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Registry, EveryTable2NameResolvesWithMatchingMetadata) {
+  std::vector<std::string> roster = Table2Roster();
+  ASSERT_EQ(roster.size(), 12u);
+  for (const std::string& name : roster) {
+    StatusOr<std::unique_ptr<Reconstructor>> method =
+        MethodRegistry::Global().Create(name, MethodConfig{});
+    ASSERT_TRUE(method.ok()) << method.status().ToString();
+    EXPECT_EQ((*method)->Name(), name);
+    StatusOr<MethodInfo> info = MethodRegistry::Global().Info(name);
+    ASSERT_TRUE(info.ok());
+    // The registry's supervised flag must agree with the instantiated
+    // method's IsSupervised() — it is what the harness keys on.
+    EXPECT_EQ(info->supervised, (*method)->IsSupervised()) << name;
+  }
+}
+
+TEST(Registry, Table3IsTheMultiplicityAwareSubsetInRowOrder) {
+  std::vector<std::string> roster = Table3Roster();
+  ASSERT_EQ(roster.size(), 6u);
+  EXPECT_EQ(roster.front(), "Bayesian-MDL");
+  EXPECT_EQ(roster.back(), "MARIOH");
+  for (const std::string& name : roster) {
+    StatusOr<MethodInfo> info = MethodRegistry::Global().Info(name);
+    ASSERT_TRUE(info.ok()) << name;
+    EXPECT_TRUE(info->multiplicity_aware) << name;
+  }
+}
+
+TEST(Registry, Table2RowOrderMatchesThePaper) {
+  std::vector<std::string> expected = {
+      "CFinder",      "Demon",       "MaxClique",   "CliqueCovering",
+      "Bayesian-MDL", "SHyRe-Unsup", "SHyRe-Motif", "SHyRe-Count",
+      "MARIOH-M",     "MARIOH-F",    "MARIOH-B",    "MARIOH"};
+  EXPECT_EQ(Table2Roster(), expected);
+}
+
+TEST(Registry, UnknownNameReturnsNotFoundNamingCandidates) {
+  StatusOr<std::unique_ptr<Reconstructor>> method =
+      MethodRegistry::Global().Create("NoSuchMethod", MethodConfig{});
+  ASSERT_FALSE(method.ok());
+  EXPECT_EQ(method.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(method.status().message().find("NoSuchMethod"),
+            std::string::npos);
+  // The message must name the candidates so a CLI user can self-correct.
+  EXPECT_NE(method.status().message().find("known methods"),
+            std::string::npos);
+  EXPECT_NE(method.status().message().find("MARIOH"), std::string::npos);
+  EXPECT_NE(method.status().message().find("CFinder"), std::string::npos);
+}
+
+TEST(Registry, DuplicateRegistrationIsRejected) {
+  MethodRegistry registry;
+  MethodInfo info;
+  info.name = "Dup";
+  auto factory = [](const MethodConfig&)
+      -> StatusOr<std::unique_ptr<Reconstructor>> {
+    return Status::Internal("never constructed");
+  };
+  ASSERT_TRUE(registry.Register(info, factory).ok());
+  Status dup = registry.Register(info, factory);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(dup.message().find("Dup"), std::string::npos);
+  // The global registry also rejects names the built-ins claimed.
+  MethodInfo clash;
+  clash.name = "MARIOH";
+  Status global_dup = MethodRegistry::Global().Register(clash, factory);
+  ASSERT_FALSE(global_dup.ok());
+  EXPECT_EQ(global_dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Registry, FactoriesRejectUnknownAndMalformedOverrides) {
+  MethodConfig config;
+  config.overrides = {{"no_such_option", "1"}};
+  StatusOr<std::unique_ptr<Reconstructor>> unknown_key =
+      MethodRegistry::Global().Create("MARIOH", config);
+  ASSERT_FALSE(unknown_key.ok());
+  EXPECT_EQ(unknown_key.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown_key.status().message().find("no_such_option"),
+            std::string::npos);
+
+  config.overrides = {{"theta_init", "not_a_number"}};
+  StatusOr<std::unique_ptr<Reconstructor>> bad_value =
+      MethodRegistry::Global().Create("MARIOH", config);
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_EQ(bad_value.status().code(), StatusCode::kInvalidArgument);
+
+  config.overrides = {{"theta_init", "0.8"}, {"r_percent", "10"}};
+  EXPECT_TRUE(MethodRegistry::Global().Create("MARIOH", config).ok());
+
+  config.overrides = {{"k", "4"}};
+  EXPECT_TRUE(MethodRegistry::Global().Create("CFinder", config).ok());
+  // CFinder's `k` is not a MaxClique option.
+  StatusOr<std::unique_ptr<Reconstructor>> wrong_method =
+      MethodRegistry::Global().Create("MaxClique", config);
+  ASSERT_FALSE(wrong_method.ok());
+  EXPECT_EQ(wrong_method.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Registry, NamesAreSortedAndContainTheFullRoster) {
+  std::vector<std::string> names = MethodRegistry::Global().Names();
+  ASSERT_GE(names.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : Table2Roster()) {
+    EXPECT_TRUE(MethodRegistry::Global().Contains(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace marioh::api

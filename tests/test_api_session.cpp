@@ -1,0 +1,223 @@
+// Tests for the api::Session façade: the configure → train → reconstruct
+// → evaluate protocol, string overrides, per-stage timing, the wall-clock
+// budget (OOT semantics), the progress/cancellation callback, and the
+// file-based convenience entry points — all failure modes as Status.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "eval/harness.hpp"
+#include "io/text_io.hpp"
+
+namespace marioh::api {
+namespace {
+
+eval::PreparedDataset SmallDataset() {
+  return eval::PrepareDataset("crime", /*multiplicity_reduced=*/true,
+                              /*seed=*/1);
+}
+
+TEST(Session, WalksTheWholeProtocol) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MARIOH";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  EXPECT_TRUE(session.method_info().supervised);
+
+  ASSERT_TRUE(session.Train(data.g_source, data.source).ok());
+  Status reconstructed = session.Reconstruct(data.g_target);
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.ToString();
+  ASSERT_NE(session.reconstruction(), nullptr);
+  EXPECT_GT(session.reconstruction()->num_unique_edges(), 0u);
+
+  StatusOr<EvaluationResult> scores = session.Evaluate(data.target);
+  ASSERT_TRUE(scores.ok());
+  // The crime profile is one of the easiest regimes in Table II; anything
+  // below 0.5 Jaccard means the pipeline is broken, not merely inaccurate.
+  EXPECT_GE(scores->jaccard, 0.5);
+  EXPECT_LE(scores->jaccard, 1.0);
+  EXPECT_EQ(scores->reconstructed_unique_edges,
+            session.reconstruction()->num_unique_edges());
+
+  // Per-stage timing was recorded and the budget was never exceeded.
+  EXPECT_GT(session.stage_timer().Get("reconstruct"), 0.0);
+  EXPECT_FALSE(session.deadline_exceeded());
+}
+
+TEST(Session, UnknownMethodIsANotFoundStatusNotAnAbort) {
+  Session session;
+  SessionOptions options;
+  options.method = "NoSuchMethod";
+  Status status = session.Configure(options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("known methods"), std::string::npos);
+  EXPECT_FALSE(session.configured());
+}
+
+TEST(Session, StagesBeforeConfigureFailCleanly) {
+  eval::PreparedDataset data = SmallDataset();
+  Session session;
+  EXPECT_EQ(session.Train(data.g_source, data.source).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Reconstruct(data.g_target).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Evaluate(data.target).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Session, SupervisedMethodRequiresTrainBeforeReconstruct) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MARIOH";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  Status result = session.Reconstruct(data.g_target);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Session, UnsupervisedMethodReconstructsWithoutTrain) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MaxClique";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  EXPECT_FALSE(session.method_info().supervised);
+  Status result = session.Reconstruct(data.g_target);
+  ASSERT_TRUE(result.ok()) << result.ToString();
+  ASSERT_NE(session.reconstruction(), nullptr);
+  EXPECT_GT(session.reconstruction()->num_unique_edges(), 0u);
+}
+
+TEST(Session, ExhaustedTimeBudgetIsDeadlineExceededNotAnAbort) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MARIOH";
+  options.time_budget_seconds = 0.0;  // any reconstruction overruns it
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(data.g_source, data.source).ok());
+  // The overrunning reconstruction itself completes (the paper's OOT
+  // accounting still scores the overrunning run) ...
+  Status first = session.Reconstruct(data.g_target);
+  ASSERT_TRUE(first.ok()) << first.ToString();
+  EXPECT_TRUE(session.deadline_exceeded());
+  EXPECT_TRUE(session.Evaluate(data.target).ok());
+  // ... but no further budgeted stage may start.
+  Status second = session.Reconstruct(data.g_target);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(second.message().find("time budget"), std::string::npos);
+}
+
+TEST(Session, ProgressCallbackObservesStagesAndCanCancel) {
+  eval::PreparedDataset data = SmallDataset();
+  std::vector<std::string> stages;
+  SessionOptions options;
+  options.method = "MaxClique";
+  options.progress = [&stages](const std::string& stage, double elapsed) {
+    EXPECT_GE(elapsed, 0.0);
+    stages.push_back(stage);
+    return true;
+  };
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Reconstruct(data.g_target).ok());
+  EXPECT_EQ(stages, std::vector<std::string>{"reconstruct"});
+
+  options.progress = [](const std::string&, double) { return false; };
+  Session cancelled;
+  ASSERT_TRUE(cancelled.Configure(options).ok());
+  Status result = cancelled.Reconstruct(data.g_target);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kCancelled);
+}
+
+TEST(Session, StringOverridesConfigureTheSessionAndTheMethod) {
+  SessionOptions options;
+  ASSERT_TRUE(ApplySessionOverride(&options, "method=MARIOH-B").ok());
+  ASSERT_TRUE(ApplySessionOverride(&options, "seed=9").ok());
+  ASSERT_TRUE(
+      ApplySessionOverride(&options, "time_budget_seconds=45").ok());
+  ASSERT_TRUE(ApplySessionOverride(&options, "theta_init=0.8").ok());
+  EXPECT_EQ(options.method, "MARIOH-B");
+  EXPECT_EQ(options.seed, 9u);
+  EXPECT_DOUBLE_EQ(options.time_budget_seconds, 45.0);
+  // Method-level keys are validated at Configure time.
+  Session session;
+  EXPECT_TRUE(session.Configure(options).ok());
+
+  EXPECT_EQ(ApplySessionOverride(&options, "garbage").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ApplySessionOverride(&options, "seed=abc").code(),
+            StatusCode::kInvalidArgument);
+  // stoull would silently wrap a negative seed; it must be rejected.
+  EXPECT_EQ(ApplySessionOverride(&options, "seed=-1").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(ApplySessionOverride(&options, "bogus_key=1").ok());
+  Session rejects;
+  Status status = rejects.Configure(options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bogus_key"), std::string::npos);
+}
+
+TEST(Session, FileBasedRoundTripMatchesInMemoryRun) {
+  eval::PreparedDataset data = SmallDataset();
+  const std::string train_path = "session_test_train.hg";
+  const std::string target_path = "session_test_target.eg";
+  const std::string out_path = "session_test_out.hg";
+  ASSERT_TRUE(io::TryWriteHypergraphFile(data.source, train_path).ok());
+  ASSERT_TRUE(
+      io::TryWriteProjectedGraphFile(data.g_target, target_path).ok());
+
+  SessionOptions options;
+  options.method = "MARIOH";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.TrainFromFile(train_path).ok());
+  Status reconstructed = session.ReconstructFromFile(target_path);
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.ToString();
+  ASSERT_TRUE(session.WriteReconstruction(out_path).ok());
+
+  StatusOr<Hypergraph> round_trip = io::TryReadHypergraphFile(out_path);
+  ASSERT_TRUE(round_trip.ok());
+  ASSERT_NE(session.reconstruction(), nullptr);
+  EXPECT_EQ(round_trip->num_unique_edges(),
+            session.reconstruction()->num_unique_edges());
+
+  // Missing files surface as NotFound, not exceptions or aborts.
+  EXPECT_EQ(session.TrainFromFile("no_such_file.hg").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.ReconstructFromFile("no_such_file.eg").code(),
+            StatusCode::kNotFound);
+
+  std::remove(train_path.c_str());
+  std::remove(target_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Session, ConfigureResetsStateForReuse) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MaxClique";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Reconstruct(data.g_target).ok());
+  EXPECT_NE(session.reconstruction(), nullptr);
+
+  ASSERT_TRUE(session.Configure(options).ok());
+  EXPECT_EQ(session.reconstruction(), nullptr);
+  EXPECT_EQ(session.stage_timer().Total(), 0.0);
+  EXPECT_EQ(session.elapsed_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace marioh::api

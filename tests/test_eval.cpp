@@ -204,15 +204,30 @@ TEST(Harness, TemporalSplitModeProducesValidHalves) {
   EXPECT_GT(eval::MultiJaccard(data.target, reconstructed), 0.1);
 }
 
-TEST(Harness, MakeMethodKnowsEveryTableRoster) {
+TEST(Harness, RegistryBacksEveryTableRoster) {
   for (const std::string& name : Table2Methods()) {
-    auto method = MakeMethod(name, 1);
+    auto method = api::MustCreateMethod(name, 1);
     ASSERT_NE(method, nullptr) << name;
     EXPECT_EQ(method->Name(), name);
   }
   for (const std::string& name : Table3Methods()) {
-    EXPECT_NE(MakeMethod(name, 1), nullptr) << name;
+    EXPECT_NE(api::MustCreateMethod(name, 1), nullptr) << name;
   }
+}
+
+TEST(Harness, TryRunAccuracyReportsUnknownNames) {
+  AccuracyOptions options;
+  options.num_seeds = 1;
+  api::StatusOr<AccuracyResult> bad_method =
+      TryRunAccuracy("NoSuchMethod", "crime", options);
+  ASSERT_FALSE(bad_method.ok());
+  EXPECT_EQ(bad_method.status().code(), api::StatusCode::kNotFound);
+  api::StatusOr<AccuracyResult> bad_profile =
+      TryRunAccuracy("MaxClique", "no_such_profile", options);
+  ASSERT_FALSE(bad_profile.ok());
+  EXPECT_EQ(bad_profile.status().code(), api::StatusCode::kNotFound);
+  EXPECT_NE(bad_profile.status().message().find("known profiles"),
+            std::string::npos);
 }
 
 TEST(Harness, RunAccuracyProducesSaneNumbers) {

@@ -7,11 +7,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "core/marioh.hpp"
 #include "eval/metrics.hpp"
 #include "gen/profiles.hpp"
 #include "gen/split.hpp"
 #include "util/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
 
 namespace marioh {
 namespace {
@@ -45,6 +55,67 @@ TEST(ExamplesSmoke, QuickstartPipelineRunsEndToEnd) {
   EXPECT_LE(jaccard, 1.0);
   EXPECT_LE(multi_jaccard, 1.0);
 }
+
+// The CLI failure paths are part of the public API contract: bad input
+// must produce a readable diagnostic and exit code 1 — never an abort
+// (which std::system reports as a signal, failing WIFEXITED).
+#if defined(MARIOH_CLI_PATH) && (defined(__unix__) || defined(__APPLE__))
+
+/// Runs the CLI with `args`, captures combined stdout+stderr into
+/// `output`, and returns the exit code (-1 if the process was killed by a
+/// signal, e.g. an abort).
+int RunCli(const std::string& args, std::string* output) {
+  const std::string capture_path = "cli_smoke_output.txt";
+  // Paths are quoted so a build tree under a directory with spaces works.
+  std::string command = std::string("\"") + MARIOH_CLI_PATH + "\" " +
+                        args + " > \"" + capture_path + "\" 2>&1";
+  int raw = std::system(command.c_str());
+  std::ifstream in(capture_path);
+  std::ostringstream captured;
+  captured << in.rdbuf();
+  *output = captured.str();
+  std::remove(capture_path.c_str());
+  if (!WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+TEST(ExamplesSmoke, CliUnknownMethodPrintsRosterAndExitsNonZero) {
+  std::string output;
+  int exit_code =
+      RunCli("--method NoSuchMethod a.hg b.eg c.hg", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("NoSuchMethod"), std::string::npos) << output;
+  EXPECT_NE(output.find("known methods"), std::string::npos) << output;
+  EXPECT_NE(output.find("MARIOH"), std::string::npos) << output;
+}
+
+TEST(ExamplesSmoke, CliMissingInputFileIsAReadableErrorAndExitsNonZero) {
+  std::string output;
+  int exit_code = RunCli(
+      "definitely_missing_train.hg missing_target.eg out.hg", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("cannot open"), std::string::npos) << output;
+  EXPECT_NE(output.find("definitely_missing_train.hg"), std::string::npos)
+      << output;
+}
+
+TEST(ExamplesSmoke, CliBadOverrideIsAReadableErrorAndExitsNonZero) {
+  std::string output;
+  int exit_code =
+      RunCli("--set theta_init=oops a.hg b.eg c.hg", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("theta_init"), std::string::npos) << output;
+}
+
+TEST(ExamplesSmoke, CliListMethodsExitsZero) {
+  std::string output;
+  int exit_code = RunCli("--list-methods", &output);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("MARIOH"), std::string::npos) << output;
+  EXPECT_NE(output.find("CFinder"), std::string::npos) << output;
+}
+
+#endif  // MARIOH_CLI_PATH && unix
 
 }  // namespace
 }  // namespace marioh
