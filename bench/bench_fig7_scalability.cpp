@@ -3,9 +3,14 @@
 // size (DBLP-like statistics), with the log-log slope vs |E_G| reported.
 // The paper finds both steps scale near-linearly (slope ~ 1).
 //
-// Usage: bench_fig7_scalability [--quick]
+// Usage: bench_fig7_scalability [--quick] [--threads N]
+//
+// --threads N runs the reconstruction's hot kernels on N threads
+// (0 = all cores); results are identical for any value, only the
+// timings change.
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -44,8 +49,12 @@ double LogLogSlope(const std::vector<double>& x,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
   }
 
   // Train once on the DBLP-like profile (as in the paper, training is
@@ -60,7 +69,9 @@ int main(int argc, char** argv) {
     train_data.source = std::move(split.source);
     train_data.g_source = train_data.source.Project();
   }
-  marioh::core::Marioh marioh;
+  marioh::core::MariohOptions options;
+  options.num_threads = threads;
+  marioh::core::Marioh marioh(options);
   marioh.Train(train_data.g_source, train_data.source);
 
   std::vector<size_t> scales =

@@ -1,10 +1,15 @@
 // Microbenchmarks of the hot kernels inside MARIOH's reconstruction loop:
 // MHH computation (Eq. (1)), maximal-clique enumeration, feature
-// extraction, and clique peeling. google-benchmark based.
+// extraction, filtering, and clique peeling — each on both the mutable
+// hash-map path and the CSR snapshot fast path, with thread sweeps for the
+// parallel kernels. google-benchmark based; pass
+// `--benchmark_out=bench_micro.json --benchmark_out_format=json` to record
+// a machine-readable trajectory (CI uploads this as an artifact).
 
 #include <benchmark/benchmark.h>
 
 #include "core/features.hpp"
+#include "core/filtering.hpp"
 #include "gen/hypercl.hpp"
 #include "hypergraph/clique.hpp"
 #include "hypergraph/csr.hpp"
@@ -13,6 +18,8 @@
 
 namespace {
 
+using marioh::CliqueOptions;
+using marioh::CsrGraph;
 using marioh::NodeId;
 using marioh::NodeSet;
 using marioh::ProjectedGraph;
@@ -23,6 +30,8 @@ ProjectedGraph MakeGraph(size_t num_nodes, size_t num_edges) {
       num_nodes, num_edges, /*size_mean=*/3.2, /*degree_skew=*/0.7, &rng);
   return h.Project();
 }
+
+// ---- MHH (Eq. (1)) -------------------------------------------------------
 
 void BM_Mhh(benchmark::State& state) {
   ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
@@ -37,6 +46,33 @@ void BM_Mhh(benchmark::State& state) {
 }
 BENCHMARK(BM_Mhh)->Arg(500)->Arg(2000);
 
+void BM_CsrMhh(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) * 2);
+  CsrGraph csr(g);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = edges[i % edges.size()];
+    benchmark::DoNotOptimize(csr.Mhh(e.u, e.v));
+    ++i;
+  }
+}
+BENCHMARK(BM_CsrMhh)->Arg(500)->Arg(2000);
+
+// ---- CSR snapshot construction ------------------------------------------
+
+void BM_CsrBuild(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(2000, 4000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph(g));
+  }
+}
+BENCHMARK(BM_CsrBuild);
+
+// ---- Maximal-clique enumeration -----------------------------------------
+
+// Default public path (CSR snapshot, single thread).
 void BM_MaximalCliques(benchmark::State& state) {
   ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
                                static_cast<size_t>(state.range(0)) * 2);
@@ -45,6 +81,31 @@ void BM_MaximalCliques(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaximalCliques)->Arg(200)->Arg(800);
+
+// Sequential reference over the hash-map adjacency (the pre-CSR path).
+void BM_MaximalCliquesHashmap(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) * 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marioh::MaximalCliquesHashMapReference(g));
+  }
+}
+BENCHMARK(BM_MaximalCliquesHashmap)->Arg(200)->Arg(800);
+
+// Thread sweep over the CSR fast path (snapshot built once, as in the
+// reconstruction loop where one snapshot serves the whole iteration).
+void BM_MaximalCliquesCsrThreads(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(800, 1600);
+  CsrGraph csr(g);
+  CliqueOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marioh::EnumerateMaximalCliques(csr, options));
+  }
+}
+BENCHMARK(BM_MaximalCliquesCsrThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- Feature extraction --------------------------------------------------
 
 void BM_FeatureExtraction(benchmark::State& state) {
   ProjectedGraph g = MakeGraph(500, 1500);
@@ -60,6 +121,53 @@ void BM_FeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureExtraction);
 
+void BM_FeatureExtractionCsr(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(500, 1500);
+  CsrGraph csr(g);
+  marioh::core::FeatureExtractor extractor(
+      marioh::core::FeatureMode::kMultiplicityAware);
+  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extractor.Extract(csr, cliques[i % cliques.size()], true));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureExtractionCsr);
+
+// Thread sweep of the batched extraction used by clique scoring.
+void BM_FeatureExtractAllThreads(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(800, 2400);
+  CsrGraph csr(g);
+  marioh::core::FeatureExtractor extractor(
+      marioh::core::FeatureMode::kMultiplicityAware);
+  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extractor.ExtractAll(csr, cliques, true, threads));
+  }
+}
+BENCHMARK(BM_FeatureExtractAllThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- Filtering (Algorithm 2) --------------------------------------------
+
+void BM_FilteringThreads(benchmark::State& state) {
+  ProjectedGraph base = MakeGraph(2000, 4000);
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ProjectedGraph g = base;
+    marioh::Hypergraph h(g.num_nodes());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(marioh::core::Filtering(&g, &h, threads));
+  }
+}
+BENCHMARK(BM_FilteringThreads)->Arg(1)->Arg(4);
+
+// ---- Clique peeling ------------------------------------------------------
+
 void BM_PeelClique(benchmark::State& state) {
   ProjectedGraph base = MakeGraph(500, 1500);
   std::vector<NodeSet> cliques = marioh::MaximalCliques(base);
@@ -74,10 +182,13 @@ void BM_PeelClique(benchmark::State& state) {
 }
 BENCHMARK(BM_PeelClique);
 
+// ---- End-to-end scoring scaling -----------------------------------------
+
 void BM_ParallelScoringScaling(benchmark::State& state) {
   // Thread scaling of the clique-scoring hot loop (feature extraction is
   // the dominant cost inside BidirectionalSearch).
   ProjectedGraph g = MakeGraph(800, 2400);
+  CsrGraph csr(g);
   marioh::core::FeatureExtractor extractor(
       marioh::core::FeatureMode::kMultiplicityAware);
   std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
@@ -85,7 +196,7 @@ void BM_ParallelScoringScaling(benchmark::State& state) {
   for (auto _ : state) {
     std::vector<double> sums(cliques.size());
     marioh::util::ParallelFor(cliques.size(), threads, [&](size_t i) {
-      marioh::la::Vector f = extractor.Extract(g, cliques[i], true);
+      marioh::la::Vector f = extractor.Extract(csr, cliques[i], true);
       double s = 0;
       for (double v : f) s += v;
       sums[i] = s;
@@ -94,19 +205,6 @@ void BM_ParallelScoringScaling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelScoringScaling)->Arg(1)->Arg(2)->Arg(4);
-
-void BM_CsrMhh(benchmark::State& state) {
-  ProjectedGraph g = MakeGraph(2000, 4000);
-  marioh::CsrGraph csr(g);
-  auto edges = g.Edges();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& e = edges[i % edges.size()];
-    benchmark::DoNotOptimize(csr.Mhh(e.u, e.v));
-    ++i;
-  }
-}
-BENCHMARK(BM_CsrMhh);
 
 }  // namespace
 

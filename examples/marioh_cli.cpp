@@ -11,6 +11,10 @@
 //                     --list-methods for the roster
 //   --set key=value   session or method option override (repeatable),
 //                     e.g. --set theta_init=0.8 --set seed=7
+//                     --set threads=8 (0 = all cores) parallelizes the
+//                     reconstruction kernels of the MARIOH-family
+//                     methods (baselines ignore it); output is
+//                     identical for any thread count
 //   --budget SECONDS  wall-clock budget over train+reconstruct; an
 //                     overrunning run still writes its output but is
 //                     reported as out of time with exit code 1

@@ -35,6 +35,20 @@ Hypergraph MariohMethod::Reconstruct(const ProjectedGraph& g_target) {
   return marioh_.Reconstruct(g_target);
 }
 
+std::vector<std::pair<std::string, double>>
+MariohMethod::ReconstructionStats() const {
+  const core::ReconstructionStats& s = marioh_.last_reconstruction_stats();
+  return {
+      {"iterations", static_cast<double>(s.iterations)},
+      {"maximal_cliques", static_cast<double>(s.maximal_cliques)},
+      {"accepted_phase1", static_cast<double>(s.accepted_phase1)},
+      {"accepted_phase2", static_cast<double>(s.accepted_phase2)},
+      {"subcliques_scored", static_cast<double>(s.subcliques_scored)},
+      {"filtering_edges", static_cast<double>(s.filtering_edges)},
+      {"cliques_truncated", s.cliques_truncated ? 1.0 : 0.0},
+  };
+}
+
 namespace {
 
 /// Shared factory body for the four registered variants: typed base

@@ -24,6 +24,8 @@ class MariohMethod : public Reconstructor {
   void Train(const ProjectedGraph& g_source,
              const Hypergraph& h_source) override;
   Hypergraph Reconstruct(const ProjectedGraph& g_target) override;
+  std::vector<std::pair<std::string, double>> ReconstructionStats()
+      const override;
 
   /// Stage timing of the wrapped reconstructor (Fig. 6).
   const util::StageTimer& stage_timer() const {

@@ -21,7 +21,7 @@ Status ApplySessionOverride(SessionOptions* options,
     options->method = value;
     return Status::Ok();
   }
-  if (key == "seed" || key == "time_budget_seconds") {
+  if (key == "seed" || key == "time_budget_seconds" || key == "threads") {
     try {
       size_t pos = 0;
       if (key == "seed") {
@@ -30,6 +30,10 @@ Status ApplySessionOverride(SessionOptions* options,
           throw std::invalid_argument(value);
         }
         options->seed = std::stoull(value, &pos);
+      } else if (key == "threads") {
+        int threads = std::stoi(value, &pos);
+        if (threads < 0) throw std::invalid_argument(value);
+        options->marioh.num_threads = threads;
       } else {
         options->time_budget_seconds = std::stod(value, &pos);
       }
@@ -144,6 +148,14 @@ Status Session::Reconstruct(const ProjectedGraph& g_target) {
   util::Timer watch;
   reconstruction_ = method_->Reconstruct(g_target);
   EndStage("reconstruct", watch.Seconds());
+  // Accumulate the method's run counters alongside the stage times
+  // (StageTimer sums per key, so like the times these are session
+  // totals), making degraded runs — e.g. a truncated maximal-clique
+  // enumeration — visible to callers instead of silently producing a
+  // partial result.
+  for (const auto& [name, value] : method_->ReconstructionStats()) {
+    stage_timer_.Add("reconstruct." + name, value);
+  }
   return Status::Ok();
 }
 

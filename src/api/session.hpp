@@ -59,9 +59,13 @@ struct SessionOptions {
 };
 
 /// Applies one `key=value` assignment to `options`. Session-level keys
-/// (`method`, `seed`, `time_budget_seconds`) are set directly; any other
-/// key is appended to `options.overrides` for the method factory to
-/// validate at Configure time. kInvalidArgument on syntax errors or bad
+/// (`method`, `seed`, `time_budget_seconds`, `threads`) are set directly;
+/// any other key is appended to `options.overrides` for the method
+/// factory to validate at Configure time. `threads=N` (0 = all cores)
+/// sets `marioh.num_threads` — the thread count of the reconstruction
+/// hot kernels, with thread-count-invariant results; like the rest of
+/// the typed `marioh` options it only affects the MARIOH-family methods
+/// (baselines ignore it). kInvalidArgument on syntax errors or bad
 /// session-level values.
 Status ApplySessionOverride(SessionOptions* options,
                             const std::string& assignment);

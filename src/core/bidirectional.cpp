@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "hypergraph/clique.hpp"
+#include "hypergraph/csr.hpp"
 #include "util/check.hpp"
-#include "util/parallel.hpp"
 
 namespace marioh::core {
 namespace {
@@ -42,17 +42,25 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
   MARIOH_CHECK(classifier.trained());
   BidirectionalStats stats;
 
-  std::vector<NodeSet> maximal = MaximalCliques(*g);
+  // Freeze the pre-iteration graph into a CSR snapshot: enumeration and
+  // scoring below only read, so they run on the cache-friendly immutable
+  // layout across all cores while the hash-map graph stays untouched
+  // until the peel phase.
+  CsrGraph csr(*g, options.num_threads);
+  CliqueOptions clique_options;
+  clique_options.num_threads = options.num_threads;
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(csr, clique_options);
+  std::vector<NodeSet>& maximal = enumerated.cliques;
   stats.maximal_cliques = maximal.size();
+  stats.cliques_truncated = enumerated.truncated;
   if (maximal.empty()) return stats;
 
-  // Score all maximal cliques against the frozen pre-iteration graph;
-  // each score is independent, so this is embarrassingly parallel and
-  // deterministic for any thread count.
-  std::vector<double> scores(maximal.size());
-  util::ParallelFor(maximal.size(), options.num_threads, [&](size_t i) {
-    scores[i] = classifier.Score(*g, maximal[i], /*is_maximal=*/true);
-  });
+  // Score all maximal cliques against the frozen snapshot; each score is
+  // independent, so this is embarrassingly parallel and deterministic for
+  // any thread count.
+  std::vector<double> scores =
+      classifier.ScoreAll(csr, maximal, /*is_maximal=*/true,
+                          options.num_threads);
   std::vector<ScoredClique> pos, rest;
   for (size_t i = 0; i < maximal.size(); ++i) {
     if (scores[i] > options.theta) {
@@ -81,6 +89,9 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
       std::ceil(options.r_percent / 100.0 * static_cast<double>(rest.size())));
   take = std::min(take, rest.size());
 
+  // Phase 2 scores against the *mutable* graph, not the snapshot: Phase 1
+  // peels already happened and sub-clique scores must see the residual
+  // weights they would be applied to.
   std::vector<ScoredClique> subs;
   for (size_t i = 0; i < take; ++i) {
     const NodeSet& q = rest[i].nodes;

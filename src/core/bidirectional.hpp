@@ -18,6 +18,9 @@ struct BidirectionalStats {
   size_t accepted_phase1 = 0;   ///< hyperedges added from Q_pos
   size_t accepted_phase2 = 0;   ///< hyperedges added from sub-cliques
   size_t subcliques_scored = 0; ///< sub-clique candidates evaluated
+  /// True if the enumeration cap truncated the maximal-clique set this
+  /// iteration (the iteration then worked on a partial candidate pool).
+  bool cliques_truncated = false;
 };
 
 /// Options controlling one bidirectional-search iteration.
@@ -29,9 +32,10 @@ struct BidirectionalOptions {
   double r_percent = 20.0;
   /// Run Phase 2 (sub-clique exploration). false reproduces MARIOH-B.
   bool explore_subcliques = true;
-  /// Threads used to score maximal cliques (0 = all cores). Scoring is a
-  /// pure function of the frozen iteration graph, so results are
-  /// identical for any thread count.
+  /// Threads for the read-only kernels of the iteration — CSR snapshot
+  /// construction, maximal-clique enumeration, and clique scoring
+  /// (0 = all cores). All three are pure functions of the frozen
+  /// iteration snapshot, so results are identical for any thread count.
   int num_threads = 1;
 };
 

@@ -4,6 +4,7 @@
 
 #include "hypergraph/clique.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace marioh::core {
 namespace {
@@ -142,6 +143,25 @@ double CliqueClassifier::Score(const ProjectedGraph& g, const NodeSet& clique,
   la::Vector f = extractor_.Extract(g, clique, is_maximal);
   scaler_.Transform(&f);
   return mlp_->Predict(f);
+}
+
+double CliqueClassifier::Score(const CsrGraph& g, const NodeSet& clique,
+                               bool is_maximal) const {
+  MARIOH_CHECK(trained());
+  la::Vector f = extractor_.Extract(g, clique, is_maximal);
+  scaler_.Transform(&f);
+  return mlp_->Predict(f);
+}
+
+std::vector<double> CliqueClassifier::ScoreAll(
+    const CsrGraph& g, std::span<const NodeSet> cliques, bool is_maximal,
+    int num_threads) const {
+  MARIOH_CHECK(trained());
+  std::vector<double> scores(cliques.size());
+  util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {
+    scores[i] = Score(g, cliques[i], is_maximal);
+  });
+  return scores;
 }
 
 }  // namespace marioh::core

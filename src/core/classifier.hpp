@@ -6,7 +6,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "core/features.hpp"
 #include "hypergraph/hypergraph.hpp"
@@ -52,6 +54,20 @@ class CliqueClassifier {
   /// Prediction score M(Q) in (0, 1). Must be trained first.
   double Score(const ProjectedGraph& g, const NodeSet& clique,
                bool is_maximal) const;
+
+  /// Score measured on a CSR snapshot; identical to the ProjectedGraph
+  /// overload on the same graph.
+  double Score(const CsrGraph& g, const NodeSet& clique,
+               bool is_maximal) const;
+
+  /// Batched scoring against a frozen snapshot: element i is
+  /// `Score(g, cliques[i], is_maximal)`. Scores are independent pure
+  /// functions of the snapshot, computed into per-index slots with
+  /// `util::ParallelFor` (0 = all cores) — identical for any thread
+  /// count.
+  std::vector<double> ScoreAll(const CsrGraph& g,
+                               std::span<const NodeSet> cliques,
+                               bool is_maximal, int num_threads) const;
 
   /// True once Train has completed.
   bool trained() const { return mlp_ != nullptr; }

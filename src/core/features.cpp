@@ -1,15 +1,47 @@
 #include "core/features.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/motif.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace marioh::core {
+namespace {
 
-size_t FeatureExtractor::dim() const {
-  switch (mode_) {
+/// The neighborhood-density pass below consumes at most this many nodes
+/// in total, so neighbor lists never need more than the 64 smallest ids.
+constexpr size_t kHoodCap = 64;
+
+/// The `kHoodCap` smallest neighbor ids of u in ascending order. The CSR
+/// overload is a sorted-prefix view; the hash-map overload collects into
+/// `scratch` and partial-sorts (O(d log 64), not O(d log d), on hubs).
+/// Routing both representations through the same ascending order is what
+/// makes capped neighborhood statistics identical across the two paths.
+std::span<const NodeId> SortedNeighborIds(const CsrGraph& g, NodeId u,
+                                          std::vector<NodeId>* scratch) {
+  (void)scratch;
+  auto nbrs = g.Neighbors(u);
+  return nbrs.subspan(0, std::min(nbrs.size(), kHoodCap));
+}
+
+std::span<const NodeId> SortedNeighborIds(const ProjectedGraph& g, NodeId u,
+                                          std::vector<NodeId>* scratch) {
+  scratch->clear();
+  for (const auto& [v, w] : g.Neighbors(u)) {
+    (void)w;
+    scratch->push_back(v);
+  }
+  size_t keep = std::min(scratch->size(), kHoodCap);
+  std::partial_sort(scratch->begin(), scratch->begin() + keep,
+                    scratch->end());
+  return {scratch->data(), keep};
+}
+
+size_t FeatureDim(FeatureMode mode) {
+  switch (mode) {
     case FeatureMode::kMultiplicityAware:
       // 5 (weighted degree) + 3 * 5 (edge features) + 3 (clique-level).
       return 23;
@@ -24,24 +56,9 @@ size_t FeatureExtractor::dim() const {
   return 0;
 }
 
-la::Vector FeatureExtractor::Extract(const ProjectedGraph& g,
-                                     const NodeSet& clique,
-                                     bool is_maximal) const {
-  MARIOH_CHECK_GE(clique.size(), 2u);
-  switch (mode_) {
-    case FeatureMode::kMultiplicityAware:
-      return ExtractMultiplicityAware(g, clique, is_maximal);
-    case FeatureMode::kStructural:
-      return ExtractStructural(g, clique, is_maximal);
-    case FeatureMode::kMotif:
-      return ExtractMotif(g, clique, is_maximal);
-  }
-  MARIOH_CHECK(false);
-  return {};
-}
-
-la::Vector FeatureExtractor::ExtractMultiplicityAware(
-    const ProjectedGraph& g, const NodeSet& clique, bool is_maximal) const {
+template <typename Graph>
+la::Vector ExtractMultiplicityAware(const Graph& g, const NodeSet& clique,
+                                    bool is_maximal) {
   const size_t k = clique.size();
 
   // Node-level: weighted degree of each clique member.
@@ -77,7 +94,7 @@ la::Vector FeatureExtractor::ExtractMultiplicityAware(
                          : 0.0;
 
   la::Vector out;
-  out.reserve(dim());
+  out.reserve(FeatureDim(FeatureMode::kMultiplicityAware));
   auto append = [&out](const std::vector<double>& agg) {
     out.insert(out.end(), agg.begin(), agg.end());
   };
@@ -88,13 +105,13 @@ la::Vector FeatureExtractor::ExtractMultiplicityAware(
   out.push_back(static_cast<double>(k));
   out.push_back(cut_ratio);
   out.push_back(is_maximal ? 1.0 : 0.0);
-  MARIOH_CHECK_EQ(out.size(), dim());
+  MARIOH_CHECK_EQ(out.size(), FeatureDim(FeatureMode::kMultiplicityAware));
   return out;
 }
 
-la::Vector FeatureExtractor::ExtractStructural(const ProjectedGraph& g,
-                                               const NodeSet& clique,
-                                               bool is_maximal) const {
+template <typename Graph>
+la::Vector ExtractStructural(const Graph& g, const NodeSet& clique,
+                             bool is_maximal) {
   const size_t k = clique.size();
 
   // Node-level: unweighted degree.
@@ -108,20 +125,21 @@ la::Vector FeatureExtractor::ExtractStructural(const ProjectedGraph& g,
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = i + 1; j < k; ++j) {
       common.push_back(static_cast<double>(
-          g.CommonNeighbors(clique[i], clique[j]).size()));
+          g.CommonNeighborCount(clique[i], clique[j])));
     }
   }
 
   // Neighborhood edge density: fraction of pairs among the union of the
-  // clique's neighbors (capped for cost) that are connected.
+  // clique's neighbors (capped for cost, in ascending-id order) that are
+  // connected.
   NodeSet hood = clique;
+  std::vector<NodeId> scratch;
   for (NodeId u : clique) {
-    for (const auto& [v, w] : g.Neighbors(u)) {
-      (void)w;
+    for (NodeId v : SortedNeighborIds(g, u, &scratch)) {
       hood.push_back(v);
-      if (hood.size() >= 64) break;
+      if (hood.size() >= kHoodCap) break;
     }
-    if (hood.size() >= 64) break;
+    if (hood.size() >= kHoodCap) break;
   }
   Canonicalize(&hood);
   double density = 0.0;
@@ -138,7 +156,7 @@ la::Vector FeatureExtractor::ExtractStructural(const ProjectedGraph& g,
   }
 
   la::Vector out;
-  out.reserve(dim());
+  out.reserve(FeatureDim(FeatureMode::kStructural));
   auto append = [&out](const std::vector<double>& agg) {
     out.insert(out.end(), agg.begin(), agg.end());
   };
@@ -152,9 +170,9 @@ la::Vector FeatureExtractor::ExtractStructural(const ProjectedGraph& g,
   return out;
 }
 
-la::Vector FeatureExtractor::ExtractMotif(const ProjectedGraph& g,
-                                          const NodeSet& clique,
-                                          bool is_maximal) const {
+template <typename Graph>
+la::Vector ExtractMotif(const Graph& g, const NodeSet& clique,
+                        bool is_maximal) {
   // Structural features first (13 dims, computed identically to
   // kStructural), then motif statistics.
   la::Vector out = ExtractStructural(g, clique, is_maximal);
@@ -177,8 +195,52 @@ la::Vector FeatureExtractor::ExtractMotif(const ProjectedGraph& g,
   };
   append(util::Aggregate5(clustering));
   append(util::Aggregate5(squares));
-  MARIOH_CHECK_EQ(out.size(), dim());
+  MARIOH_CHECK_EQ(out.size(), FeatureDim(FeatureMode::kMotif));
   return out;
+}
+
+template <typename Graph>
+la::Vector ExtractImpl(FeatureMode mode, const Graph& g,
+                       const NodeSet& clique, bool is_maximal) {
+  MARIOH_CHECK_GE(clique.size(), 2u);
+  switch (mode) {
+    case FeatureMode::kMultiplicityAware:
+      return ExtractMultiplicityAware(g, clique, is_maximal);
+    case FeatureMode::kStructural:
+      return ExtractStructural(g, clique, is_maximal);
+    case FeatureMode::kMotif:
+      return ExtractMotif(g, clique, is_maximal);
+  }
+  MARIOH_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+size_t FeatureExtractor::dim() const { return FeatureDim(mode_); }
+
+la::Vector FeatureExtractor::Extract(const ProjectedGraph& g,
+                                     const NodeSet& clique,
+                                     bool is_maximal) const {
+  return ExtractImpl(mode_, g, clique, is_maximal);
+}
+
+la::Vector FeatureExtractor::Extract(const CsrGraph& g,
+                                     const NodeSet& clique,
+                                     bool is_maximal) const {
+  return ExtractImpl(mode_, g, clique, is_maximal);
+}
+
+la::Matrix FeatureExtractor::ExtractAll(const CsrGraph& g,
+                                        std::span<const NodeSet> cliques,
+                                        bool is_maximal,
+                                        int num_threads) const {
+  la::Matrix x(cliques.size(), dim());
+  util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {
+    la::Vector f = ExtractImpl(mode_, g, cliques[i], is_maximal);
+    std::copy(f.begin(), f.end(), x.Row(i));
+  });
+  return x;
 }
 
 }  // namespace marioh::core

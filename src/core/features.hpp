@@ -2,11 +2,22 @@
 /// \brief Clique feature extraction for the multiplicity-aware classifier
 /// (Sect. III-D) and for the SHyRe-Count-style structural features used by
 /// the MARIOH-M ablation and the SHyRe baselines.
+///
+/// Every feature family can be computed against either the mutable
+/// hash-map `ProjectedGraph` or an immutable `CsrGraph` snapshot; both
+/// paths produce bit-identical vectors (work caps truncate neighbor sets
+/// in ascending-id order on both). The CSR overload is the reconstruction
+/// loop's hot path — `CliqueClassifier::ScoreAll` calls it per clique
+/// inside one parallel loop over the frozen per-iteration snapshot —
+/// and `ExtractAll` exposes the same batched parallel extraction
+/// standalone (benches, tests, batch training).
 
 #pragma once
 
 #include <cstddef>
+#include <span>
 
+#include "hypergraph/csr.hpp"
 #include "hypergraph/projected_graph.hpp"
 #include "hypergraph/types.hpp"
 #include "la/matrix.hpp"
@@ -46,17 +57,21 @@ class FeatureExtractor {
   la::Vector Extract(const ProjectedGraph& g, const NodeSet& clique,
                      bool is_maximal) const;
 
+  /// Same features measured on a CSR snapshot; bit-identical to the
+  /// ProjectedGraph overload on the same graph.
+  la::Vector Extract(const CsrGraph& g, const NodeSet& clique,
+                     bool is_maximal) const;
+
+  /// Batched extraction over candidate cliques: row i of the result is
+  /// `Extract(g, cliques[i], is_maximal)`. Rows are independent output
+  /// slots filled with `util::ParallelFor` (0 = all cores), so the matrix
+  /// is identical for any thread count.
+  la::Matrix ExtractAll(const CsrGraph& g, std::span<const NodeSet> cliques,
+                        bool is_maximal, int num_threads) const;
+
   FeatureMode mode() const { return mode_; }
 
  private:
-  la::Vector ExtractMultiplicityAware(const ProjectedGraph& g,
-                                      const NodeSet& clique,
-                                      bool is_maximal) const;
-  la::Vector ExtractStructural(const ProjectedGraph& g,
-                               const NodeSet& clique, bool is_maximal) const;
-  la::Vector ExtractMotif(const ProjectedGraph& g, const NodeSet& clique,
-                          bool is_maximal) const;
-
   FeatureMode mode_;
 };
 

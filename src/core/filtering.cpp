@@ -2,30 +2,48 @@
 
 #include <vector>
 
+#include "hypergraph/csr.hpp"
+#include "util/parallel.hpp"
+
 namespace marioh::core {
 
-FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h) {
+FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h,
+                         int num_threads) {
   FilteringStats stats;
   // MHH is defined on the input graph, so compute every residual before
-  // mutating any weight (Algorithm 2 reads w from G, not G').
+  // mutating any weight (Algorithm 2 reads w from G, not G'). The
+  // residual pass only reads, so it runs on a frozen CSR snapshot: one
+  // slot per node, each holding that node's u < v extractions in
+  // ascending v order, concatenated afterwards into sorted edge order.
   struct Extraction {
     NodeId u;
     NodeId v;
     uint32_t count;
   };
-  std::vector<Extraction> extractions;
-  for (const ProjectedGraph::Edge& e : g->Edges()) {
-    uint64_t mhh = g->Mhh(e.u, e.v);
-    if (e.weight > mhh) {
-      extractions.push_back(
-          {e.u, e.v, static_cast<uint32_t>(e.weight - mhh)});
+  CsrGraph csr(*g, num_threads);
+  const size_t n = csr.num_nodes();
+  std::vector<std::vector<Extraction>> slots(n);
+  util::ParallelFor(n, num_threads, [&](size_t u) {
+    auto neighbors = csr.Neighbors(u);
+    auto weights = csr.Weights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      NodeId v = neighbors[i];
+      if (v <= u) continue;  // each undirected edge once, as (min, max)
+      uint64_t mhh = csr.Mhh(u, v);
+      if (weights[i] > mhh) {
+        slots[u].push_back(
+            {static_cast<NodeId>(u), v,
+             static_cast<uint32_t>(weights[i] - mhh)});
+      }
     }
-  }
-  for (const Extraction& ex : extractions) {
-    h->AddEdge(NodeSet{ex.u, ex.v}, ex.count);
-    g->SubtractWeight(ex.u, ex.v, ex.count);
-    ++stats.edges_identified;
-    stats.total_multiplicity += ex.count;
+  });
+  for (const std::vector<Extraction>& slot : slots) {
+    for (const Extraction& ex : slot) {
+      h->AddEdge(NodeSet{ex.u, ex.v}, ex.count);
+      g->SubtractWeight(ex.u, ex.v, ex.count);
+      ++stats.edges_identified;
+      stats.total_multiplicity += ex.count;
+    }
   }
   return stats;
 }

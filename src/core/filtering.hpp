@@ -23,6 +23,12 @@ struct FilteringStats {
 /// multiplicity `r_uv` and subtracts `r_uv` from w(u,v), deleting the edge
 /// when the weight reaches zero. By Lemmas 1-2 every extracted hyperedge is
 /// guaranteed to be in the original hypergraph.
-FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h);
+///
+/// The MHH pass is read-only, so it runs over a CSR snapshot of `g` with
+/// `num_threads` threads (0 = all cores); extractions are applied
+/// sequentially in sorted edge order afterwards, so the result is
+/// identical for any thread count.
+FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h,
+                         int num_threads = 1);
 
 }  // namespace marioh::core

@@ -39,10 +39,12 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
   MARIOH_CHECK(classifier_.trained());
   ProjectedGraph g = g_target;  // working copy G'
   Hypergraph h(g.num_nodes());
+  last_stats_ = {};
 
   if (options_.use_filtering) {
     util::ScopedStage stage(&timer_, "filtering");
-    Filtering(&g, &h);
+    FilteringStats fstats = Filtering(&g, &h, options_.num_threads);
+    last_stats_.filtering_edges = fstats.edges_identified;
   }
 
   util::Rng rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -58,6 +60,11 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
       bopt.num_threads = options_.num_threads;
       BidirectionalStats stats =
           BidirectionalSearch(&g, classifier_, bopt, &rng, &h);
+      last_stats_.maximal_cliques += stats.maximal_cliques;
+      last_stats_.accepted_phase1 += stats.accepted_phase1;
+      last_stats_.accepted_phase2 += stats.accepted_phase2;
+      last_stats_.subcliques_scored += stats.subcliques_scored;
+      last_stats_.cliques_truncated |= stats.cliques_truncated;
       theta = std::max(theta - options_.alpha * options_.theta_init, 0.0);
       ++iterations;
       // Termination safeguard: once theta is 0 every maximal clique scores
@@ -67,13 +74,16 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
       // a plain maximal-clique step to guarantee progress.
       if (theta == 0.0 && stats.accepted_phase1 == 0 &&
           stats.accepted_phase2 == 0 && !g.Empty()) {
-        std::vector<NodeSet> cliques = MaximalCliques(g);
-        MARIOH_CHECK(!cliques.empty());
-        h.AddEdge(cliques.front(), 1);
-        g.PeelClique(cliques.front());
+        CliqueOptions copts;
+        copts.num_threads = options_.num_threads;
+        MaximalCliqueResult fallback = EnumerateMaximalCliques(g, copts);
+        MARIOH_CHECK(!fallback.cliques.empty());
+        h.AddEdge(fallback.cliques.front(), 1);
+        g.PeelClique(fallback.cliques.front());
       }
     }
   }
+  last_stats_.iterations = iterations;
   return h;
 }
 

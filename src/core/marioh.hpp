@@ -30,8 +30,10 @@ struct MariohOptions {
   /// Safety cap on reconstruction iterations; the algorithm normally stops
   /// when the residual graph is empty.
   size_t max_iterations = 10'000;
-  /// Threads for the per-iteration clique scoring (0 = all cores).
-  /// Results are identical for any value (scores are independent).
+  /// Threads for the read-only kernels of every iteration — filtering's
+  /// MHH pass, CSR snapshot builds, maximal-clique enumeration, and
+  /// clique scoring (0 = all cores). Results are identical for any value
+  /// (the determinism contract of docs/ARCHITECTURE.md).
   int num_threads = 1;
   uint64_t seed = 1;  ///< seed for training and sub-clique sampling
   ClassifierOptions classifier;
@@ -48,6 +50,20 @@ enum class MariohVariant {
 /// Convenience: options for a named variant on top of `base`.
 MariohOptions OptionsForVariant(MariohVariant variant,
                                 MariohOptions base = {});
+
+/// Aggregate counters of the most recent Reconstruct call.
+struct ReconstructionStats {
+  size_t iterations = 0;         ///< bidirectional-search iterations run
+  size_t maximal_cliques = 0;    ///< cliques enumerated, summed over iters
+  size_t accepted_phase1 = 0;    ///< hyperedges accepted from Q_pos
+  size_t accepted_phase2 = 0;    ///< hyperedges accepted from sub-cliques
+  size_t subcliques_scored = 0;  ///< sub-clique candidates evaluated
+  size_t filtering_edges = 0;    ///< size-2 hyperedges from Algorithm 2
+  /// True if any iteration's maximal-clique enumeration was truncated by
+  /// the clique cap — the reconstruction then worked on partial candidate
+  /// pools and callers should not treat the output as exhaustive.
+  bool cliques_truncated = false;
+};
 
 /// Supervised multiplicity-aware hypergraph reconstructor.
 ///
@@ -74,6 +90,11 @@ class Marioh {
   /// powers the Fig. 6 runtime-breakdown bench.
   const util::StageTimer& stage_timer() const { return timer_; }
 
+  /// Counters of the most recent Reconstruct call (zeroed at its start).
+  const ReconstructionStats& last_reconstruction_stats() const {
+    return last_stats_;
+  }
+
   /// Underlying classifier (trained after Train).
   const CliqueClassifier& classifier() const { return classifier_; }
 
@@ -83,6 +104,7 @@ class Marioh {
   MariohOptions options_;
   CliqueClassifier classifier_;
   mutable util::StageTimer timer_;
+  mutable ReconstructionStats last_stats_;
 };
 
 }  // namespace marioh::core

@@ -4,9 +4,65 @@
 #include <vector>
 
 namespace marioh::core {
+namespace {
+
+/// Collects up to `cap` neighbor ids of u in ascending order, skipping
+/// `skip`. The ascending truncation order is what makes capped statistics
+/// identical between the hash-map and CSR paths — the same convention as
+/// features.cpp's SortedNeighborIds, enforced across both files by
+/// test_hot_path's bit-identity properties.
+std::vector<NodeId> CappedSortedNeighbors(const ProjectedGraph& g, NodeId u,
+                                          NodeId skip, size_t cap) {
+  std::vector<NodeId> out;
+  out.reserve(g.Degree(u));
+  for (const auto& [v, w] : g.Neighbors(u)) {
+    (void)w;
+    if (v != skip) out.push_back(v);
+  }
+  size_t keep = std::min(out.size(), cap);
+  // Keep the `cap` smallest ids (O(d log cap), not O(d log d) on hubs).
+  std::partial_sort(out.begin(), out.begin() + keep, out.end());
+  out.resize(keep);
+  return out;
+}
+
+std::vector<NodeId> CappedSortedNeighbors(const CsrGraph& g, NodeId u,
+                                          NodeId skip, size_t cap) {
+  std::vector<NodeId> out;
+  auto nbrs = g.Neighbors(u);
+  out.reserve(std::min(nbrs.size(), cap));
+  for (NodeId v : nbrs) {
+    if (v == skip) continue;
+    out.push_back(v);
+    if (out.size() >= cap) break;
+  }
+  return out;
+}
+
+template <typename Graph>
+uint64_t SquaresThroughEdgeImpl(const Graph& g, NodeId u, NodeId v,
+                                size_t max_neighbors) {
+  std::vector<NodeId> nu = CappedSortedNeighbors(g, u, v, max_neighbors);
+  std::vector<NodeId> nv = CappedSortedNeighbors(g, v, u, max_neighbors);
+  // A square u-x-y-v-u needs x in N(u), y in N(v), edge (x,y), x != y.
+  uint64_t squares = 0;
+  for (NodeId x : nu) {
+    for (NodeId y : nv) {
+      if (x == y) continue;
+      if (g.HasEdge(x, y)) ++squares;
+    }
+  }
+  return squares;
+}
+
+}  // namespace
 
 uint64_t TrianglesThroughEdge(const ProjectedGraph& g, NodeId u, NodeId v) {
   return g.CommonNeighbors(u, v).size();
+}
+
+uint64_t TrianglesThroughEdge(const CsrGraph& g, NodeId u, NodeId v) {
+  return g.CommonNeighborCount(u, v);
 }
 
 uint64_t TrianglesAtNode(const ProjectedGraph& g, NodeId u) {
@@ -20,7 +76,20 @@ uint64_t TrianglesAtNode(const ProjectedGraph& g, NodeId u) {
   return twice / 2;
 }
 
+uint64_t TrianglesAtNode(const CsrGraph& g, NodeId u) {
+  uint64_t twice = 0;
+  for (NodeId v : g.Neighbors(u)) {
+    twice += TrianglesThroughEdge(g, u, v);
+  }
+  return twice / 2;
+}
+
 uint64_t WedgesAtNode(const ProjectedGraph& g, NodeId u) {
+  uint64_t d = g.Degree(u);
+  return d * (d - 1) / 2;
+}
+
+uint64_t WedgesAtNode(const CsrGraph& g, NodeId u) {
   uint64_t d = g.Degree(u);
   return d * (d - 1) / 2;
 }
@@ -32,33 +101,21 @@ double ClusteringCoefficient(const ProjectedGraph& g, NodeId u) {
          static_cast<double>(wedges);
 }
 
+double ClusteringCoefficient(const CsrGraph& g, NodeId u) {
+  uint64_t wedges = WedgesAtNode(g, u);
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(TrianglesAtNode(g, u)) /
+         static_cast<double>(wedges);
+}
+
 uint64_t SquaresThroughEdge(const ProjectedGraph& g, NodeId u, NodeId v,
                             size_t max_neighbors) {
-  // Collect bounded neighbor lists excluding the opposite endpoint.
-  std::vector<NodeId> nu, nv;
-  nu.reserve(std::min(g.Degree(u), max_neighbors));
-  for (const auto& [x, w] : g.Neighbors(u)) {
-    (void)w;
-    if (x == v) continue;
-    nu.push_back(x);
-    if (nu.size() >= max_neighbors) break;
-  }
-  nv.reserve(std::min(g.Degree(v), max_neighbors));
-  for (const auto& [y, w] : g.Neighbors(v)) {
-    (void)w;
-    if (y == u) continue;
-    nv.push_back(y);
-    if (nv.size() >= max_neighbors) break;
-  }
-  // A square u-x-y-v-u needs x in N(u), y in N(v), edge (x,y), x != y.
-  uint64_t squares = 0;
-  for (NodeId x : nu) {
-    for (NodeId y : nv) {
-      if (x == y) continue;
-      if (g.HasEdge(x, y)) ++squares;
-    }
-  }
-  return squares;
+  return SquaresThroughEdgeImpl(g, u, v, max_neighbors);
+}
+
+uint64_t SquaresThroughEdge(const CsrGraph& g, NodeId u, NodeId v,
+                            size_t max_neighbors) {
+  return SquaresThroughEdgeImpl(g, u, v, max_neighbors);
 }
 
 }  // namespace marioh::core

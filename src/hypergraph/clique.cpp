@@ -1,24 +1,248 @@
 #include "hypergraph/clique.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace marioh {
 namespace {
 
-/// Recursive Bron–Kerbosch with pivoting. `r` is the growing clique, `p`
-/// the candidate set, `x` the excluded set; both `p` and `x` are sorted.
-class BronKerbosch {
+/// The recursion's P and X sets shrink quickly (bounded by the
+/// degeneracy), while CSR neighbor ranges can be long; when the vector
+/// side is much smaller than the span, per-element binary search beats a
+/// full merge scan. This ratio picks between the two.
+constexpr size_t kBinarySearchRatio = 8;
+
+/// |a ∩ b| for a sorted span and a sorted vector.
+size_t IntersectionSize(std::span<const NodeId> a,
+                        const std::vector<NodeId>& b) {
+  size_t count = 0;
+  if (b.size() * kBinarySearchRatio <= a.size()) {
+    for (NodeId v : b) {
+      if (std::binary_search(a.begin(), a.end(), v)) ++count;
+    }
+    return count;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// out = a ∩ b (both sorted); out stays sorted.
+void IntersectInto(const std::vector<NodeId>& a, std::span<const NodeId> b,
+                   std::vector<NodeId>* out) {
+  out->clear();
+  if (a.size() * kBinarySearchRatio <= b.size()) {
+    for (NodeId v : a) {
+      if (std::binary_search(b.begin(), b.end(), v)) out->push_back(v);
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+/// out = a \ b (both sorted); out stays sorted.
+void DifferenceInto(const std::vector<NodeId>& a, std::span<const NodeId> b,
+                    std::vector<NodeId>* out) {
+  out->clear();
+  if (a.size() * kBinarySearchRatio <= b.size()) {
+    for (NodeId v : a) {
+      if (!std::binary_search(b.begin(), b.end(), v)) out->push_back(v);
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    while (j < b.size() && b[j] < a[i]) ++j;
+    if (j < b.size() && b[j] == a[i]) {
+      ++i;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+    }
+  }
+}
+
+/// Per-root subproblem of the degeneracy-ordered enumeration: the
+/// subgraph induced by S = N(v), relabeled to local ids 0..|S|-1 in
+/// ascending global-id order. All recursion set operations then run over
+/// short contiguous local adjacency rows instead of the full CSR —
+/// the cache-locality trick of the fast Bron–Kerbosch implementations.
+struct LocalSubgraph {
+  std::vector<NodeId> globals;    ///< S, sorted; local id -> global id
+  std::vector<size_t> offsets;    ///< per-local-id row offsets, size |S|+1
+  std::vector<NodeId> neighbors;  ///< concatenated sorted local rows
+
+  std::span<const NodeId> Neighbors(NodeId local) const {
+    return {neighbors.data() + offsets[local],
+            neighbors.data() + offsets[local + 1]};
+  }
+
+  /// Builds the induced subgraph on S = N(v) from the snapshot. Each
+  /// induced edge is discovered once from its smaller endpoint and
+  /// mirrored into both rows (appended in ascending order on both sides,
+  /// so rows stay sorted without a sort pass). `rows` is caller-owned
+  /// scratch reused across roots.
+  void Build(const CsrGraph& g, NodeId v,
+             std::vector<std::vector<NodeId>>* rows) {
+    auto s_nodes = g.Neighbors(v);
+    globals.assign(s_nodes.begin(), s_nodes.end());
+    const size_t s = globals.size();
+    if (rows->size() < s) rows->resize(s);
+    for (size_t w = 0; w < s; ++w) (*rows)[w].clear();
+    for (size_t w = 0; w < s; ++w) {
+      const NodeId gw = globals[w];
+      auto gn = g.Neighbors(gw);
+      // Intersect globals[w+1..) with the > gw suffix of N(gw), emitting
+      // local pairs (w, z). Both sides ascend.
+      size_t b = static_cast<size_t>(
+          std::upper_bound(gn.begin(), gn.end(), gw) - gn.begin());
+      size_t a = w + 1;
+      auto add = [&](size_t z) {
+        (*rows)[w].push_back(static_cast<NodeId>(z));
+        (*rows)[z].push_back(static_cast<NodeId>(w));
+      };
+      const size_t rem_a = s - a;
+      const size_t rem_b = gn.size() - b;
+      if (rem_a * kBinarySearchRatio <= rem_b) {
+        for (; a < s; ++a) {
+          if (std::binary_search(gn.begin() + b, gn.end(), globals[a])) {
+            add(a);
+          }
+        }
+      } else if (rem_b * kBinarySearchRatio <= rem_a) {
+        for (size_t j = b; j < gn.size(); ++j) {
+          auto it = std::lower_bound(globals.begin() + a, globals.end(),
+                                     gn[j]);
+          if (it != globals.end() && *it == gn[j]) {
+            add(static_cast<size_t>(it - globals.begin()));
+          }
+        }
+      } else {
+        size_t j = b;
+        while (a < s && j < gn.size()) {
+          if (globals[a] == gn[j]) {
+            add(a);
+            ++a;
+            ++j;
+          } else if (globals[a] < gn[j]) {
+            ++a;
+          } else {
+            ++j;
+          }
+        }
+      }
+    }
+    offsets.assign(s + 1, 0);
+    neighbors.clear();
+    for (size_t w = 0; w < s; ++w) {
+      neighbors.insert(neighbors.end(), (*rows)[w].begin(),
+                       (*rows)[w].end());
+      offsets[w + 1] = neighbors.size();
+    }
+  }
+};
+
+/// Depth-indexed scratch vectors for the recursion (3 per level:
+/// candidates, p2, x2), reused across roots within a thread so the inner
+/// loop performs no allocations after warm-up.
+using BkScratch = std::vector<std::vector<NodeId>>;
+
+/// Recursive Bron–Kerbosch with pivoting over any adjacency exposing
+/// `Neighbors(id) -> sorted span`. `r` is the growing clique (unsorted;
+/// the emit callback canonicalizes), `p` the candidate set and `x` the
+/// excluded set, both sorted. `emit` returns false to stop enumeration
+/// (emission cap reached). The caller must size `scratch` to at least
+/// 3 * (max recursion depth + 1) — depth is bounded by |P ∪ X| + 1.
+template <typename Adjacency, typename EmitFn>
+class PivotBronKerbosch {
  public:
-  BronKerbosch(const ProjectedGraph& g, const CliqueOptions& options,
-               std::vector<NodeSet>* out)
+  PivotBronKerbosch(const Adjacency& adj, EmitFn& emit, BkScratch* scratch)
+      : adj_(adj), emit_(emit), scratch_(scratch) {}
+
+  /// Returns false once the emit callback stops enumeration.
+  bool Expand(size_t depth, std::vector<NodeId>* r, std::vector<NodeId>& p,
+              std::vector<NodeId>& x) {
+    if (p.empty() && x.empty()) return emit_(*r);
+    // Pivot: the vertex of p ∪ x with the most neighbors in p.
+    NodeId pivot = 0;
+    size_t best = 0;
+    bool have_pivot = false;
+    auto consider = [&](NodeId cand) {
+      size_t cnt = IntersectionSize(adj_.Neighbors(cand), p);
+      if (!have_pivot || cnt > best) {
+        pivot = cand;
+        best = cnt;
+        have_pivot = true;
+      }
+    };
+    for (NodeId cand : p) consider(cand);
+    for (NodeId cand : x) consider(cand);
+
+    std::vector<NodeId>& candidates = (*scratch_)[3 * depth];
+    std::vector<NodeId>& p2 = (*scratch_)[3 * depth + 1];
+    std::vector<NodeId>& x2 = (*scratch_)[3 * depth + 2];
+    DifferenceInto(p, adj_.Neighbors(pivot), &candidates);
+    for (NodeId v : candidates) {
+      auto nv = adj_.Neighbors(v);
+      IntersectInto(p, nv, &p2);
+      IntersectInto(x, nv, &x2);
+      r->push_back(v);
+      bool keep = Expand(depth + 1, r, p2, x2);
+      r->pop_back();
+      if (!keep) return false;
+      // Move v from p to x (both stay sorted).
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+    }
+    return true;
+  }
+
+ private:
+  const Adjacency& adj_;
+  EmitFn& emit_;
+  BkScratch* scratch_;
+};
+
+/// Reference Bron–Kerbosch over the hash-map adjacency (sequential). The
+/// growing clique is pushed/popped at the tail and sorted only on
+/// emission.
+class HashMapBronKerbosch {
+ public:
+  HashMapBronKerbosch(const ProjectedGraph& g, const CliqueOptions& options,
+                      std::vector<NodeSet>* out)
       : g_(g), options_(options), out_(out) {}
 
   void Expand(NodeSet* r, std::vector<NodeId> p, std::vector<NodeId> x) {
     if (out_->size() >= options_.max_cliques) return;
     if (p.empty() && x.empty()) {
-      if (r->size() >= options_.min_size) out_->push_back(*r);
+      if (r->size() >= options_.min_size) {
+        out_->push_back(*r);
+        std::sort(out_->back().begin(), out_->back().end());
+      }
       return;
     }
     // Pivot: the vertex of p ∪ x with the most neighbors in p.
@@ -52,11 +276,8 @@ class BronKerbosch {
         if (g_.HasEdge(v, w)) x2.push_back(w);
       }
       r->push_back(v);
-      std::sort(r->begin(), r->end());
-      NodeSet saved = *r;
       Expand(r, std::move(p2), std::move(x2));
-      *r = saved;
-      r->erase(std::find(r->begin(), r->end(), v));
+      r->pop_back();
       // Move v from p to x.
       p.erase(std::find(p.begin(), p.end(), v));
       x.insert(std::lower_bound(x.begin(), x.end(), v), v);
@@ -70,10 +291,12 @@ class BronKerbosch {
   std::vector<NodeSet>* out_;
 };
 
-}  // namespace
-
-std::vector<NodeId> DegeneracyOrdering(const ProjectedGraph& g,
-                                       size_t* degeneracy) {
+/// Shared degeneracy-ordering body; `for_each` adapts the two adjacency
+/// representations (hash map vs CSR) to a common neighbor iteration.
+template <typename Graph, typename ForEachNeighbor>
+std::vector<NodeId> DegeneracyOrderingImpl(const Graph& g,
+                                           size_t* degeneracy,
+                                           ForEachNeighbor&& for_each) {
   const size_t n = g.num_nodes();
   std::vector<size_t> deg(n);
   size_t max_deg = 0;
@@ -101,21 +324,145 @@ std::vector<NodeId> DegeneracyOrdering(const ProjectedGraph& g,
     removed[u] = true;
     order.push_back(u);
     degen = std::max(degen, cursor);
-    for (const auto& [v, w] : g.Neighbors(u)) {
-      (void)w;
+    for_each(u, [&](NodeId v) {
       if (!removed[v] && deg[v] > 0) {
         --deg[v];
         buckets[deg[v]].push_back(v);
         if (deg[v] < cursor) cursor = deg[v];
       }
-    }
+    });
   }
   if (degeneracy != nullptr) *degeneracy = degen;
   return order;
 }
 
+}  // namespace
+
+std::vector<NodeId> DegeneracyOrdering(const ProjectedGraph& g,
+                                       size_t* degeneracy) {
+  return DegeneracyOrderingImpl(g, degeneracy, [&g](NodeId u, auto&& fn) {
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      (void)w;
+      fn(v);
+    }
+  });
+}
+
+std::vector<NodeId> DegeneracyOrdering(const CsrGraph& g,
+                                       size_t* degeneracy) {
+  return DegeneracyOrderingImpl(g, degeneracy, [&g](NodeId u, auto&& fn) {
+    for (NodeId v : g.Neighbors(u)) fn(v);
+  });
+}
+
+MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
+                                            const CliqueOptions& options) {
+  MaximalCliqueResult result;
+  const size_t n = g.num_nodes();
+  if (n == 0) return result;
+  std::vector<NodeId> order = DegeneracyOrdering(g, nullptr);
+  std::vector<size_t> pos(n);
+  for (size_t i = 0; i < n; ++i) pos[order[i]] = i;
+
+  // Each root is individually capped at max_cliques + 1: a root hitting
+  // its cap proves the concatenated total exceeds max_cliques, without
+  // cross-thread communication that would make the surviving subset
+  // depend on thread timing.
+  const size_t per_root_cap =
+      options.max_cliques == std::numeric_limits<size_t>::max()
+          ? options.max_cliques
+          : options.max_cliques + 1;
+
+  std::vector<std::vector<NodeSet>> slots(n);
+  util::ParallelForRanges(n, options.num_threads, [&](size_t begin,
+                                                      size_t end) {
+    // Working state reused across this range's roots, so the hot loop
+    // stops allocating after warm-up. Every buffer is rebuilt or cleared
+    // per root; the retained capacity is bounded by the largest
+    // neighborhood enumerated on this thread.
+    LocalSubgraph local;
+    std::vector<std::vector<NodeId>> row_scratch;
+    BkScratch scratch;
+    std::vector<NodeId> p, x, r_local;
+    // Running count of cliques this range has emitted. Once it alone
+    // exceeds max_cliques, every later root of the range lies past the
+    // global truncation point (earlier roots only add to the prefix), so
+    // the remaining roots contribute nothing to the final output and can
+    // be skipped. The exit depends only on this range's own contents, so
+    // the surviving output stays identical for any thread count, while
+    // materialized work per range is bounded by ~2 * max_cliques (the
+    // last root admitted at exactly max_cliques can itself emit up to
+    // per_root_cap more) instead of roots * max_cliques.
+    size_t emitted_in_range = 0;
+    for (size_t i = begin;
+         i < end && emitted_in_range <= options.max_cliques; ++i) {
+      NodeId v = order[i];
+      if (g.Degree(v) == 0) continue;
+      // The whole subproblem lives inside N(v): relabel it to a compact
+      // local subgraph so the recursion works on short contiguous rows.
+      local.Build(g, v, &row_scratch);
+      const size_t s = local.globals.size();
+      if (scratch.size() < 3 * (s + 2)) scratch.resize(3 * (s + 2));
+      // P: neighbors later in the ordering; X: earlier. Local ids
+      // ascend with global ids, so both stay sorted.
+      p.clear();
+      x.clear();
+      for (size_t w = 0; w < s; ++w) {
+        if (pos[local.globals[w]] > i) {
+          p.push_back(static_cast<NodeId>(w));
+        } else {
+          x.push_back(static_cast<NodeId>(w));
+        }
+      }
+      std::vector<NodeSet>& out = slots[i];
+      auto emit = [&](const std::vector<NodeId>& r) {
+        if (r.size() + 1 >= options.min_size) {
+          NodeSet q;
+          q.reserve(r.size() + 1);
+          q.push_back(v);
+          for (NodeId local_id : r) q.push_back(local.globals[local_id]);
+          std::sort(q.begin(), q.end());
+          out.push_back(std::move(q));
+          if (out.size() >= per_root_cap) return false;
+        }
+        return true;
+      };
+      PivotBronKerbosch bk(local, emit, &scratch);
+      r_local.clear();
+      bk.Expand(0, &r_local, p, x);
+      emitted_in_range += out.size();
+    }
+  });
+
+  // Concatenate per-root slots in root order; the global cap is applied
+  // to this deterministic sequence, then the survivors are sorted.
+  size_t total = 0;
+  for (const std::vector<NodeSet>& slot : slots) total += slot.size();
+  result.truncated = total > options.max_cliques;
+  result.cliques.reserve(std::min(total, options.max_cliques));
+  for (std::vector<NodeSet>& slot : slots) {
+    for (NodeSet& q : slot) {
+      if (result.cliques.size() >= options.max_cliques) break;
+      result.cliques.push_back(std::move(q));
+    }
+  }
+  std::sort(result.cliques.begin(), result.cliques.end());
+  return result;
+}
+
+MaximalCliqueResult EnumerateMaximalCliques(const ProjectedGraph& g,
+                                            const CliqueOptions& options) {
+  CsrGraph csr(g, options.num_threads);
+  return EnumerateMaximalCliques(csr, options);
+}
+
 std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
                                     const CliqueOptions& options) {
+  return EnumerateMaximalCliques(g, options).cliques;
+}
+
+std::vector<NodeSet> MaximalCliquesHashMapReference(
+    const ProjectedGraph& g, const CliqueOptions& options) {
   std::vector<NodeSet> out;
   const size_t n = g.num_nodes();
   if (n == 0) return out;
@@ -123,7 +470,7 @@ std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
   std::vector<size_t> pos(n);
   for (size_t i = 0; i < n; ++i) pos[order[i]] = i;
 
-  BronKerbosch bk(g, options, &out);
+  HashMapBronKerbosch bk(g, options, &out);
   for (size_t i = 0; i < n; ++i) {
     NodeId v = order[i];
     if (g.Degree(v) == 0) continue;

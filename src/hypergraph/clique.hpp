@@ -4,12 +4,20 @@
 /// clique-based baselines, so comparisons are apples-to-apples as in the
 /// paper ("the same maximal clique detection algorithm was used across all
 /// methods").
+///
+/// The fast path runs on an immutable `CsrGraph` snapshot: the outer
+/// degeneracy-ordered roots are independent subproblems fanned out with
+/// `util::ParallelFor`, each writing its cliques to a per-root slot. Slots
+/// are concatenated in root order and the result sorted, so the output is
+/// identical for any thread count (the determinism contract of
+/// docs/ARCHITECTURE.md).
 
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "hypergraph/csr.hpp"
 #include "hypergraph/projected_graph.hpp"
 #include "hypergraph/types.hpp"
 
@@ -18,23 +26,62 @@ namespace marioh {
 /// Options for maximal-clique enumeration.
 struct CliqueOptions {
   /// Hard cap on the number of cliques emitted (guards pathological
-  /// inputs); enumeration stops once reached.
+  /// inputs); enumeration stops once reached and the result is flagged
+  /// truncated.
   size_t max_cliques = 5'000'000;
   /// Only emit cliques with at least this many nodes.
   size_t min_size = 2;
+  /// Threads for the per-root fan-out (0 = all cores). Output is
+  /// identical for any value.
+  int num_threads = 1;
 };
 
-/// Enumerates all maximal cliques of `g` (node sets in canonical order,
-/// deterministic output order) using Bron–Kerbosch with pivoting; the outer
-/// recursion level follows a degeneracy ordering, giving
-/// O(d * n * 3^(d/3)) time for a graph of degeneracy d.
+/// Result of a maximal-clique enumeration.
+struct MaximalCliqueResult {
+  /// All maximal cliques (canonical node sets), sorted.
+  std::vector<NodeSet> cliques;
+  /// True if `max_cliques` capped the output — `cliques` is then a
+  /// partial set and callers relying on completeness must not proceed
+  /// silently (api::Session surfaces this in its stage stats).
+  bool truncated = false;
+};
+
+/// Enumerates all maximal cliques of the snapshot `g` using Bron–Kerbosch
+/// with pivoting; the outer recursion level follows a degeneracy ordering,
+/// giving O(d * n * 3^(d/3)) time for a graph of degeneracy d. Per-root
+/// subproblems run in parallel (options.num_threads) with deterministic
+/// output. When truncation hits, each root is individually capped at
+/// max_cliques + 1 emissions and each worker stops its root range once
+/// that range alone exceeds the cap, so worst-case materialized work is
+/// bounded by ~2 * max_cliques per worker without cross-thread
+/// coordination that would break determinism.
+MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
+                                            const CliqueOptions& options = {});
+
+/// Convenience: snapshots `g` and enumerates on the CSR fast path.
+MaximalCliqueResult EnumerateMaximalCliques(const ProjectedGraph& g,
+                                            const CliqueOptions& options = {});
+
+/// Back-compat convenience returning just the (possibly truncated) clique
+/// list; prefer EnumerateMaximalCliques where the truncation flag matters.
 std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
                                     const CliqueOptions& options = {});
+
+/// Reference enumeration over the mutable hash-map adjacency, sequential.
+/// Kept as the equivalence-test oracle and the hashmap side of the
+/// CSR-vs-hashmap microbenchmarks; produces the same sorted clique set as
+/// the CSR fast path (up to which subset survives truncation).
+std::vector<NodeSet> MaximalCliquesHashMapReference(
+    const ProjectedGraph& g, const CliqueOptions& options = {});
 
 /// Degeneracy ordering of `g`: repeatedly removes a minimum-degree node.
 /// Returns the removal order; `degeneracy` (optional) receives the graph
 /// degeneracy.
 std::vector<NodeId> DegeneracyOrdering(const ProjectedGraph& g,
+                                       size_t* degeneracy = nullptr);
+
+/// Degeneracy ordering computed on a CSR snapshot.
+std::vector<NodeId> DegeneracyOrdering(const CsrGraph& g,
                                        size_t* degeneracy = nullptr);
 
 /// Finds one maximum-cardinality clique containing `seed` greedily (used by

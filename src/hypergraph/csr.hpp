@@ -1,10 +1,13 @@
 /// \file csr.hpp
 /// \brief Immutable CSR (compressed sparse row) snapshot of a projected
-/// graph for read-heavy analytics: cache-friendly sorted neighbor ranges,
-/// O(log d) adjacency tests, and fast sorted-merge common-neighbor
-/// iteration. The mutable hash-map `ProjectedGraph` remains the right
-/// structure for the reconstruction loop; this is the right one for
-/// whole-graph scans (structural metrics, generators, embeddings).
+/// graph: cache-friendly sorted neighbor ranges, O(log d) adjacency tests,
+/// and fast sorted-merge common-neighbor iteration. This is the read path
+/// of the reconstruction loop's snapshot-then-peel pattern (see
+/// docs/ARCHITECTURE.md "The hot path"): every iteration freezes the
+/// mutable hash-map `ProjectedGraph` into a `CsrGraph`, runs the read-heavy
+/// kernels (maximal-clique enumeration, MHH, feature extraction) on the
+/// snapshot — in parallel, since it never changes — and then applies the
+/// accepted peels back to the mutable graph.
 
 #pragma once
 
@@ -21,7 +24,9 @@ namespace marioh {
 class CsrGraph {
  public:
   /// Builds a snapshot of `g`. Neighbors of every node are sorted by id.
-  explicit CsrGraph(const ProjectedGraph& g);
+  /// `num_threads` parallelizes the per-row sort (0 = all cores); the
+  /// result is identical for any thread count.
+  explicit CsrGraph(const ProjectedGraph& g, int num_threads = 1);
 
   /// Number of nodes.
   size_t num_nodes() const { return offsets_.size() - 1; }
@@ -33,6 +38,9 @@ class CsrGraph {
   size_t Degree(NodeId u) const {
     return offsets_[u + 1] - offsets_[u];
   }
+
+  /// Weighted degree: sum of w(u,v) over neighbors v. O(1), precomputed.
+  uint64_t WeightedDegree(NodeId u) const { return weighted_degrees_[u]; }
 
   /// Sorted neighbor ids of u.
   std::span<const NodeId> Neighbors(NodeId u) const {
@@ -55,9 +63,17 @@ class CsrGraph {
   /// Common neighbors of u and v by sorted merge; ascending order.
   std::vector<NodeId> CommonNeighbors(NodeId u, NodeId v) const;
 
+  /// |N(u) ∩ N(v)| (excluding u and v themselves) by sorted merge,
+  /// without materializing the intersection.
+  size_t CommonNeighborCount(NodeId u, NodeId v) const;
+
   /// MHH (Eq. (1)) computed on the snapshot; matches
   /// ProjectedGraph::Mhh on the same graph.
   uint64_t Mhh(NodeId u, NodeId v) const;
+
+  /// True if every pair of distinct nodes in `nodes` (canonical NodeSet)
+  /// is an edge — i.e. `nodes` is a clique of this snapshot.
+  bool IsClique(const NodeSet& nodes) const;
 
   /// Sum of all edge weights.
   uint64_t TotalWeight() const { return total_weight_; }
@@ -66,6 +82,7 @@ class CsrGraph {
   std::vector<size_t> offsets_;     // size num_nodes + 1
   std::vector<NodeId> neighbors_;   // concatenated sorted adjacency
   std::vector<uint32_t> weights_;   // aligned with neighbors_
+  std::vector<uint64_t> weighted_degrees_;  // size num_nodes
   uint64_t total_weight_ = 0;
 };
 

@@ -123,6 +123,23 @@ std::vector<NodeId> ProjectedGraph::CommonNeighbors(NodeId u, NodeId v) const {
   return out;
 }
 
+size_t ProjectedGraph::CommonNeighborCount(NodeId u, NodeId v) const {
+  const AdjMap* small = &adj_[u];
+  const AdjMap* large = &adj_[v];
+  NodeId skip = v;
+  if (small->size() > large->size()) {
+    std::swap(small, large);
+    skip = u;
+  }
+  size_t count = 0;
+  for (const auto& [z, wz] : *small) {
+    (void)wz;
+    if (z == skip) continue;
+    if (large->count(z) > 0) ++count;
+  }
+  return count;
+}
+
 void ProjectedGraph::PeelClique(const NodeSet& nodes) {
   for (size_t i = 0; i < nodes.size(); ++i) {
     for (size_t j = i + 1; j < nodes.size(); ++j) {

@@ -84,6 +84,9 @@ class ProjectedGraph {
   /// Common neighbors N(u) ∩ N(v), unsorted.
   std::vector<NodeId> CommonNeighbors(NodeId u, NodeId v) const;
 
+  /// |N(u) ∩ N(v)| without materializing the intersection.
+  size_t CommonNeighborCount(NodeId u, NodeId v) const;
+
   /// Subtracts 1 from every edge of the clique `nodes`, removing edges that
   /// hit zero. Callers must ensure `nodes` is currently a clique.
   void PeelClique(const NodeSet& nodes);

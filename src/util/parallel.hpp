@@ -20,15 +20,18 @@ inline int ResolveThreads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-/// Applies `fn(i)` for every i in [0, n) using `num_threads` threads
-/// (0 = auto). `fn` must be safe to call concurrently for distinct
-/// indices; iteration order within a thread is ascending, and the static
-/// block partition makes the schedule deterministic.
+/// Range-level primitive: `fn(begin, end)` receives each worker's
+/// contiguous index range [begin, end) under a static block partition.
+/// This lets callers keep per-range running state — in particular a
+/// within-range early exit whose outcome depends only on the range's own
+/// contents, the trick the clique enumerator uses to bound truncated
+/// enumerations without cross-thread coordination. ParallelFor delegates
+/// here, so the two share one partition by construction.
 template <typename Fn>
-void ParallelFor(size_t n, int num_threads, Fn&& fn) {
+void ParallelForRanges(size_t n, int num_threads, Fn&& fn) {
   int threads = ResolveThreads(num_threads);
   if (threads == 1 || n < 2) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    if (n > 0) fn(size_t{0}, n);
     return;
   }
   size_t used = std::min<size_t>(static_cast<size_t>(threads), n);
@@ -39,11 +42,20 @@ void ParallelFor(size_t n, int num_threads, Fn&& fn) {
     size_t begin = t * chunk;
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    pool.emplace_back([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+    pool.emplace_back([begin, end, &fn] { fn(begin, end); });
   }
   for (std::thread& worker : pool) worker.join();
+}
+
+/// Applies `fn(i)` for every i in [0, n) using `num_threads` threads
+/// (0 = auto). `fn` must be safe to call concurrently for distinct
+/// indices; iteration order within a thread is ascending, and the static
+/// block partition makes the schedule deterministic.
+template <typename Fn>
+void ParallelFor(size_t n, int num_threads, Fn&& fn) {
+  ParallelForRanges(n, num_threads, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 }  // namespace marioh::util

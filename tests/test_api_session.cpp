@@ -169,6 +169,53 @@ TEST(Session, StringOverridesConfigureTheSessionAndTheMethod) {
   EXPECT_NE(status.message().find("bogus_key"), std::string::npos);
 }
 
+TEST(Session, ThreadsOverrideConfiguresTheHotKernels) {
+  SessionOptions options;
+  ASSERT_TRUE(ApplySessionOverride(&options, "threads=8").ok());
+  EXPECT_EQ(options.marioh.num_threads, 8);
+  ASSERT_TRUE(ApplySessionOverride(&options, "threads=0").ok());
+  EXPECT_EQ(options.marioh.num_threads, 0);  // 0 = all cores
+  EXPECT_EQ(ApplySessionOverride(&options, "threads=-2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ApplySessionOverride(&options, "threads=two").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Session, ThreadsOverrideDoesNotChangeTheReconstruction) {
+  eval::PreparedDataset data = SmallDataset();
+  auto run = [&](const char* threads) {
+    SessionOptions options;
+    options.method = "MARIOH";
+    if (threads != nullptr) {
+      EXPECT_TRUE(ApplySessionOverride(&options, threads).ok());
+    }
+    Session session;
+    EXPECT_TRUE(session.Configure(options).ok());
+    EXPECT_TRUE(session.Train(data.g_source, data.source).ok());
+    EXPECT_TRUE(session.Reconstruct(data.g_target).ok());
+    return session.reconstruction()->edges();
+  };
+  auto sequential = run(nullptr);
+  EXPECT_EQ(run("threads=4"), sequential);
+}
+
+TEST(Session, ReconstructionCountersLandInStageStats) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MARIOH";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(data.g_source, data.source).ok());
+  ASSERT_TRUE(session.Reconstruct(data.g_target).ok());
+  // The method's run counters are recorded under "reconstruct.<name>";
+  // in particular a truncated clique enumeration would be visible here
+  // (this small dataset never truncates).
+  EXPECT_GT(session.stage_timer().Get("reconstruct.iterations"), 0.0);
+  EXPECT_GT(session.stage_timer().Get("reconstruct.maximal_cliques"), 0.0);
+  EXPECT_EQ(session.stage_timer().Get("reconstruct.cliques_truncated"),
+            0.0);
+}
+
 TEST(Session, FileBasedRoundTripMatchesInMemoryRun) {
   eval::PreparedDataset data = SmallDataset();
   const std::string train_path = "session_test_train.hg";

@@ -79,6 +79,29 @@ TEST(MaximalCliques, RespectsMaxCliqueCap) {
   EXPECT_EQ(MaximalCliques(g, options).size(), 2u);
 }
 
+TEST(MaximalCliques, TruncationIsReported) {
+  ProjectedGraph g(8);
+  for (NodeId u = 0; u < 8; u += 2) g.AddWeight(u, u + 1, 1);
+  CliqueOptions options;
+  options.max_cliques = 2;
+  MaximalCliqueResult capped = EnumerateMaximalCliques(g, options);
+  EXPECT_TRUE(capped.truncated);
+  EXPECT_EQ(capped.cliques.size(), 2u);
+  MaximalCliqueResult full = EnumerateMaximalCliques(g);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.cliques.size(), 4u);
+}
+
+TEST(MaximalCliques, ExactCapIsNotTruncation) {
+  ProjectedGraph g(4);
+  for (NodeId u = 0; u < 4; u += 2) g.AddWeight(u, u + 1, 1);
+  CliqueOptions options;
+  options.max_cliques = 2;  // exactly the number of maximal cliques
+  MaximalCliqueResult result = EnumerateMaximalCliques(g, options);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.cliques.size(), 2u);
+}
+
 TEST(MaximalCliques, MoonMoserGraph) {
   // Complete 3-partite graph K_{2,2,2} has 2^3 = 8 maximal cliques (one
   // node per part) — the classic worst-case family.

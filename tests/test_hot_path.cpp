@@ -1,0 +1,196 @@
+// Property tests for the reconstruction loop's hot path: the CSR snapshot
+// fast path must agree exactly with the mutable hash-map path (clique
+// sets, MHH values, features, scores), and every parallel kernel must
+// produce identical results for any thread count — the determinism
+// contract of docs/ARCHITECTURE.md.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/features.hpp"
+#include "core/filtering.hpp"
+#include "core/marioh.hpp"
+#include "core/motif.hpp"
+#include "gen/hypercl.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "hypergraph/clique.hpp"
+#include "hypergraph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace marioh {
+namespace {
+
+ProjectedGraph RandomGraph(uint64_t seed) {
+  util::Rng rng(seed);
+  Hypergraph h = gen::HyperClLike(80, 160, 3.2, 0.7, &rng);
+  return h.Project();
+}
+
+class HotPathEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HotPathEquivalence, CliqueSetsMatchAcrossPathsAndThreadCounts) {
+  ProjectedGraph g = RandomGraph(GetParam());
+  CsrGraph csr(g);
+
+  std::vector<NodeSet> reference = MaximalCliquesHashMapReference(g);
+  for (int threads : {1, 2, 8}) {
+    CliqueOptions options;
+    options.num_threads = threads;
+    MaximalCliqueResult result = EnumerateMaximalCliques(csr, options);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.cliques, reference) << "threads=" << threads;
+  }
+}
+
+TEST_P(HotPathEquivalence, MhhAndMotifsMatchOnEveryEdge) {
+  ProjectedGraph g = RandomGraph(GetParam());
+  CsrGraph csr(g);
+  for (const auto& e : g.Edges()) {
+    EXPECT_EQ(csr.Mhh(e.u, e.v), g.Mhh(e.u, e.v));
+    EXPECT_EQ(csr.CommonNeighborCount(e.u, e.v),
+              g.CommonNeighborCount(e.u, e.v));
+    EXPECT_EQ(core::TrianglesThroughEdge(csr, e.u, e.v),
+              core::TrianglesThroughEdge(g, e.u, e.v));
+    EXPECT_EQ(core::SquaresThroughEdge(csr, e.u, e.v),
+              core::SquaresThroughEdge(g, e.u, e.v));
+    // A tight cap exercises the ascending-id truncation on both paths.
+    EXPECT_EQ(core::SquaresThroughEdge(csr, e.u, e.v, 3),
+              core::SquaresThroughEdge(g, e.u, e.v, 3));
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(core::ClusteringCoefficient(csr, u),
+              core::ClusteringCoefficient(g, u));
+    EXPECT_EQ(csr.WeightedDegree(u), g.WeightedDegree(u));
+  }
+  // IsClique agrees on actual cliques and on perturbed non-cliques.
+  for (const NodeSet& q : MaximalCliques(g)) {
+    EXPECT_TRUE(csr.IsClique(q));
+    NodeSet broken = q;
+    broken.push_back(static_cast<NodeId>(g.num_nodes() - 1));
+    Canonicalize(&broken);
+    EXPECT_EQ(csr.IsClique(broken), g.IsClique(broken));
+  }
+}
+
+TEST_P(HotPathEquivalence, FeaturesMatchBitForBitInAllModes) {
+  ProjectedGraph g = RandomGraph(GetParam());
+  CsrGraph csr(g);
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+  ASSERT_FALSE(cliques.empty());
+  for (core::FeatureMode mode :
+       {core::FeatureMode::kMultiplicityAware, core::FeatureMode::kStructural,
+        core::FeatureMode::kMotif}) {
+    core::FeatureExtractor extractor(mode);
+    for (const NodeSet& q : cliques) {
+      la::Vector hash_path = extractor.Extract(g, q, true);
+      la::Vector csr_path = extractor.Extract(csr, q, true);
+      EXPECT_EQ(hash_path, csr_path);
+    }
+    // Batched extraction: identical rows for any thread count.
+    la::Matrix one = extractor.ExtractAll(csr, cliques, true, 1);
+    for (int threads : {2, 8}) {
+      la::Matrix many = extractor.ExtractAll(csr, cliques, true, threads);
+      ASSERT_EQ(many.rows(), one.rows());
+      for (size_t i = 0; i < one.rows(); ++i) {
+        for (size_t j = 0; j < one.cols(); ++j) {
+          EXPECT_EQ(many(i, j), one(i, j)) << "row " << i << " col " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HotPathEquivalence, FilteringIsThreadCountInvariant) {
+  ProjectedGraph base = RandomGraph(GetParam());
+  ProjectedGraph g1 = base;
+  Hypergraph h1(base.num_nodes());
+  core::FilteringStats s1 = core::Filtering(&g1, &h1, 1);
+  for (int threads : {2, 8}) {
+    ProjectedGraph g = base;
+    Hypergraph h(base.num_nodes());
+    core::FilteringStats s = core::Filtering(&g, &h, threads);
+    EXPECT_EQ(s.edges_identified, s1.edges_identified);
+    EXPECT_EQ(s.total_multiplicity, s1.total_multiplicity);
+    EXPECT_EQ(h.edges(), h1.edges());
+    EXPECT_EQ(g.Edges().size(), g1.Edges().size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, HotPathEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HotPathTruncation, CapFlagsAndBoundsTheResult) {
+  // A matching of 6 disjoint edges = 6 maximal cliques.
+  ProjectedGraph g(12);
+  for (NodeId u = 0; u < 12; u += 2) g.AddWeight(u, u + 1, 1);
+  CsrGraph csr(g);
+
+  CliqueOptions capped;
+  capped.max_cliques = 4;
+  for (int threads : {1, 2, 8}) {
+    capped.num_threads = threads;
+    MaximalCliqueResult result = EnumerateMaximalCliques(csr, capped);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.cliques.size(), 4u);
+  }
+
+  MaximalCliqueResult full = EnumerateMaximalCliques(csr);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.cliques.size(), 6u);
+}
+
+TEST(HotPathScoring, ScoreAllMatchesScalarScoresForAnyThreadCount) {
+  util::Rng rng(21);
+  Hypergraph h_source = gen::HyperClLike(60, 120, 3.0, 0.7, &rng);
+  ProjectedGraph g_source = h_source.Project();
+  core::CliqueClassifier classifier(core::FeatureMode::kMultiplicityAware,
+                                    {});
+  util::Rng train_rng(22);
+  classifier.Train(g_source, h_source, &train_rng);
+
+  ProjectedGraph g = RandomGraph(23);
+  CsrGraph csr(g);
+  std::vector<NodeSet> cliques = MaximalCliques(g);
+  ASSERT_FALSE(cliques.empty());
+  std::vector<double> scalar;
+  scalar.reserve(cliques.size());
+  for (const NodeSet& q : cliques) {
+    scalar.push_back(classifier.Score(g, q, true));
+  }
+  for (int threads : {1, 2, 8}) {
+    std::vector<double> batched =
+        classifier.ScoreAll(csr, cliques, true, threads);
+    EXPECT_EQ(batched, scalar) << "threads=" << threads;
+  }
+}
+
+TEST(HotPathEndToEnd, ReconstructionIsThreadCountInvariant) {
+  gen::GeneratedDataset data = gen::Generate(gen::ProfileByName("hosts"), 3);
+  util::Rng split_rng(4);
+  gen::SourceTargetSplit split = gen::SplitHypergraph(
+      data.hypergraph.MultiplicityReduced(), &split_rng, 0.5);
+  ProjectedGraph g_source = split.source.Project();
+  ProjectedGraph g_target = split.target.Project();
+
+  core::MariohOptions options;
+  options.num_threads = 1;
+  core::Marioh one(options);
+  one.Train(g_source, split.source);
+  Hypergraph h_one = one.Reconstruct(g_target);
+  EXPECT_FALSE(one.last_reconstruction_stats().cliques_truncated);
+  EXPECT_GT(one.last_reconstruction_stats().iterations, 0u);
+
+  for (int threads : {4, 0}) {  // explicit fan-out and "all cores"
+    options.num_threads = threads;
+    core::Marioh many(options);
+    many.Train(g_source, split.source);
+    Hypergraph h_many = many.Reconstruct(g_target);
+    EXPECT_EQ(h_many.edges(), h_one.edges()) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace marioh
