@@ -72,12 +72,12 @@ BENCHMARK(BM_CsrBuild);
 
 // ---- Maximal-clique enumeration -----------------------------------------
 
-// Default public path (CSR snapshot, single thread).
+// Default public path (CSR snapshot, single thread, arena output).
 void BM_MaximalCliques(benchmark::State& state) {
   ProjectedGraph g = MakeGraph(static_cast<size_t>(state.range(0)),
                                static_cast<size_t>(state.range(0)) * 2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(marioh::MaximalCliques(g));
+    benchmark::DoNotOptimize(marioh::EnumerateMaximalCliques(g));
   }
 }
 BENCHMARK(BM_MaximalCliques)->Arg(200)->Arg(800);
@@ -104,6 +104,92 @@ void BM_MaximalCliquesCsrThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaximalCliquesCsrThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- Clique emission layout ---------------------------------------------
+
+// Arena emission: cliques land in the flat CliqueStore and stay there —
+// the path the reconstruction loop consumes (snapshot built once, as in
+// an iteration).
+void BM_CliqueEmissionArena(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(800, 1600);
+  CsrGraph csr(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marioh::EnumerateMaximalCliques(csr));
+  }
+}
+BENCHMARK(BM_CliqueEmissionArena);
+
+// Per-clique NodeSet materialization on top of the same enumeration (the
+// deprecated copy-out shim): one heap allocation per clique, the cost the
+// arena removed from the hot path.
+void BM_CliqueEmissionNodeSets(benchmark::State& state) {
+  ProjectedGraph g = MakeGraph(800, 1600);
+  CsrGraph csr(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        marioh::EnumerateMaximalCliques(csr).cliques.ToNodeSets());
+  }
+}
+BENCHMARK(BM_CliqueEmissionNodeSets);
+
+// ---- CSR snapshot patching ----------------------------------------------
+
+// Peels maximal cliques of `base` until at least `percent` of the nodes
+// are touched; returns the peeled graph and the sorted touched set.
+std::pair<ProjectedGraph, std::vector<NodeId>> PeelUntilTouched(
+    const ProjectedGraph& base, const CsrGraph& snapshot, int percent) {
+  ProjectedGraph g = base;
+  std::vector<NodeId> touched;
+  std::vector<bool> seen(base.num_nodes(), false);
+  size_t distinct = 0;
+  const size_t want =
+      (base.num_nodes() * static_cast<size_t>(percent) + 99) / 100;
+  marioh::MaximalCliqueResult enumerated =
+      marioh::EnumerateMaximalCliques(snapshot);
+  for (marioh::CliqueView q : enumerated.cliques) {
+    if (distinct >= want) break;
+    if (!g.IsClique(q)) continue;
+    g.PeelClique(q);
+    for (NodeId u : q) {
+      touched.push_back(u);
+      if (!seen[u]) {
+        seen[u] = true;
+        ++distinct;
+      }
+    }
+  }
+  marioh::Canonicalize(&touched);
+  return {std::move(g), std::move(touched)};
+}
+
+// Patch-based snapshot refresh at Arg(percent)% touched nodes — the
+// incremental path of the reconstruction loop's snapshot upkeep.
+void BM_CsrPatchRebuild(benchmark::State& state) {
+  ProjectedGraph base = MakeGraph(2000, 4000);
+  CsrGraph prev(base);
+  auto [g, touched] =
+      PeelUntilTouched(base, prev, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph(prev, g, touched));
+  }
+  state.counters["touched_nodes"] =
+      static_cast<double>(touched.size());
+}
+BENCHMARK(BM_CsrPatchRebuild)->Arg(1)->Arg(10)->Arg(50);
+
+// From-scratch build of the same peeled graph — what the patch replaces.
+void BM_CsrPatchRebuildBaseline(benchmark::State& state) {
+  ProjectedGraph base = MakeGraph(2000, 4000);
+  CsrGraph prev(base);
+  auto [g, touched] =
+      PeelUntilTouched(base, prev, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrGraph(g));
+  }
+  state.counters["touched_nodes"] =
+      static_cast<double>(touched.size());
+}
+BENCHMARK(BM_CsrPatchRebuildBaseline)->Arg(1)->Arg(10)->Arg(50);
 
 // ---- Feature extraction --------------------------------------------------
 

@@ -45,6 +45,8 @@ MariohMethod::ReconstructionStats() const {
       {"accepted_phase2", static_cast<double>(s.accepted_phase2)},
       {"subcliques_scored", static_cast<double>(s.subcliques_scored)},
       {"filtering_edges", static_cast<double>(s.filtering_edges)},
+      {"snapshot_patches", static_cast<double>(s.snapshot_patches)},
+      {"snapshot_rebuilds", static_cast<double>(s.snapshot_rebuilds)},
       {"cliques_truncated", s.cliques_truncated ? 1.0 : 0.0},
   };
 }
@@ -65,6 +67,7 @@ StatusOr<std::unique_ptr<Reconstructor>> MakeVariant(
   reader.Get("alpha", &options.alpha);
   reader.Get("max_iterations", &options.max_iterations);
   reader.Get("num_threads", &options.num_threads);
+  reader.Get("snapshot_reuse", &options.snapshot_reuse);
   MARIOH_RETURN_IF_ERROR(reader.Finish(name));
   options.seed = config.seed;
   std::unique_ptr<Reconstructor> method =

@@ -65,7 +65,10 @@ struct SessionOptions {
 /// sets `marioh.num_threads` — the thread count of the reconstruction
 /// hot kernels, with thread-count-invariant results; like the rest of
 /// the typed `marioh` options it only affects the MARIOH-family methods
-/// (baselines ignore it). kInvalidArgument on syntax errors or bad
+/// (baselines ignore it). Method-level keys ride the override list the
+/// same way — e.g. `snapshot_reuse=0.3` tunes the MARIOH loop's
+/// patch-vs-rebuild snapshot policy (a pure wall-clock knob; output is
+/// identical for any value). kInvalidArgument on syntax errors or bad
 /// session-level values.
 Status ApplySessionOverride(SessionOptions* options,
                             const std::string& assignment);

@@ -9,8 +9,11 @@ namespace marioh::baselines {
 Hypergraph MaxCliqueDecomposition::Reconstruct(
     const ProjectedGraph& g_target) {
   Hypergraph h(g_target.num_nodes());
-  for (const NodeSet& q : MaximalCliques(g_target)) {
-    h.AddEdge(q, 1);
+  // Read the cliques straight out of the enumeration arena; the only
+  // per-clique copy is the NodeSet the hypergraph itself stores.
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(g_target);
+  for (CliqueView q : enumerated.cliques) {
+    h.AddEdge(NodeSet(q.begin(), q.end()), 1);
   }
   return h;
 }

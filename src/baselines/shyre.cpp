@@ -35,17 +35,18 @@ void Shyre::Train(const ProjectedGraph& g_source,
 
   // Estimate rho(n, k): for each maximal clique of size n in G_S, count
   // source hyperedges of size k fully inside it; average per clique size.
-  std::vector<NodeSet> maximal = MaximalCliques(g_source);
-  std::unordered_set<NodeSet, util::VectorHash> hyperedges;
+  // The cliques stay in the enumeration arena — containment tests run on
+  // views, so no per-clique NodeSet is ever materialized here.
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(g_source);
+  const CliqueStore& maximal = enumerated.cliques;
   size_t max_n = 2;
-  for (const auto& [e, m] : h_source.edges()) hyperedges.insert(e);
-  for (const NodeSet& q : maximal) max_n = std::max(max_n, q.size());
+  for (CliqueView q : maximal) max_n = std::max(max_n, q.size());
 
   std::vector<std::vector<double>> counts(max_n + 1);
   std::vector<size_t> cliques_of_size(max_n + 1, 0);
   for (auto& row : counts) row.assign(max_n + 1, 0.0);
 
-  for (const NodeSet& q : maximal) {
+  for (CliqueView q : maximal) {
     ++cliques_of_size[q.size()];
     // Count hyperedges contained in q, bucketed by size. Hyperedges are
     // few; test containment directly.
@@ -80,16 +81,22 @@ double Shyre::Rho(size_t n, size_t k) const {
 Hypergraph Shyre::Reconstruct(const ProjectedGraph& g_target) {
   Hypergraph h(g_target.num_nodes());
   util::Rng rng(options_.seed ^ 0xabcdef12345ULL);
-  std::vector<NodeSet> maximal = MaximalCliques(g_target);
+  // Maximal cliques stay in the enumeration arena; candidates are scored
+  // as views, and the dedup lookup reuses one scratch key. Only accepted
+  // candidates own their nodes (inside the `accepted` set).
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(g_target);
 
   std::unordered_set<NodeSet, util::VectorHash> accepted;
-  auto consider = [&](const NodeSet& q, bool is_maximal) {
-    if (q.size() < 2 || accepted.count(q) > 0) return;
+  NodeSet lookup_key;  // reused buffer: no allocation per candidate
+  auto consider = [&](CliqueView q, bool is_maximal) {
+    if (q.size() < 2) return;
+    lookup_key.assign(q.begin(), q.end());
+    if (accepted.count(lookup_key) > 0) return;
     double score = classifier_.Score(g_target, q, is_maximal);
-    if (score > options_.threshold) accepted.insert(q);
+    if (score > options_.threshold) accepted.insert(lookup_key);
   };
 
-  for (const NodeSet& q : maximal) {
+  for (CliqueView q : enumerated.cliques) {
     consider(q, true);
     size_t budget = options_.max_candidates_per_clique;
     for (size_t k = 2; k < q.size() && budget > 0; ++k) {

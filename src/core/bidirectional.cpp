@@ -4,53 +4,63 @@
 #include <cmath>
 
 #include "hypergraph/clique.hpp"
-#include "hypergraph/csr.hpp"
 #include "util/check.hpp"
 
 namespace marioh::core {
 namespace {
 
-struct ScoredClique {
+/// A clique of the iteration's arena, addressed by index; the node data
+/// stays in the `CliqueStore` until (and unless) the clique is accepted.
+struct IndexedScore {
+  uint32_t index;
+  double score;
+};
+
+/// A Phase-2 sub-clique candidate (sampled, so it owns its nodes).
+struct ScoredSubclique {
   NodeSet nodes;
   double score;
 };
 
-/// Sorts descending by score; ties broken by the node set for determinism.
-void SortByScoreDesc(std::vector<ScoredClique>* cliques) {
+/// Sorts by score (descending when `best_first`, else ascending); ties
+/// broken by the node sequence ascending for determinism — the single
+/// source of the selection-order tie-break rule (the lexicographic order
+/// `std::vector<NodeSet>` sorting would give).
+void SortByScore(const CliqueStore& store, bool best_first,
+                 std::vector<IndexedScore>* cliques) {
   std::sort(cliques->begin(), cliques->end(),
-            [](const ScoredClique& a, const ScoredClique& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.nodes < b.nodes;
+            [&store, best_first](const IndexedScore& a,
+                                 const IndexedScore& b) {
+              if (a.score != b.score) {
+                return best_first ? a.score > b.score : a.score < b.score;
+              }
+              CliqueView va = store[a.index];
+              CliqueView vb = store[b.index];
+              return std::lexicographical_compare(va.begin(), va.end(),
+                                                  vb.begin(), vb.end());
             });
-}
-
-/// Applies `clique` as a hyperedge if all its edges still exist in `g`:
-/// adds it to `h` and peels one unit of weight from each clique edge.
-bool TryApply(const NodeSet& clique, ProjectedGraph* g, Hypergraph* h) {
-  if (!g->IsClique(clique)) return false;
-  h->AddEdge(clique, 1);
-  g->PeelClique(clique);
-  return true;
 }
 
 }  // namespace
 
 BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
+                                       const CsrGraph& snapshot,
                                        const CliqueClassifier& classifier,
                                        const BidirectionalOptions& options,
                                        util::Rng* rng, Hypergraph* h) {
   MARIOH_CHECK(classifier.trained());
+  MARIOH_CHECK_EQ(snapshot.num_nodes(), g->num_nodes());
   BidirectionalStats stats;
 
-  // Freeze the pre-iteration graph into a CSR snapshot: enumeration and
-  // scoring below only read, so they run on the cache-friendly immutable
-  // layout across all cores while the hash-map graph stays untouched
-  // until the peel phase.
-  CsrGraph csr(*g, options.num_threads);
+  // Enumeration and scoring only read, so they run on the cache-friendly
+  // immutable snapshot across all cores while the hash-map graph stays
+  // untouched until the peel phase. Cliques live in the enumeration
+  // arena end-to-end; only accepted ones materialize a NodeSet below.
   CliqueOptions clique_options;
   clique_options.num_threads = options.num_threads;
-  MaximalCliqueResult enumerated = EnumerateMaximalCliques(csr, clique_options);
-  std::vector<NodeSet>& maximal = enumerated.cliques;
+  MaximalCliqueResult enumerated =
+      EnumerateMaximalCliques(snapshot, clique_options);
+  const CliqueStore& maximal = enumerated.cliques;
   stats.maximal_cliques = maximal.size();
   stats.cliques_truncated = enumerated.truncated;
   if (maximal.empty()) return stats;
@@ -59,56 +69,79 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
   // independent, so this is embarrassingly parallel and deterministic for
   // any thread count.
   std::vector<double> scores =
-      classifier.ScoreAll(csr, maximal, /*is_maximal=*/true,
+      classifier.ScoreAll(snapshot, maximal, /*is_maximal=*/true,
                           options.num_threads);
-  std::vector<ScoredClique> pos, rest;
+  std::vector<IndexedScore> pos, rest;
   for (size_t i = 0; i < maximal.size(); ++i) {
+    IndexedScore entry{static_cast<uint32_t>(i), scores[i]};
     if (scores[i] > options.theta) {
-      pos.push_back({std::move(maximal[i]), scores[i]});
+      pos.push_back(entry);
     } else {
-      rest.push_back({std::move(maximal[i]), scores[i]});
+      rest.push_back(entry);
     }
   }
+
+  // Applies a candidate as a hyperedge if all its edges still exist in
+  // `g`: adds it to `h` and peels one unit of weight from each clique
+  // edge, recording the members as touched rows.
+  auto try_apply = [&](CliqueView clique) {
+    if (!g->IsClique(clique)) return false;
+    h->AddEdge(NodeSet(clique.begin(), clique.end()), 1);
+    g->PeelClique(clique);
+    stats.touched_nodes.insert(stats.touched_nodes.end(), clique.begin(),
+                               clique.end());
+    return true;
+  };
 
   // Phase 1: most promising cliques, best first, re-validated against the
   // shrinking graph.
-  SortByScoreDesc(&pos);
-  for (const ScoredClique& sc : pos) {
-    if (TryApply(sc.nodes, g, h)) ++stats.accepted_phase1;
+  SortByScore(maximal, /*best_first=*/true, &pos);
+  for (const IndexedScore& sc : pos) {
+    if (try_apply(maximal[sc.index])) ++stats.accepted_phase1;
   }
 
-  if (!options.explore_subcliques || rest.empty()) return stats;
+  if (options.explore_subcliques && !rest.empty()) {
+    // Phase 2: the lowest-r% scored cliques among the non-promising ones.
+    SortByScore(maximal, /*best_first=*/false, &rest);
+    size_t take = static_cast<size_t>(std::ceil(
+        options.r_percent / 100.0 * static_cast<double>(rest.size())));
+    take = std::min(take, rest.size());
 
-  // Phase 2: the lowest-r% scored cliques among the non-promising ones.
-  std::sort(rest.begin(), rest.end(),
-            [](const ScoredClique& a, const ScoredClique& b) {
-              if (a.score != b.score) return a.score < b.score;
-              return a.nodes < b.nodes;
-            });
-  size_t take = static_cast<size_t>(
-      std::ceil(options.r_percent / 100.0 * static_cast<double>(rest.size())));
-  take = std::min(take, rest.size());
-
-  // Phase 2 scores against the *mutable* graph, not the snapshot: Phase 1
-  // peels already happened and sub-clique scores must see the residual
-  // weights they would be applied to.
-  std::vector<ScoredClique> subs;
-  for (size_t i = 0; i < take; ++i) {
-    const NodeSet& q = rest[i].nodes;
-    // One random sample per sub-clique size k in [2, |Q|-1].
-    for (size_t k = 2; k < q.size(); ++k) {
-      NodeSet sub = rng->SampleWithoutReplacement(q, k);
-      Canonicalize(&sub);
-      double s = classifier.Score(*g, sub, /*is_maximal=*/false);
-      ++stats.subcliques_scored;
-      if (s > options.theta) subs.push_back({std::move(sub), s});
+    // Phase 2 scores against the *mutable* graph, not the snapshot:
+    // Phase 1 peels already happened and sub-clique scores must see the
+    // residual weights they would be applied to.
+    std::vector<ScoredSubclique> subs;
+    for (size_t i = 0; i < take; ++i) {
+      CliqueView q = maximal[rest[i].index];
+      // One random sample per sub-clique size k in [2, |Q|-1].
+      for (size_t k = 2; k < q.size(); ++k) {
+        NodeSet sub = rng->SampleWithoutReplacement(q, k);
+        Canonicalize(&sub);
+        double s = classifier.Score(*g, sub, /*is_maximal=*/false);
+        ++stats.subcliques_scored;
+        if (s > options.theta) subs.push_back({std::move(sub), s});
+      }
+    }
+    std::sort(subs.begin(), subs.end(),
+              [](const ScoredSubclique& a, const ScoredSubclique& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.nodes < b.nodes;
+              });
+    for (const ScoredSubclique& sc : subs) {
+      if (try_apply(sc.nodes)) ++stats.accepted_phase2;
     }
   }
-  SortByScoreDesc(&subs);
-  for (const ScoredClique& sc : subs) {
-    if (TryApply(sc.nodes, g, h)) ++stats.accepted_phase2;
-  }
+
+  Canonicalize(&stats.touched_nodes);
   return stats;
+}
+
+BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
+                                       const CliqueClassifier& classifier,
+                                       const BidirectionalOptions& options,
+                                       util::Rng* rng, Hypergraph* h) {
+  CsrGraph snapshot(*g, options.num_threads);
+  return BidirectionalSearch(g, snapshot, classifier, options, rng, h);
 }
 
 }  // namespace marioh::core

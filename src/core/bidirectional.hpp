@@ -5,7 +5,10 @@
 
 #pragma once
 
+#include <vector>
+
 #include "core/classifier.hpp"
+#include "hypergraph/csr.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/projected_graph.hpp"
 #include "util/rng.hpp"
@@ -21,6 +24,11 @@ struct BidirectionalStats {
   /// True if the enumeration cap truncated the maximal-clique set this
   /// iteration (the iteration then worked on a partial candidate pool).
   bool cliques_truncated = false;
+  /// Sorted, duplicate-free set of nodes belonging to any clique peeled
+  /// this iteration — exactly the rows of `g` that changed. The caller
+  /// uses it to patch the next iteration's CSR snapshot instead of
+  /// rebuilding it from scratch (see CsrGraph's patch constructor).
+  std::vector<NodeId> touched_nodes;
 };
 
 /// Options controlling one bidirectional-search iteration.
@@ -32,16 +40,30 @@ struct BidirectionalOptions {
   double r_percent = 20.0;
   /// Run Phase 2 (sub-clique exploration). false reproduces MARIOH-B.
   bool explore_subcliques = true;
-  /// Threads for the read-only kernels of the iteration — CSR snapshot
-  /// construction, maximal-clique enumeration, and clique scoring
-  /// (0 = all cores). All three are pure functions of the frozen
-  /// iteration snapshot, so results are identical for any thread count.
+  /// Threads for the read-only kernels of the iteration — maximal-clique
+  /// enumeration and clique scoring (0 = all cores). Both are pure
+  /// functions of the frozen iteration snapshot, so results are identical
+  /// for any thread count.
   int num_threads = 1;
 };
 
 /// Runs one iteration of Algorithm 3 on `g` in place, appending accepted
-/// hyperedges to `h`. Returns per-iteration statistics. `rng` drives the
-/// random sub-clique sampling of Phase 2.
+/// hyperedges to `h`. `snapshot` must be a CSR snapshot of `*g` in its
+/// current (pre-iteration) state — the reconstruction loop owns it and
+/// keeps it fresh across iterations via patch-or-rebuild, so late
+/// iterations that peel little pay almost nothing for snapshot upkeep.
+/// Returns per-iteration statistics, including the nodes whose adjacency
+/// the peels changed. `rng` drives the random sub-clique sampling of
+/// Phase 2.
+BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
+                                       const CsrGraph& snapshot,
+                                       const CliqueClassifier& classifier,
+                                       const BidirectionalOptions& options,
+                                       util::Rng* rng, Hypergraph* h);
+
+/// Convenience overload that builds the snapshot itself (tests,
+/// single-shot callers). The reconstruction loop uses the snapshot-reuse
+/// overload above.
 BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
                                        const CliqueClassifier& classifier,
                                        const BidirectionalOptions& options,

@@ -45,8 +45,11 @@ void CliqueClassifier::Train(const ProjectedGraph& g_source,
   std::unordered_set<NodeSet, util::VectorHash> hyperedge_set;
   for (const auto& [e, m] : h_source.edges()) hyperedge_set.insert(e);
 
-  // Maximality oracle for feature computation: the maximal cliques of G_S.
-  std::vector<NodeSet> max_cliques = MaximalCliques(g_source);
+  // Maximality oracle for feature computation: the maximal cliques of
+  // G_S, materialized out of the arena because the hash-set oracle and
+  // the random sub-clique sampling below need owning sets.
+  std::vector<NodeSet> max_cliques =
+      EnumerateMaximalCliques(g_source).cliques.ToNodeSets();
   std::unordered_set<NodeSet, util::VectorHash> maximal_set(
       max_cliques.begin(), max_cliques.end());
 
@@ -137,7 +140,7 @@ void CliqueClassifier::Train(const ProjectedGraph& g_source,
   train_counts_ = {positives.size(), negatives.size()};
 }
 
-double CliqueClassifier::Score(const ProjectedGraph& g, const NodeSet& clique,
+double CliqueClassifier::Score(const ProjectedGraph& g, CliqueView clique,
                                bool is_maximal) const {
   MARIOH_CHECK(trained());
   la::Vector f = extractor_.Extract(g, clique, is_maximal);
@@ -145,7 +148,7 @@ double CliqueClassifier::Score(const ProjectedGraph& g, const NodeSet& clique,
   return mlp_->Predict(f);
 }
 
-double CliqueClassifier::Score(const CsrGraph& g, const NodeSet& clique,
+double CliqueClassifier::Score(const CsrGraph& g, CliqueView clique,
                                bool is_maximal) const {
   MARIOH_CHECK(trained());
   la::Vector f = extractor_.Extract(g, clique, is_maximal);
@@ -156,6 +159,18 @@ double CliqueClassifier::Score(const CsrGraph& g, const NodeSet& clique,
 std::vector<double> CliqueClassifier::ScoreAll(
     const CsrGraph& g, std::span<const NodeSet> cliques, bool is_maximal,
     int num_threads) const {
+  MARIOH_CHECK(trained());
+  std::vector<double> scores(cliques.size());
+  util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {
+    scores[i] = Score(g, cliques[i], is_maximal);
+  });
+  return scores;
+}
+
+std::vector<double> CliqueClassifier::ScoreAll(const CsrGraph& g,
+                                               const CliqueStore& cliques,
+                                               bool is_maximal,
+                                               int num_threads) const {
   MARIOH_CHECK(trained());
   std::vector<double> scores(cliques.size());
   util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {

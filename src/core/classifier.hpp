@@ -51,14 +51,14 @@ class CliqueClassifier {
   void Train(const ProjectedGraph& g_source, const Hypergraph& h_source,
              util::Rng* rng);
 
-  /// Prediction score M(Q) in (0, 1). Must be trained first.
-  double Score(const ProjectedGraph& g, const NodeSet& clique,
+  /// Prediction score M(Q) in (0, 1) for a canonical NodeSet or
+  /// CliqueView. Must be trained first.
+  double Score(const ProjectedGraph& g, CliqueView clique,
                bool is_maximal) const;
 
   /// Score measured on a CSR snapshot; identical to the ProjectedGraph
   /// overload on the same graph.
-  double Score(const CsrGraph& g, const NodeSet& clique,
-               bool is_maximal) const;
+  double Score(const CsrGraph& g, CliqueView clique, bool is_maximal) const;
 
   /// Batched scoring against a frozen snapshot: element i is
   /// `Score(g, cliques[i], is_maximal)`. Scores are independent pure
@@ -67,6 +67,11 @@ class CliqueClassifier {
   /// count.
   std::vector<double> ScoreAll(const CsrGraph& g,
                                std::span<const NodeSet> cliques,
+                               bool is_maximal, int num_threads) const;
+
+  /// Batched scoring straight off a clique arena (no per-clique NodeSet
+  /// materialization) — the reconstruction loop's path.
+  std::vector<double> ScoreAll(const CsrGraph& g, const CliqueStore& cliques,
                                bool is_maximal, int num_threads) const;
 
   /// True once Train has completed.

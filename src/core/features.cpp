@@ -57,7 +57,7 @@ size_t FeatureDim(FeatureMode mode) {
 }
 
 template <typename Graph>
-la::Vector ExtractMultiplicityAware(const Graph& g, const NodeSet& clique,
+la::Vector ExtractMultiplicityAware(const Graph& g, CliqueView clique,
                                     bool is_maximal) {
   const size_t k = clique.size();
 
@@ -110,7 +110,7 @@ la::Vector ExtractMultiplicityAware(const Graph& g, const NodeSet& clique,
 }
 
 template <typename Graph>
-la::Vector ExtractStructural(const Graph& g, const NodeSet& clique,
+la::Vector ExtractStructural(const Graph& g, CliqueView clique,
                              bool is_maximal) {
   const size_t k = clique.size();
 
@@ -132,7 +132,7 @@ la::Vector ExtractStructural(const Graph& g, const NodeSet& clique,
   // Neighborhood edge density: fraction of pairs among the union of the
   // clique's neighbors (capped for cost, in ascending-id order) that are
   // connected.
-  NodeSet hood = clique;
+  NodeSet hood(clique.begin(), clique.end());
   std::vector<NodeId> scratch;
   for (NodeId u : clique) {
     for (NodeId v : SortedNeighborIds(g, u, &scratch)) {
@@ -171,7 +171,7 @@ la::Vector ExtractStructural(const Graph& g, const NodeSet& clique,
 }
 
 template <typename Graph>
-la::Vector ExtractMotif(const Graph& g, const NodeSet& clique,
+la::Vector ExtractMotif(const Graph& g, CliqueView clique,
                         bool is_maximal) {
   // Structural features first (13 dims, computed identically to
   // kStructural), then motif statistics.
@@ -200,8 +200,8 @@ la::Vector ExtractMotif(const Graph& g, const NodeSet& clique,
 }
 
 template <typename Graph>
-la::Vector ExtractImpl(FeatureMode mode, const Graph& g,
-                       const NodeSet& clique, bool is_maximal) {
+la::Vector ExtractImpl(FeatureMode mode, const Graph& g, CliqueView clique,
+                       bool is_maximal) {
   MARIOH_CHECK_GE(clique.size(), 2u);
   switch (mode) {
     case FeatureMode::kMultiplicityAware:
@@ -220,19 +220,30 @@ la::Vector ExtractImpl(FeatureMode mode, const Graph& g,
 size_t FeatureExtractor::dim() const { return FeatureDim(mode_); }
 
 la::Vector FeatureExtractor::Extract(const ProjectedGraph& g,
-                                     const NodeSet& clique,
+                                     CliqueView clique,
                                      bool is_maximal) const {
   return ExtractImpl(mode_, g, clique, is_maximal);
 }
 
-la::Vector FeatureExtractor::Extract(const CsrGraph& g,
-                                     const NodeSet& clique,
+la::Vector FeatureExtractor::Extract(const CsrGraph& g, CliqueView clique,
                                      bool is_maximal) const {
   return ExtractImpl(mode_, g, clique, is_maximal);
 }
 
 la::Matrix FeatureExtractor::ExtractAll(const CsrGraph& g,
                                         std::span<const NodeSet> cliques,
+                                        bool is_maximal,
+                                        int num_threads) const {
+  la::Matrix x(cliques.size(), dim());
+  util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {
+    la::Vector f = ExtractImpl(mode_, g, cliques[i], is_maximal);
+    std::copy(f.begin(), f.end(), x.Row(i));
+  });
+  return x;
+}
+
+la::Matrix FeatureExtractor::ExtractAll(const CsrGraph& g,
+                                        const CliqueStore& cliques,
                                         bool is_maximal,
                                         int num_threads) const {
   la::Matrix x(cliques.size(), dim());

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <span>
 
+#include "hypergraph/clique.hpp"
 #include "hypergraph/csr.hpp"
 #include "hypergraph/projected_graph.hpp"
 #include "hypergraph/types.hpp"
@@ -51,15 +52,16 @@ class FeatureExtractor {
   /// Dimensionality of the produced vectors.
   size_t dim() const;
 
-  /// Feature vector of `clique` (canonical NodeSet, size >= 2) measured on
-  /// graph `g`. `is_maximal` is the caller-supplied maximality indicator
-  /// (cliques from the maximal enumeration pass 1, sub-cliques 0).
-  la::Vector Extract(const ProjectedGraph& g, const NodeSet& clique,
+  /// Feature vector of `clique` (a canonical NodeSet or CliqueView,
+  /// size >= 2) measured on graph `g`. `is_maximal` is the caller-supplied
+  /// maximality indicator (cliques from the maximal enumeration pass 1,
+  /// sub-cliques 0).
+  la::Vector Extract(const ProjectedGraph& g, CliqueView clique,
                      bool is_maximal) const;
 
   /// Same features measured on a CSR snapshot; bit-identical to the
   /// ProjectedGraph overload on the same graph.
-  la::Vector Extract(const CsrGraph& g, const NodeSet& clique,
+  la::Vector Extract(const CsrGraph& g, CliqueView clique,
                      bool is_maximal) const;
 
   /// Batched extraction over candidate cliques: row i of the result is
@@ -67,6 +69,11 @@ class FeatureExtractor {
   /// slots filled with `util::ParallelFor` (0 = all cores), so the matrix
   /// is identical for any thread count.
   la::Matrix ExtractAll(const CsrGraph& g, std::span<const NodeSet> cliques,
+                        bool is_maximal, int num_threads) const;
+
+  /// Batched extraction straight off a clique arena (no per-clique
+  /// NodeSet materialization) — the reconstruction loop's path.
+  la::Matrix ExtractAll(const CsrGraph& g, const CliqueStore& cliques,
                         bool is_maximal, int num_threads) const;
 
   FeatureMode mode() const { return mode_; }

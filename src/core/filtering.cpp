@@ -1,14 +1,14 @@
 #include "core/filtering.hpp"
 
+#include <utility>
 #include <vector>
 
-#include "hypergraph/csr.hpp"
 #include "util/parallel.hpp"
 
 namespace marioh::core {
 
-FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h,
-                         int num_threads) {
+FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h, int num_threads,
+                         CsrGraph* pre_snapshot) {
   FilteringStats stats;
   // MHH is defined on the input graph, so compute every residual before
   // mutating any weight (Algorithm 2 reads w from G, not G'). The
@@ -41,10 +41,16 @@ FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h,
     for (const Extraction& ex : slot) {
       h->AddEdge(NodeSet{ex.u, ex.v}, ex.count);
       g->SubtractWeight(ex.u, ex.v, ex.count);
+      stats.touched_nodes.push_back(ex.u);
+      stats.touched_nodes.push_back(ex.v);
       ++stats.edges_identified;
       stats.total_multiplicity += ex.count;
     }
   }
+  Canonicalize(&stats.touched_nodes);
+  // Hand the pre-subtraction snapshot to the caller for patch-based
+  // reuse rather than throwing the build away.
+  if (pre_snapshot != nullptr) *pre_snapshot = std::move(csr);
   return stats;
 }
 

@@ -4,8 +4,12 @@
 
 #pragma once
 
+#include <vector>
+
+#include "hypergraph/csr.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/projected_graph.hpp"
+#include "hypergraph/types.hpp"
 
 namespace marioh::core {
 
@@ -15,6 +19,11 @@ struct FilteringStats {
   size_t edges_identified = 0;
   /// Total multiplicity of extracted size-2 hyperedges (sum of r_uv).
   size_t total_multiplicity = 0;
+  /// Sorted, duplicate-free endpoints of the extracted edges — exactly
+  /// the adjacency rows of `g` the subtraction pass changed. Together
+  /// with `pre_snapshot` (below) this lets the reconstruction loop patch
+  /// its first iteration snapshot instead of rebuilding it.
+  std::vector<NodeId> touched_nodes;
 };
 
 /// Runs Algorithm 2 on `g` in place: for every edge (u,v), computes
@@ -27,8 +36,12 @@ struct FilteringStats {
 /// The MHH pass is read-only, so it runs over a CSR snapshot of `g` with
 /// `num_threads` threads (0 = all cores); extractions are applied
 /// sequentially in sorted edge order afterwards, so the result is
-/// identical for any thread count.
+/// identical for any thread count. If `pre_snapshot` is non-null it
+/// receives that internal snapshot (of `g` *before* the subtraction
+/// pass), so the caller can reuse it — patched with
+/// `FilteringStats::touched_nodes` — instead of paying a second build.
 FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h,
-                         int num_threads = 1);
+                         int num_threads = 1,
+                         CsrGraph* pre_snapshot = nullptr);
 
 }  // namespace marioh::core

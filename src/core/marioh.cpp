@@ -41,10 +41,40 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
   Hypergraph h(g.num_nodes());
   last_stats_ = {};
 
+  // The loop owns one CSR snapshot of `g` and keeps it fresh across
+  // iterations: when an iteration's peels touch at most a
+  // `snapshot_reuse` fraction of the nodes, the snapshot is patched (only
+  // touched rows rebuilt — the common case late in a run, when a phase
+  // accepts a handful of cliques); otherwise it is rebuilt from scratch.
+  // Both routes yield bit-identical snapshots, so the reconstruction
+  // output does not depend on the policy.
+  CsrGraph snapshot;
+  auto refresh_snapshot = [&](CsrGraph prev,
+                              std::span<const NodeId> touched) {
+    if (touched.empty()) return prev;  // no peels: still exact
+    double fraction = static_cast<double>(touched.size()) /
+                      static_cast<double>(g.num_nodes());
+    if (fraction <= options_.snapshot_reuse) {
+      ++last_stats_.snapshot_patches;
+      return CsrGraph(prev, g, touched, options_.num_threads);
+    }
+    ++last_stats_.snapshot_rebuilds;
+    return CsrGraph(g, options_.num_threads);
+  };
+
   if (options_.use_filtering) {
     util::ScopedStage stage(&timer_, "filtering");
-    FilteringStats fstats = Filtering(&g, &h, options_.num_threads);
+    CsrGraph pre_filter;
+    FilteringStats fstats =
+        Filtering(&g, &h, options_.num_threads, &pre_filter);
     last_stats_.filtering_edges = fstats.edges_identified;
+    // Filtering already paid for a snapshot of the pre-filter graph;
+    // reuse it for the first iteration instead of building a third.
+    snapshot = refresh_snapshot(std::move(pre_filter),
+                                fstats.touched_nodes);
+  } else {
+    snapshot = CsrGraph(g, options_.num_threads);
+    ++last_stats_.snapshot_rebuilds;
   }
 
   util::Rng rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -59,7 +89,7 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
       bopt.explore_subcliques = options_.use_bidirectional;
       bopt.num_threads = options_.num_threads;
       BidirectionalStats stats =
-          BidirectionalSearch(&g, classifier_, bopt, &rng, &h);
+          BidirectionalSearch(&g, snapshot, classifier_, bopt, &rng, &h);
       last_stats_.maximal_cliques += stats.maximal_cliques;
       last_stats_.accepted_phase1 += stats.accepted_phase1;
       last_stats_.accepted_phase2 += stats.accepted_phase2;
@@ -67,19 +97,29 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
       last_stats_.cliques_truncated |= stats.cliques_truncated;
       theta = std::max(theta - options_.alpha * options_.theta_init, 0.0);
       ++iterations;
+      std::vector<NodeId> touched = std::move(stats.touched_nodes);
       // Termination safeguard: once theta is 0 every maximal clique scores
       // above the threshold (sigmoid output > 0), so Phase 1 must accept at
       // least one clique per iteration. If nothing was accepted anyway
       // (degenerate classifier), peel the best-scoring maximal clique via
-      // a plain maximal-clique step to guarantee progress.
+      // a plain maximal-clique step to guarantee progress. Nothing was
+      // peeled this iteration, so the snapshot is still exact and serves
+      // the fallback enumeration directly.
       if (theta == 0.0 && stats.accepted_phase1 == 0 &&
           stats.accepted_phase2 == 0 && !g.Empty()) {
         CliqueOptions copts;
         copts.num_threads = options_.num_threads;
-        MaximalCliqueResult fallback = EnumerateMaximalCliques(g, copts);
+        MaximalCliqueResult fallback =
+            EnumerateMaximalCliques(snapshot, copts);
         MARIOH_CHECK(!fallback.cliques.empty());
-        h.AddEdge(fallback.cliques.front(), 1);
-        g.PeelClique(fallback.cliques.front());
+        NodeSet first = fallback.cliques.Materialize(0);
+        h.AddEdge(first, 1);
+        g.PeelClique(first);
+        touched.insert(touched.end(), first.begin(), first.end());
+        Canonicalize(&touched);
+      }
+      if (!g.Empty() && iterations < options_.max_iterations) {
+        snapshot = refresh_snapshot(std::move(snapshot), touched);
       }
     }
   }

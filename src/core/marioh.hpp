@@ -35,6 +35,17 @@ struct MariohOptions {
   /// clique scoring (0 = all cores). Results are identical for any value
   /// (the determinism contract of docs/ARCHITECTURE.md).
   int num_threads = 1;
+  /// Snapshot-reuse policy for the reconstruction loop: when the fraction
+  /// of nodes touched by an iteration's peels is at most this threshold,
+  /// the next iteration's CSR snapshot is *patched* from the previous one
+  /// (only the touched adjacency rows are rebuilt; see CsrGraph's patch
+  /// constructor) instead of rebuilt from scratch. 0 always rebuilds,
+  /// 1 always patches. Either way the snapshot — and therefore the
+  /// reconstruction — is bit-identical; only wall-clock changes. The
+  /// default follows the BM_CsrPatchRebuild crossover (patching still
+  /// wins at 50% touched on the benchmark graphs, so the threshold sits
+  /// safely below that).
+  double snapshot_reuse = 0.4;
   uint64_t seed = 1;  ///< seed for training and sub-clique sampling
   ClassifierOptions classifier;
 };
@@ -59,6 +70,11 @@ struct ReconstructionStats {
   size_t accepted_phase2 = 0;    ///< hyperedges accepted from sub-cliques
   size_t subcliques_scored = 0;  ///< sub-clique candidates evaluated
   size_t filtering_edges = 0;    ///< size-2 hyperedges from Algorithm 2
+  /// Snapshot upkeep: how many CSR snapshots were patched from the
+  /// previous iteration's snapshot vs rebuilt from scratch (the
+  /// `snapshot_reuse` policy). Patches + rebuilds = snapshots built.
+  size_t snapshot_patches = 0;
+  size_t snapshot_rebuilds = 0;
   /// True if any iteration's maximal-clique enumeration was truncated by
   /// the clique cap — the reconstruction then worked on partial candidate
   /// pools and callers should not treat the output as exhaustive.

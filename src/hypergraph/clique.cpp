@@ -1,12 +1,91 @@
 #include "hypergraph/clique.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <limits>
+#include <numeric>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace marioh {
+
+void CliqueStore::Reserve(size_t cliques, size_t nodes) {
+  offsets_.reserve(cliques + 1);
+  nodes_.reserve(nodes);
+}
+
+void CliqueStore::PushClique(CliqueView clique) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  nodes_.insert(nodes_.end(), clique.begin(), clique.end());
+  offsets_.push_back(nodes_.size());
+}
+
+void CliqueStore::Append(const CliqueStore& other) {
+  if (other.empty()) return;
+  if (offsets_.empty()) offsets_.push_back(0);
+  const size_t base = nodes_.size();
+  nodes_.insert(nodes_.end(), other.nodes_.begin(), other.nodes_.end());
+  offsets_.reserve(offsets_.size() + other.size());
+  for (size_t i = 1; i < other.offsets_.size(); ++i) {
+    offsets_.push_back(base + other.offsets_[i]);
+  }
+}
+
+void CliqueStore::Clear() {
+  nodes_.clear();
+  offsets_.clear();
+}
+
+void CliqueStore::Sort() {
+  const size_t n = size();
+  if (n < 2) return;
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  auto view_less = [this](uint32_t a, uint32_t b) {
+    CliqueView va = (*this)[a];
+    CliqueView vb = (*this)[b];
+    return std::lexicographical_compare(va.begin(), va.end(), vb.begin(),
+                                        vb.end());
+  };
+  if (std::is_sorted(perm.begin(), perm.end(), view_less)) return;
+  std::sort(perm.begin(), perm.end(), view_less);
+  // Rebuild the arena in sorted order with one copy pass.
+  std::vector<NodeId> sorted_nodes;
+  sorted_nodes.reserve(nodes_.size());
+  std::vector<size_t> sorted_offsets;
+  sorted_offsets.reserve(offsets_.size());
+  sorted_offsets.push_back(0);
+  for (uint32_t i : perm) {
+    CliqueView v = (*this)[i];
+    sorted_nodes.insert(sorted_nodes.end(), v.begin(), v.end());
+    sorted_offsets.push_back(sorted_nodes.size());
+  }
+  nodes_ = std::move(sorted_nodes);
+  offsets_ = std::move(sorted_offsets);
+}
+
+std::vector<NodeSet> CliqueStore::ToNodeSets() const {
+  std::vector<NodeSet> out;
+  out.reserve(size());
+  for (CliqueView v : *this) out.emplace_back(v.begin(), v.end());
+  return out;
+}
+
+bool CliqueStore::operator==(const CliqueStore& other) const {
+  if (size() != other.size()) return false;
+  if (nodes_ != other.nodes_) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (offsets_[i + 1] - offsets_[i] !=
+        other.offsets_[i + 1] - other.offsets_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 /// The recursion's P and X sets shrink quickly (bounded by the
@@ -101,13 +180,16 @@ struct LocalSubgraph {
             neighbors.data() + offsets[local + 1]};
   }
 
-  /// Builds the induced subgraph on S = N(v) from the snapshot. Each
-  /// induced edge is discovered once from its smaller endpoint and
-  /// mirrored into both rows (appended in ascending order on both sides,
-  /// so rows stay sorted without a sort pass). `rows` is caller-owned
-  /// scratch reused across roots.
-  void Build(const CsrGraph& g, NodeId v,
-             std::vector<std::vector<NodeId>>* rows) {
+  /// Builds the induced subgraph on S = N(v) from the snapshot into the
+  /// per-local-id `rows` (caller-owned scratch reused across roots),
+  /// leaving `offsets`/`neighbors` untouched — call Flatten afterwards
+  /// for the span-based adjacency the general recursion needs, or feed
+  /// the rows straight into a bitset kernel. Each induced edge is
+  /// discovered once from its smaller endpoint and mirrored into both
+  /// rows (appended in ascending order on both sides, so rows stay
+  /// sorted without a sort pass).
+  void BuildRows(const CsrGraph& g, NodeId v,
+                 std::vector<std::vector<NodeId>>* rows) {
     auto s_nodes = g.Neighbors(v);
     globals.assign(s_nodes.begin(), s_nodes.end());
     const size_t s = globals.size();
@@ -156,11 +238,15 @@ struct LocalSubgraph {
         }
       }
     }
+  }
+
+  /// Concatenates the rows into the contiguous offsets/neighbors layout.
+  void Flatten(const std::vector<std::vector<NodeId>>& rows) {
+    const size_t s = globals.size();
     offsets.assign(s + 1, 0);
     neighbors.clear();
     for (size_t w = 0; w < s; ++w) {
-      neighbors.insert(neighbors.end(), (*rows)[w].begin(),
-                       (*rows)[w].end());
+      neighbors.insert(neighbors.end(), rows[w].begin(), rows[w].end());
       offsets[w + 1] = neighbors.size();
     }
   }
@@ -225,6 +311,106 @@ class PivotBronKerbosch {
   const Adjacency& adj_;
   EmitFn& emit_;
   BkScratch* scratch_;
+};
+
+/// Bit-parallel Bron–Kerbosch over a local subgraph of at most W * 64
+/// nodes: P, X and the adjacency rows are W-word bitmasks, so the pivot
+/// scan, the candidate set and the per-branch P/X restriction collapse
+/// into AND/ANDNOT + popcount word operations. Pivot selection iterates
+/// set bits in ascending id over P then X with first-max-wins ties, and
+/// candidates are visited in ascending id — exactly the order of the
+/// span-based `PivotBronKerbosch` — so both kernels emit the same cliques
+/// in the same sequence (the truncation-prefix determinism contract).
+template <size_t W, typename EmitFn>
+class BitsetBronKerbosch {
+ public:
+  /// `words` is caller-owned scratch reused across roots; it holds the
+  /// adjacency matrix (s rows of W words) followed by the per-depth
+  /// {candidates, p2, x2} mask triples.
+  BitsetBronKerbosch(const std::vector<NodeId>& globals,
+                     const std::vector<std::vector<NodeId>>& rows,
+                     EmitFn& emit, std::vector<uint64_t>* words)
+      : emit_(emit), s_(globals.size()), words_(words) {
+    const size_t need = (s_ + (s_ + 2) * 3) * W;
+    if (words_->size() < need) words_->resize(need);
+    std::fill(words_->begin(), words_->begin() + s_ * W, 0);
+    uint64_t* adj = words_->data();
+    for (size_t u = 0; u < s_; ++u) {
+      for (NodeId v : rows[u]) {
+        adj[u * W + v / 64] |= uint64_t{1} << (v % 64);
+      }
+    }
+  }
+
+  /// Runs the recursion from the root state: `p`/`x` are W-word masks,
+  /// `r` collects local ids. Returns false once `emit_` stopped the
+  /// enumeration.
+  bool Expand(size_t depth, std::vector<NodeId>* r, uint64_t* p,
+              uint64_t* x) {
+    const uint64_t* adj = words_->data();
+    bool any = false;
+    for (size_t wi = 0; wi < W; ++wi) any |= (p[wi] | x[wi]) != 0;
+    if (!any) return emit_(*r);
+
+    // Pivot: the vertex of p ∪ x with the most neighbors in p.
+    size_t pivot = 0;
+    size_t best = 0;
+    bool have_pivot = false;
+    auto consider_set = [&](const uint64_t* set) {
+      for (size_t wi = 0; wi < W; ++wi) {
+        uint64_t word = set[wi];
+        while (word != 0) {
+          size_t cand = wi * 64 + static_cast<size_t>(
+                                      std::countr_zero(word));
+          word &= word - 1;
+          size_t cnt = 0;
+          for (size_t wj = 0; wj < W; ++wj) {
+            cnt += static_cast<size_t>(
+                std::popcount(adj[cand * W + wj] & p[wj]));
+          }
+          if (!have_pivot || cnt > best) {
+            pivot = cand;
+            best = cnt;
+            have_pivot = true;
+          }
+        }
+      }
+    };
+    consider_set(p);
+    consider_set(x);
+
+    uint64_t* level = words_->data() + (s_ + depth * 3) * W;
+    uint64_t* candidates = level;
+    uint64_t* p2 = level + W;
+    uint64_t* x2 = level + 2 * W;
+    for (size_t wi = 0; wi < W; ++wi) {
+      candidates[wi] = p[wi] & ~adj[pivot * W + wi];
+    }
+    for (size_t wi = 0; wi < W; ++wi) {
+      uint64_t word = candidates[wi];
+      while (word != 0) {
+        size_t v = wi * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        for (size_t wj = 0; wj < W; ++wj) {
+          p2[wj] = p[wj] & adj[v * W + wj];
+          x2[wj] = x[wj] & adj[v * W + wj];
+        }
+        r->push_back(static_cast<NodeId>(v));
+        bool keep = Expand(depth + 1, r, p2, x2);
+        r->pop_back();
+        if (!keep) return false;
+        // Move v from p to x.
+        p[wi] &= ~(uint64_t{1} << (v % 64));
+        x[wi] |= uint64_t{1} << (v % 64);
+      }
+    }
+    return true;
+  }
+
+ private:
+  EmitFn& emit_;
+  size_t s_;
+  std::vector<uint64_t>* words_;
 };
 
 /// Reference Bron–Kerbosch over the hash-map adjacency (sequential). The
@@ -373,9 +559,23 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
           ? options.max_cliques
           : options.max_cliques + 1;
 
-  std::vector<std::vector<NodeSet>> slots(n);
-  util::ParallelForRanges(n, options.num_threads, [&](size_t begin,
-                                                      size_t end) {
+  // One sub-arena per worker range instead of one slot per root: roots
+  // within a range are processed sequentially in ascending root order, so
+  // concatenating the range arenas in range order reproduces the exact
+  // root-order clique sequence for any thread count, while emission costs
+  // zero allocations per clique (only amortized arena growth). The range
+  // partition mirrors util::ParallelForRanges' static block partition.
+  const size_t used_ranges = std::min(
+      static_cast<size_t>(util::ResolveThreads(options.num_threads)), n);
+  const size_t chunk = (n + used_ranges - 1) / used_ranges;
+  std::vector<std::pair<size_t, size_t>> ranges;  // root index [begin, end)
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    ranges.emplace_back(begin, std::min(n, begin + chunk));
+  }
+  std::vector<CliqueStore> sub_arenas(ranges.size());
+  util::ParallelFor(ranges.size(), options.num_threads, [&](size_t ri) {
+    const auto [begin, end] = ranges[ri];
+    CliqueStore& out = sub_arenas[ri];
     // Working state reused across this range's roots, so the hot loop
     // stops allocating after warm-up. Every buffer is rebuilt or cleared
     // per root; the retained capacity is bounded by the largest
@@ -383,7 +583,9 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
     LocalSubgraph local;
     std::vector<std::vector<NodeId>> row_scratch;
     BkScratch scratch;
+    std::vector<uint64_t> bit_scratch;
     std::vector<NodeId> p, x, r_local;
+    NodeSet clique_buf;
     // Running count of cliques this range has emitted. Once it alone
     // exceeds max_cliques, every later root of the range lies past the
     // global truncation point (earlier roots only add to the prefix), so
@@ -393,60 +595,102 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
     // materialized work per range is bounded by ~2 * max_cliques (the
     // last root admitted at exactly max_cliques can itself emit up to
     // per_root_cap more) instead of roots * max_cliques.
-    size_t emitted_in_range = 0;
-    for (size_t i = begin;
-         i < end && emitted_in_range <= options.max_cliques; ++i) {
+    for (size_t i = begin; i < end && out.size() <= options.max_cliques;
+         ++i) {
       NodeId v = order[i];
       if (g.Degree(v) == 0) continue;
       // The whole subproblem lives inside N(v): relabel it to a compact
-      // local subgraph so the recursion works on short contiguous rows.
-      local.Build(g, v, &row_scratch);
+      // local subgraph so the recursion works on short rows — W-word
+      // bitmasks when the neighborhood fits (almost always; degrees are
+      // small in the peeling regime), contiguous spans otherwise.
+      local.BuildRows(g, v, &row_scratch);
       const size_t s = local.globals.size();
-      if (scratch.size() < 3 * (s + 2)) scratch.resize(3 * (s + 2));
-      // P: neighbors later in the ordering; X: earlier. Local ids
-      // ascend with global ids, so both stay sorted.
-      p.clear();
-      x.clear();
-      for (size_t w = 0; w < s; ++w) {
-        if (pos[local.globals[w]] > i) {
-          p.push_back(static_cast<NodeId>(w));
-        } else {
-          x.push_back(static_cast<NodeId>(w));
-        }
-      }
-      std::vector<NodeSet>& out = slots[i];
+      const size_t root_start = out.size();
       auto emit = [&](const std::vector<NodeId>& r) {
         if (r.size() + 1 >= options.min_size) {
-          NodeSet q;
-          q.reserve(r.size() + 1);
-          q.push_back(v);
-          for (NodeId local_id : r) q.push_back(local.globals[local_id]);
-          std::sort(q.begin(), q.end());
-          out.push_back(std::move(q));
-          if (out.size() >= per_root_cap) return false;
+          clique_buf.clear();
+          clique_buf.push_back(v);
+          for (NodeId local_id : r) clique_buf.push_back(local.globals[local_id]);
+          std::sort(clique_buf.begin(), clique_buf.end());
+          out.PushClique(clique_buf);
+          if (out.size() - root_start >= per_root_cap) return false;
         }
         return true;
       };
-      PivotBronKerbosch bk(local, emit, &scratch);
       r_local.clear();
-      bk.Expand(0, &r_local, p, x);
-      emitted_in_range += out.size();
+      // P: neighbors later in the ordering; X: earlier. Local ids
+      // ascend with global ids, so both stay sorted (as spans) and the
+      // bit iteration visits them in the same order.
+      auto run_bitset = [&]<size_t kWords>() {
+        uint64_t p_mask[kWords] = {};
+        uint64_t x_mask[kWords] = {};
+        for (size_t w = 0; w < s; ++w) {
+          uint64_t bit = uint64_t{1} << (w % 64);
+          if (pos[local.globals[w]] > i) {
+            p_mask[w / 64] |= bit;
+          } else {
+            x_mask[w / 64] |= bit;
+          }
+        }
+        BitsetBronKerbosch<kWords, decltype(emit)> bk(
+            local.globals, row_scratch, emit, &bit_scratch);
+        bk.Expand(0, &r_local, p_mask, x_mask);
+      };
+      if (s <= 64) {
+        run_bitset.template operator()<1>();
+      } else if (s <= 128) {
+        run_bitset.template operator()<2>();
+      } else if (s <= 256) {
+        run_bitset.template operator()<4>();
+      } else if (s <= 512) {
+        run_bitset.template operator()<8>();
+      } else {
+        local.Flatten(row_scratch);
+        if (scratch.size() < 3 * (s + 2)) scratch.resize(3 * (s + 2));
+        p.clear();
+        x.clear();
+        for (size_t w = 0; w < s; ++w) {
+          if (pos[local.globals[w]] > i) {
+            p.push_back(static_cast<NodeId>(w));
+          } else {
+            x.push_back(static_cast<NodeId>(w));
+          }
+        }
+        PivotBronKerbosch bk(local, emit, &scratch);
+        bk.Expand(0, &r_local, p, x);
+      }
     }
   });
 
-  // Concatenate per-root slots in root order; the global cap is applied
-  // to this deterministic sequence, then the survivors are sorted.
+  // Concatenate sub-arenas in range (= root) order; the global cap is
+  // applied to this deterministic sequence, then the survivors are sorted.
   size_t total = 0;
-  for (const std::vector<NodeSet>& slot : slots) total += slot.size();
+  size_t total_nodes = 0;
+  for (const CliqueStore& sub : sub_arenas) {
+    total += sub.size();
+    total_nodes += sub.total_nodes();
+  }
   result.truncated = total > options.max_cliques;
-  result.cliques.reserve(std::min(total, options.max_cliques));
-  for (std::vector<NodeSet>& slot : slots) {
-    for (NodeSet& q : slot) {
-      if (result.cliques.size() >= options.max_cliques) break;
-      result.cliques.push_back(std::move(q));
+  if (sub_arenas.size() == 1 && !result.truncated) {
+    // Single range (the 1-thread default) under the cap: the sub-arena
+    // already is the concatenation, so adopt it without a copy pass.
+    result.cliques = std::move(sub_arenas.front());
+  } else {
+    result.cliques.Reserve(std::min(total, options.max_cliques),
+                           total_nodes);
+    for (const CliqueStore& sub : sub_arenas) {
+      if (result.cliques.size() + sub.size() <= options.max_cliques) {
+        result.cliques.Append(sub);
+        continue;
+      }
+      for (CliqueView q : sub) {
+        if (result.cliques.size() >= options.max_cliques) break;
+        result.cliques.PushClique(q);
+      }
+      break;
     }
   }
-  std::sort(result.cliques.begin(), result.cliques.end());
+  result.cliques.Sort();
   return result;
 }
 
@@ -458,7 +702,7 @@ MaximalCliqueResult EnumerateMaximalCliques(const ProjectedGraph& g,
 
 std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
                                     const CliqueOptions& options) {
-  return EnumerateMaximalCliques(g, options).cliques;
+  return EnumerateMaximalCliques(g, options).cliques.ToNodeSets();
 }
 
 std::vector<NodeSet> MaximalCliquesHashMapReference(

@@ -7,14 +7,18 @@
 ///
 /// The fast path runs on an immutable `CsrGraph` snapshot: the outer
 /// degeneracy-ordered roots are independent subproblems fanned out with
-/// `util::ParallelFor`, each writing its cliques to a per-root slot. Slots
-/// are concatenated in root order and the result sorted, so the output is
-/// identical for any thread count (the determinism contract of
-/// docs/ARCHITECTURE.md).
+/// `util::ParallelFor`, each worker appending its cliques to a per-range
+/// `CliqueStore` sub-arena. Sub-arenas are concatenated in root order and
+/// the result sorted, so the output is identical for any thread count (the
+/// determinism contract of docs/ARCHITECTURE.md). Cliques live in one flat
+/// arena — enumeration performs no per-clique allocation, and consumers
+/// read them as `CliqueView` spans.
 
 #pragma once
 
 #include <cstddef>
+#include <iterator>
+#include <span>
 #include <vector>
 
 #include "hypergraph/csr.hpp"
@@ -22,6 +26,102 @@
 #include "hypergraph/types.hpp"
 
 namespace marioh {
+
+/// A read-only view of one clique stored in a `CliqueStore`: a canonically
+/// sorted span of node ids, valid as long as the owning store is alive and
+/// unmodified.
+using CliqueView = std::span<const NodeId>;
+
+/// Flat arena of cliques: one contiguous `NodeId` buffer plus an offsets
+/// array. Appending never allocates per clique (only amortized buffer
+/// growth), and cliques are handed out as `CliqueView` spans — the storage
+/// layout the hot path (enumeration → feature extraction → scoring →
+/// selection) runs on end-to-end. Only cliques that are *accepted* as
+/// hyperedges ever materialize an owning `NodeSet`.
+class CliqueStore {
+ public:
+  CliqueStore() = default;
+
+  /// Number of cliques stored.
+  size_t size() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  bool empty() const { return size() == 0; }
+
+  /// Total node ids across all cliques (the arena length).
+  size_t total_nodes() const { return nodes_.size(); }
+
+  /// View of clique `i` (canonical order, as appended).
+  CliqueView operator[](size_t i) const {
+    return {nodes_.data() + offsets_[i], nodes_.data() + offsets_[i + 1]};
+  }
+
+  /// Pre-allocates room for `cliques` cliques totalling `nodes` node ids.
+  void Reserve(size_t cliques, size_t nodes);
+
+  /// Appends one clique (must already be canonically sorted).
+  void PushClique(CliqueView clique);
+
+  /// Appends every clique of `other` in order (bulk copy).
+  void Append(const CliqueStore& other);
+
+  /// Removes all cliques; keeps the arena capacity for reuse.
+  void Clear();
+
+  /// Sorts the cliques lexicographically (the canonical order of
+  /// `std::vector<NodeSet>` sorting), rebuilding the arena in sorted
+  /// order.
+  void Sort();
+
+  /// Owning copy of clique `i`.
+  NodeSet Materialize(size_t i) const {
+    CliqueView v = (*this)[i];
+    return NodeSet(v.begin(), v.end());
+  }
+
+  /// Copy-out to the legacy representation (one heap allocation per
+  /// clique); for consumers that need owning sets, e.g. hash-set
+  /// membership oracles. Hot-path code should iterate views instead.
+  std::vector<NodeSet> ToNodeSets() const;
+
+  /// Forward iterator over `CliqueView`s, enabling range-for.
+  class ConstIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = CliqueView;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const CliqueView*;
+    using reference = CliqueView;
+
+    ConstIterator(const CliqueStore* store, size_t index)
+        : store_(store), index_(index) {}
+    CliqueView operator*() const { return (*store_)[index_]; }
+    ConstIterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    ConstIterator operator++(int) {
+      ConstIterator tmp = *this;
+      ++index_;
+      return tmp;
+    }
+    bool operator==(const ConstIterator& other) const = default;
+
+   private:
+    const CliqueStore* store_;
+    size_t index_;
+  };
+
+  ConstIterator begin() const { return {this, 0}; }
+  ConstIterator end() const { return {this, size()}; }
+
+  /// Two stores are equal iff they hold the same cliques in the same
+  /// order.
+  bool operator==(const CliqueStore& other) const;
+
+ private:
+  std::vector<NodeId> nodes_;    ///< concatenated clique members
+  std::vector<size_t> offsets_;  ///< clique i spans [offsets_[i], offsets_[i+1])
+};
 
 /// Options for maximal-clique enumeration.
 struct CliqueOptions {
@@ -38,8 +138,8 @@ struct CliqueOptions {
 
 /// Result of a maximal-clique enumeration.
 struct MaximalCliqueResult {
-  /// All maximal cliques (canonical node sets), sorted.
-  std::vector<NodeSet> cliques;
+  /// All maximal cliques, lexicographically sorted, in one flat arena.
+  CliqueStore cliques;
   /// True if `max_cliques` capped the output — `cliques` is then a
   /// partial set and callers relying on completeness must not proceed
   /// silently (api::Session surfaces this in its stage stats).
@@ -62,8 +162,12 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
 MaximalCliqueResult EnumerateMaximalCliques(const ProjectedGraph& g,
                                             const CliqueOptions& options = {});
 
-/// Back-compat convenience returning just the (possibly truncated) clique
-/// list; prefer EnumerateMaximalCliques where the truncation flag matters.
+/// DEPRECATED back-compat shim: enumerates and then copies every clique
+/// out of the arena into an owning `std::vector<NodeSet>` (one heap
+/// allocation per clique) and drops the truncation flag. Kept only for
+/// the remaining legacy baselines (cfinder, bayesian_mdl, shyre_unsup)
+/// and tests; new code should consume `MaximalCliqueResult::cliques`
+/// views directly.
 std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
                                     const CliqueOptions& options = {});
 

@@ -1,7 +1,9 @@
 #include "hypergraph/csr.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace marioh {
@@ -22,6 +24,54 @@ CsrGraph::CsrGraph(const ProjectedGraph& g, int num_threads) {
                                                  g.Neighbors(u).end());
     std::sort(row.begin(), row.end());
     size_t base = offsets_[u];
+    uint64_t weighted = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      neighbors_[base + i] = row[i].first;
+      weights_[base + i] = row[i].second;
+      weighted += row[i].second;
+    }
+    weighted_degrees_[u] = weighted;
+  });
+  for (uint64_t wd : weighted_degrees_) total_weight_ += wd;
+  total_weight_ /= 2;
+}
+
+CsrGraph::CsrGraph(const CsrGraph& prev, const ProjectedGraph& g,
+                   std::span<const NodeId> touched_nodes, int num_threads) {
+  const size_t n = g.num_nodes();
+  MARIOH_CHECK_EQ(prev.num_nodes(), n);
+  std::vector<uint8_t> is_touched(n, 0);
+  for (NodeId u : touched_nodes) {
+    MARIOH_CHECK_LT(u, n);
+    is_touched[u] = 1;
+  }
+  // New row lengths: touched rows from the mutable graph, the rest from
+  // the previous snapshot (their degrees cannot have changed).
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] =
+        offsets_[u] + (is_touched[u] ? g.Degree(u) : prev.Degree(u));
+  }
+  neighbors_.resize(offsets_.back());
+  weights_.resize(offsets_.back());
+  weighted_degrees_.assign(n, 0);
+  // Rows are independent slots, so the fill is deterministic for any
+  // thread count: untouched rows are straight copies of `prev`'s sorted
+  // rows, touched rows are re-gathered and re-sorted from `g` exactly as
+  // in the from-scratch build.
+  util::ParallelFor(n, num_threads, [&](size_t u) {
+    const size_t base = offsets_[u];
+    if (!is_touched[u]) {
+      auto src_n = prev.Neighbors(u);
+      auto src_w = prev.Weights(u);
+      std::copy(src_n.begin(), src_n.end(), neighbors_.begin() + base);
+      std::copy(src_w.begin(), src_w.end(), weights_.begin() + base);
+      weighted_degrees_[u] = prev.weighted_degrees_[u];
+      return;
+    }
+    std::vector<std::pair<NodeId, uint32_t>> row(g.Neighbors(u).begin(),
+                                                 g.Neighbors(u).end());
+    std::sort(row.begin(), row.end());
     uint64_t weighted = 0;
     for (size_t i = 0; i < row.size(); ++i) {
       neighbors_[base + i] = row[i].first;
@@ -105,7 +155,7 @@ uint64_t CsrGraph::Mhh(NodeId u, NodeId v) const {
   return total;
 }
 
-bool CsrGraph::IsClique(const NodeSet& nodes) const {
+bool CsrGraph::IsClique(std::span<const NodeId> nodes) const {
   for (size_t i = 0; i < nodes.size(); ++i) {
     for (size_t j = i + 1; j < nodes.size(); ++j) {
       if (!HasEdge(nodes[i], nodes[j])) return false;

@@ -23,13 +23,32 @@ namespace marioh {
 /// Immutable weighted-graph snapshot in CSR layout.
 class CsrGraph {
  public:
+  /// An empty snapshot (0 nodes); a placeholder to patch or assign into.
+  CsrGraph() = default;
+
   /// Builds a snapshot of `g`. Neighbors of every node are sorted by id.
   /// `num_threads` parallelizes the per-row sort (0 = all cores); the
   /// result is identical for any thread count.
   explicit CsrGraph(const ProjectedGraph& g, int num_threads = 1);
 
+  /// Incremental snapshot reuse: builds a snapshot of `g` by patching
+  /// `prev`, a snapshot of an earlier state of the same graph from which
+  /// `g` differs only in the adjacency rows of `touched_nodes` (e.g. the
+  /// members of cliques peeled since `prev` was taken — peeling only
+  /// mutates edges whose two endpoints are both in the peeled clique, so
+  /// every other row is bit-identical and is copied straight from `prev`
+  /// instead of being re-gathered and re-sorted from the hash map).
+  /// `touched_nodes` may be in any order and contain duplicates; nodes
+  /// whose rows did not actually change are harmless (their rebuilt rows
+  /// come out identical). The result is bit-identical to `CsrGraph(g)`
+  /// for any thread count.
+  CsrGraph(const CsrGraph& prev, const ProjectedGraph& g,
+           std::span<const NodeId> touched_nodes, int num_threads = 1);
+
   /// Number of nodes.
-  size_t num_nodes() const { return offsets_.size() - 1; }
+  size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
 
   /// Number of undirected edges.
   size_t num_edges() const { return neighbors_.size() / 2; }
@@ -71,9 +90,10 @@ class CsrGraph {
   /// ProjectedGraph::Mhh on the same graph.
   uint64_t Mhh(NodeId u, NodeId v) const;
 
-  /// True if every pair of distinct nodes in `nodes` (canonical NodeSet)
-  /// is an edge — i.e. `nodes` is a clique of this snapshot.
-  bool IsClique(const NodeSet& nodes) const;
+  /// True if every pair of distinct nodes in `nodes` (a canonical
+  /// NodeSet or CliqueView) is an edge — i.e. `nodes` is a clique of
+  /// this snapshot.
+  bool IsClique(std::span<const NodeId> nodes) const;
 
   /// Sum of all edge weights.
   uint64_t TotalWeight() const { return total_weight_; }

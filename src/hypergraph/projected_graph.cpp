@@ -78,7 +78,7 @@ std::vector<ProjectedGraph::Edge> ProjectedGraph::Edges() const {
   return out;
 }
 
-bool ProjectedGraph::IsClique(const NodeSet& nodes) const {
+bool ProjectedGraph::IsClique(std::span<const NodeId> nodes) const {
   for (size_t i = 0; i < nodes.size(); ++i) {
     for (size_t j = i + 1; j < nodes.size(); ++j) {
       if (!HasEdge(nodes[i], nodes[j])) return false;
@@ -140,7 +140,7 @@ size_t ProjectedGraph::CommonNeighborCount(NodeId u, NodeId v) const {
   return count;
 }
 
-void ProjectedGraph::PeelClique(const NodeSet& nodes) {
+void ProjectedGraph::PeelClique(std::span<const NodeId> nodes) {
   for (size_t i = 0; i < nodes.size(); ++i) {
     for (size_t j = i + 1; j < nodes.size(); ++j) {
       SubtractWeight(nodes[i], nodes[j], 1);

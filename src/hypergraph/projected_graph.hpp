@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -72,9 +73,9 @@ class ProjectedGraph {
   };
   std::vector<Edge> Edges() const;
 
-  /// True if every pair of distinct nodes in `nodes` (canonical NodeSet) is
-  /// an edge — i.e. `nodes` is a clique of this graph.
-  bool IsClique(const NodeSet& nodes) const;
+  /// True if every pair of distinct nodes in `nodes` (a canonical NodeSet
+  /// or CliqueView) is an edge — i.e. `nodes` is a clique of this graph.
+  bool IsClique(std::span<const NodeId> nodes) const;
 
   /// Maximum number of higher-order hyperedges through edge {u,v}
   /// (Eq. (1)): `MHH(u,v) = sum_{z in N(u) ∩ N(v)} min(w(u,z), w(v,z))`.
@@ -89,7 +90,7 @@ class ProjectedGraph {
 
   /// Subtracts 1 from every edge of the clique `nodes`, removing edges that
   /// hit zero. Callers must ensure `nodes` is currently a clique.
-  void PeelClique(const NodeSet& nodes);
+  void PeelClique(std::span<const NodeId> nodes);
 
   /// Sum of all edge weights.
   uint64_t TotalWeight() const;

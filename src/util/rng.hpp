@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "util/check.hpp"
@@ -79,7 +80,7 @@ class Rng {
 
   /// Samples `k` distinct elements from `items` (reservoir sampling).
   template <typename T>
-  std::vector<T> SampleWithoutReplacement(const std::vector<T>& items,
+  std::vector<T> SampleWithoutReplacement(std::span<const T> items,
                                           size_t k) {
     MARIOH_CHECK_LE(k, items.size());
     std::vector<T> out(items.begin(), items.begin() + k);
@@ -88,6 +89,13 @@ class Rng {
       if (j < k) out[j] = items[i];
     }
     return out;
+  }
+
+  /// Vector convenience for the span overload above.
+  template <typename T>
+  std::vector<T> SampleWithoutReplacement(const std::vector<T>& items,
+                                          size_t k) {
+    return SampleWithoutReplacement(std::span<const T>(items), k);
   }
 
   /// Derives an independent child generator; used to give each worker or

@@ -214,6 +214,38 @@ TEST(Session, ReconstructionCountersLandInStageStats) {
   EXPECT_GT(session.stage_timer().Get("reconstruct.maximal_cliques"), 0.0);
   EXPECT_EQ(session.stage_timer().Get("reconstruct.cliques_truncated"),
             0.0);
+  // Snapshot upkeep counters: every iteration's snapshot was either
+  // patched or rebuilt, so the mix accounts for all of them.
+  double snapshots =
+      session.stage_timer().Get("reconstruct.snapshot_patches") +
+      session.stage_timer().Get("reconstruct.snapshot_rebuilds");
+  EXPECT_GT(snapshots, 0.0);
+}
+
+TEST(Session, SnapshotReuseOverrideIsAPureWallClockKnob) {
+  eval::PreparedDataset data = SmallDataset();
+  auto run = [&](const char* override_kv) {
+    SessionOptions options;
+    options.method = "MARIOH";
+    if (override_kv != nullptr) {
+      EXPECT_TRUE(ApplySessionOverride(&options, override_kv).ok());
+    }
+    Session session;
+    EXPECT_TRUE(session.Configure(options).ok());
+    EXPECT_TRUE(session.Train(data.g_source, data.source).ok());
+    EXPECT_TRUE(session.Reconstruct(data.g_target).ok());
+    double patches =
+        session.stage_timer().Get("reconstruct.snapshot_patches");
+    return std::make_pair(session.reconstruction()->edges(), patches);
+  };
+  auto [default_edges, default_patches] = run(nullptr);
+  auto [rebuild_edges, rebuild_patches] = run("snapshot_reuse=0");
+  auto [patch_edges, patch_patches] = run("snapshot_reuse=1");
+  // The policy changes only which snapshot route ran, never the result.
+  EXPECT_EQ(rebuild_edges, default_edges);
+  EXPECT_EQ(patch_edges, default_edges);
+  EXPECT_EQ(rebuild_patches, 0.0);
+  EXPECT_GT(patch_patches, 0.0);
 }
 
 TEST(Session, FileBasedRoundTripMatchesInMemoryRun) {

@@ -116,6 +116,86 @@ TEST(MaximalCliques, MoonMoserGraph) {
   for (const NodeSet& q : cliques) EXPECT_EQ(q.size(), 3u);
 }
 
+TEST(CliqueStore, RoundTripPreservesCliques) {
+  CliqueStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.total_nodes(), 0u);
+  EXPECT_TRUE(store.ToNodeSets().empty());
+
+  std::vector<NodeSet> cliques = {{1, 4, 7}, {0, 2}, {3, 5, 6, 8}, {0, 9}};
+  for (const NodeSet& q : cliques) store.PushClique(q);
+  ASSERT_EQ(store.size(), cliques.size());
+  EXPECT_EQ(store.total_nodes(), 11u);
+  for (size_t i = 0; i < cliques.size(); ++i) {
+    CliqueView v = store[i];
+    EXPECT_EQ(NodeSet(v.begin(), v.end()), cliques[i]);
+    EXPECT_EQ(store.Materialize(i), cliques[i]);
+  }
+  EXPECT_EQ(store.ToNodeSets(), cliques);
+
+  // Range-for iteration visits every clique in order.
+  size_t index = 0;
+  for (CliqueView v : store) {
+    EXPECT_EQ(store.Materialize(index), NodeSet(v.begin(), v.end()));
+    ++index;
+  }
+  EXPECT_EQ(index, cliques.size());
+}
+
+TEST(CliqueStore, AppendSortAndEquality) {
+  CliqueStore a, b;
+  a.PushClique(NodeSet{2, 3});
+  a.PushClique(NodeSet{0, 1, 5});
+  b.PushClique(NodeSet{0, 4});
+  CliqueStore merged;
+  merged.Append(a);
+  merged.Append(b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.Materialize(2), (NodeSet{0, 4}));
+
+  // Sort produces the order std::sort gives the NodeSet representation.
+  std::vector<NodeSet> expected = merged.ToNodeSets();
+  std::sort(expected.begin(), expected.end());
+  merged.Sort();
+  EXPECT_EQ(merged.ToNodeSets(), expected);
+
+  CliqueStore same;
+  for (const NodeSet& q : expected) same.PushClique(q);
+  EXPECT_TRUE(merged == same);
+  same.PushClique(NodeSet{7, 8});
+  EXPECT_FALSE(merged == same);
+  // Same flat node buffer, different clique boundaries: not equal.
+  CliqueStore split_differently;
+  split_differently.PushClique(NodeSet{0, 1});
+  split_differently.PushClique(NodeSet{2});
+  CliqueStore joined;
+  joined.PushClique(NodeSet{0, 1, 2});
+  joined.PushClique(NodeSet{});
+  EXPECT_FALSE(split_differently == joined);
+
+  merged.Clear();
+  EXPECT_TRUE(merged.empty());
+  EXPECT_EQ(merged.total_nodes(), 0u);
+}
+
+TEST(CliqueStore, ArenaMatchesHashMapReferenceOnRandomGraphs) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    util::Rng rng(seed);
+    const size_t n = 32;
+    ProjectedGraph g(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.3)) g.AddWeight(u, v, 1);
+      }
+    }
+    MaximalCliqueResult result = EnumerateMaximalCliques(g);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.cliques.ToNodeSets(), MaximalCliquesHashMapReference(g))
+        << "seed=" << seed;
+  }
+}
+
 TEST(DegeneracyOrdering, PathGraphHasDegeneracyOne) {
   ProjectedGraph g(5);
   for (NodeId u = 0; u + 1 < 5; ++u) g.AddWeight(u, u + 1, 1);

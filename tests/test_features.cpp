@@ -24,7 +24,7 @@ TEST(FeatureExtractor, MultiplicityAwareDimension) {
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
   EXPECT_EQ(fx.dim(), 23u);
   ProjectedGraph g = FixtureGraph();
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   EXPECT_EQ(f.size(), 23u);
 }
 
@@ -32,14 +32,14 @@ TEST(FeatureExtractor, StructuralDimension) {
   FeatureExtractor fx(FeatureMode::kStructural);
   EXPECT_EQ(fx.dim(), 13u);
   ProjectedGraph g = FixtureGraph();
-  la::Vector f = fx.Extract(g, {0, 1}, false);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1}, false);
   EXPECT_EQ(f.size(), 13u);
 }
 
 TEST(FeatureExtractor, WeightedDegreeAggregation) {
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   // Weighted degrees: node0 = 2+1 = 3, node1 = 2+3 = 5, node2 = 1+3+4 = 8.
   EXPECT_DOUBLE_EQ(f[0], 16.0);           // sum
   EXPECT_DOUBLE_EQ(f[1], 16.0 / 3.0);     // mean
@@ -50,7 +50,7 @@ TEST(FeatureExtractor, WeightedDegreeAggregation) {
 TEST(FeatureExtractor, EdgeMultiplicityAggregation) {
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   // Edge multiplicities within the clique: 2, 1, 3.
   EXPECT_DOUBLE_EQ(f[5], 6.0);   // sum
   EXPECT_DOUBLE_EQ(f[6], 2.0);   // mean
@@ -61,7 +61,7 @@ TEST(FeatureExtractor, EdgeMultiplicityAggregation) {
 TEST(FeatureExtractor, MhhFeatures) {
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   // MHH within the triangle: MHH(0,1) = min(w(0,2), w(1,2)) = min(1,3) = 1;
   // MHH(0,2) = min(w(0,1), w(2,1)) = min(2,3) = 2;
   // MHH(1,2) = min(w(1,0), w(2,0)) = min(2,1) = 1.
@@ -76,20 +76,20 @@ TEST(FeatureExtractor, MhhFeatures) {
 TEST(FeatureExtractor, CliqueLevelFeatures) {
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   EXPECT_DOUBLE_EQ(f[20], 3.0);  // clique size
   // Cut ratio: internal weight 6, boundary = wdeg sum 16 - 2*6 = 4
   // -> 6 / (6 + 4) = 0.6.
   EXPECT_DOUBLE_EQ(f[21], 0.6);
   EXPECT_DOUBLE_EQ(f[22], 1.0);  // maximal flag
-  la::Vector f2 = fx.Extract(g, {0, 1, 2}, false);
+  la::Vector f2 = fx.Extract(g, NodeSet{0, 1, 2}, false);
   EXPECT_DOUBLE_EQ(f2[22], 0.0);
 }
 
 TEST(FeatureExtractor, Size2CliqueHasOneEdge) {
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector f = fx.Extract(g, {2, 3}, true);
+  la::Vector f = fx.Extract(g, NodeSet{2, 3}, true);
   // Only edge (2,3) with weight 4; min == max == mean == 4.
   EXPECT_DOUBLE_EQ(f[6], 4.0);
   EXPECT_DOUBLE_EQ(f[7], 4.0);
@@ -101,7 +101,7 @@ TEST(FeatureExtractor, Size2CliqueHasOneEdge) {
 TEST(FeatureExtractor, StructuralUsesUnweightedDegrees) {
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kStructural);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   // Unweighted degrees: 2, 2, 3 -> sum 7.
   EXPECT_DOUBLE_EQ(f[0], 7.0);
   EXPECT_DOUBLE_EQ(f[2], 2.0);  // min
@@ -113,9 +113,9 @@ TEST(FeatureExtractor, FeaturesChangeWhenGraphShrinks) {
   // overlapping clique changes the features of the remaining one.
   ProjectedGraph g = FixtureGraph();
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector before = fx.Extract(g, {0, 1, 2}, true);
-  g.PeelClique({1, 2});  // decrement w(1,2)
-  la::Vector after = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector before = fx.Extract(g, NodeSet{0, 1, 2}, true);
+  g.PeelClique(NodeSet{1, 2});  // decrement w(1,2)
+  la::Vector after = fx.Extract(g, NodeSet{0, 1, 2}, true);
   EXPECT_NE(before[5], after[5]);  // edge multiplicity sum changed
 }
 
@@ -125,7 +125,7 @@ TEST(FeatureExtractor, IsolatedCliqueCutRatioIsOne) {
   g.AddWeight(0, 2, 1);
   g.AddWeight(1, 2, 1);
   FeatureExtractor fx(FeatureMode::kMultiplicityAware);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   EXPECT_DOUBLE_EQ(f[21], 1.0);  // all weight internal
 }
 

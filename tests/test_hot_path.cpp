@@ -36,12 +36,19 @@ TEST_P(HotPathEquivalence, CliqueSetsMatchAcrossPathsAndThreadCounts) {
   CsrGraph csr(g);
 
   std::vector<NodeSet> reference = MaximalCliquesHashMapReference(g);
+  CliqueOptions one_thread;
+  CliqueStore single = EnumerateMaximalCliques(csr, one_thread).cliques;
   for (int threads : {1, 2, 8}) {
     CliqueOptions options;
     options.num_threads = threads;
     MaximalCliqueResult result = EnumerateMaximalCliques(csr, options);
     EXPECT_FALSE(result.truncated);
-    EXPECT_EQ(result.cliques, reference) << "threads=" << threads;
+    // The arena output must match the sequential hash-map oracle
+    // clique-for-clique, and the arena itself (offsets included) must be
+    // identical for any thread count.
+    EXPECT_EQ(result.cliques.ToNodeSets(), reference)
+        << "threads=" << threads;
+    EXPECT_TRUE(result.cliques == single) << "threads=" << threads;
   }
 }
 
@@ -119,6 +126,73 @@ TEST_P(HotPathEquivalence, FilteringIsThreadCountInvariant) {
   }
 }
 
+/// Asserts two snapshots are bit-identical: same nodes, rows, weights,
+/// and precomputed aggregates.
+void ExpectCsrIdentical(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.TotalWeight(), b.TotalWeight());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    auto an = a.Neighbors(u);
+    auto bn = b.Neighbors(u);
+    ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()))
+        << "neighbor row differs at node " << u;
+    auto aw = a.Weights(u);
+    auto bw = b.Weights(u);
+    ASSERT_TRUE(std::equal(aw.begin(), aw.end(), bw.begin(), bw.end()))
+        << "weight row differs at node " << u;
+    EXPECT_EQ(a.WeightedDegree(u), b.WeightedDegree(u)) << "node " << u;
+  }
+}
+
+TEST_P(HotPathEquivalence, PatchedSnapshotMatchesFromScratchAfterPeels) {
+  // Randomized peel sequences: repeatedly peel a random subset of the
+  // current maximal cliques, patch the running snapshot with the touched
+  // nodes, and demand bit-identity with a from-scratch build — including
+  // chained patches of patches, as the reconstruction loop produces.
+  ProjectedGraph g = RandomGraph(GetParam());
+  CsrGraph snapshot(g);
+  util::Rng rng(GetParam() * 977 + 13);
+  for (int round = 0; round < 4 && !g.Empty(); ++round) {
+    MaximalCliqueResult enumerated = EnumerateMaximalCliques(snapshot);
+    std::vector<NodeId> touched;
+    for (CliqueView q : enumerated.cliques) {
+      if (!rng.Bernoulli(0.3)) continue;
+      if (!g.IsClique(q)) continue;  // an earlier peel may have broken it
+      g.PeelClique(q);
+      touched.insert(touched.end(), q.begin(), q.end());
+    }
+    Canonicalize(&touched);
+    snapshot = CsrGraph(snapshot, g, touched);
+    ExpectCsrIdentical(snapshot, CsrGraph(g));
+  }
+  // An empty touched set must reproduce the snapshot exactly.
+  CsrGraph unchanged(snapshot, g, {});
+  ExpectCsrIdentical(unchanged, snapshot);
+}
+
+TEST_P(HotPathEquivalence, PatchIsThreadCountInvariant) {
+  ProjectedGraph g = RandomGraph(GetParam());
+  CsrGraph before(g);
+  // Peel the first few maximal cliques to dirty some rows.
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(before);
+  std::vector<NodeId> touched;
+  size_t peels = 0;
+  for (CliqueView q : enumerated.cliques) {
+    if (!g.IsClique(q)) continue;
+    g.PeelClique(q);
+    touched.insert(touched.end(), q.begin(), q.end());
+    if (++peels == 5) break;
+  }
+  Canonicalize(&touched);
+  CsrGraph one(before, g, touched, 1);
+  ExpectCsrIdentical(one, CsrGraph(g));
+  for (int threads : {2, 8, 0}) {
+    CsrGraph many(before, g, touched, threads);
+    ExpectCsrIdentical(many, one);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, HotPathEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5));
 
@@ -190,6 +264,41 @@ TEST(HotPathEndToEnd, ReconstructionIsThreadCountInvariant) {
     Hypergraph h_many = many.Reconstruct(g_target);
     EXPECT_EQ(h_many.edges(), h_one.edges()) << "threads=" << threads;
   }
+}
+
+TEST(HotPathEndToEnd, ReconstructionIsSnapshotPolicyInvariant) {
+  // The snapshot_reuse threshold is a pure wall-clock knob: always-patch,
+  // always-rebuild, and the default must reconstruct the exact same
+  // hypergraph, while the patch/rebuild counters reflect the policy.
+  gen::GeneratedDataset data = gen::Generate(gen::ProfileByName("hosts"), 3);
+  util::Rng split_rng(4);
+  gen::SourceTargetSplit split = gen::SplitHypergraph(
+      data.hypergraph.MultiplicityReduced(), &split_rng, 0.5);
+  ProjectedGraph g_source = split.source.Project();
+  ProjectedGraph g_target = split.target.Project();
+
+  core::MariohOptions options;
+  options.snapshot_reuse = 0.0;  // always rebuild
+  core::Marioh rebuild(options);
+  rebuild.Train(g_source, split.source);
+  Hypergraph h_rebuild = rebuild.Reconstruct(g_target);
+  EXPECT_EQ(rebuild.last_reconstruction_stats().snapshot_patches, 0u);
+  EXPECT_GT(rebuild.last_reconstruction_stats().snapshot_rebuilds, 0u);
+
+  options.snapshot_reuse = 1.0;  // always patch
+  core::Marioh patch(options);
+  patch.Train(g_source, split.source);
+  Hypergraph h_patch = patch.Reconstruct(g_target);
+  EXPECT_GT(patch.last_reconstruction_stats().snapshot_patches, 0u);
+  // The only full build is the one before the first iteration (skipped
+  // too when filtering's snapshot is patched instead).
+  EXPECT_LE(patch.last_reconstruction_stats().snapshot_rebuilds, 1u);
+  EXPECT_EQ(h_patch.edges(), h_rebuild.edges());
+
+  core::Marioh defaults;  // default threshold: a mix is fine, output equal
+  defaults.Train(g_source, split.source);
+  Hypergraph h_default = defaults.Reconstruct(g_target);
+  EXPECT_EQ(h_default.edges(), h_rebuild.edges());
 }
 
 }  // namespace

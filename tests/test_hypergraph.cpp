@@ -148,10 +148,10 @@ TEST(ProjectedGraph, IsCliqueChecksAllPairs) {
   g.AddWeight(0, 1, 1);
   g.AddWeight(1, 2, 1);
   g.AddWeight(0, 2, 1);
-  EXPECT_TRUE(g.IsClique({0, 1, 2}));
-  EXPECT_FALSE(g.IsClique({0, 1, 3}));
-  EXPECT_TRUE(g.IsClique({0}));   // trivially
-  EXPECT_TRUE(g.IsClique({}));
+  EXPECT_TRUE(g.IsClique(NodeSet{0, 1, 2}));
+  EXPECT_FALSE(g.IsClique(NodeSet{0, 1, 3}));
+  EXPECT_TRUE(g.IsClique(NodeSet{0}));   // trivially
+  EXPECT_TRUE(g.IsClique(NodeSet{}));
 }
 
 TEST(ProjectedGraph, MhhMatchesEquationOne) {
@@ -190,7 +190,7 @@ TEST(ProjectedGraph, PeelCliqueDecrementsEveryEdge) {
   g.AddWeight(0, 1, 2);
   g.AddWeight(0, 2, 1);
   g.AddWeight(1, 2, 1);
-  g.PeelClique({0, 1, 2});
+  g.PeelClique(NodeSet{0, 1, 2});
   EXPECT_EQ(g.Weight(0, 1), 1u);
   EXPECT_FALSE(g.HasEdge(0, 2));
   EXPECT_FALSE(g.HasEdge(1, 2));
@@ -203,7 +203,7 @@ TEST(ProjectedGraph, ProjectionRoundTripOnCliqueHypergraph) {
   h.AddEdge({0, 1, 2, 3}, 1);
   ProjectedGraph g = h.Project();
   EXPECT_EQ(g.num_edges(), 6u);
-  EXPECT_TRUE(g.IsClique({0, 1, 2, 3}));
+  EXPECT_TRUE(g.IsClique(NodeSet{0, 1, 2, 3}));
   for (const auto& e : g.Edges()) EXPECT_EQ(e.weight, 1u);
 }
 

@@ -83,11 +83,11 @@ TEST(MotifFeatures, DimensionAndContent) {
   FeatureExtractor fx(FeatureMode::kMotif);
   EXPECT_EQ(fx.dim(), 23u);
   ProjectedGraph g = Complete(4);
-  la::Vector f = fx.Extract(g, {0, 1, 2}, true);
+  la::Vector f = fx.Extract(g, NodeSet{0, 1, 2}, true);
   ASSERT_EQ(f.size(), 23u);
   // First 13 dims match the structural extractor exactly.
   FeatureExtractor structural(FeatureMode::kStructural);
-  la::Vector s = structural.Extract(g, {0, 1, 2}, true);
+  la::Vector s = structural.Extract(g, NodeSet{0, 1, 2}, true);
   for (size_t i = 0; i < 13; ++i) {
     EXPECT_DOUBLE_EQ(f[i], s[i]) << "dim " << i;
   }
@@ -112,8 +112,8 @@ TEST(MotifFeatures, DiffersFromStructuralOnCycleRichGraphs) {
   path.AddWeight(0, 3, 1);
   path.AddWeight(2, 4, 1);  // same degrees at 0,1 but no square
   FeatureExtractor fx(FeatureMode::kMotif);
-  la::Vector a = fx.Extract(cycle, {0, 1}, false);
-  la::Vector b = fx.Extract(path, {0, 1}, false);
+  la::Vector a = fx.Extract(cycle, NodeSet{0, 1}, false);
+  la::Vector b = fx.Extract(path, NodeSet{0, 1}, false);
   // Square-count aggregate (slots 18..22) must differ.
   EXPECT_NE(a[18], b[18]);
 }
