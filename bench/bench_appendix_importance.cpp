@@ -86,14 +86,14 @@ int main(int argc, char** argv) {
     std::vector<NodeSet> cliques;
     std::vector<double> labels;
     std::unordered_set<NodeSet, marioh::util::VectorHash> hyperedges;
-    for (const auto& [e, m] : data.source.edges()) {
+    for (const auto& [e, m] : data.source->edges()) {
       (void)m;
       hyperedges.insert(e);
       cliques.push_back(e);
       labels.push_back(1.0);
     }
     marioh::util::Rng rng(7);
-    for (const NodeSet& q : marioh::MaximalCliques(data.g_source)) {
+    for (const NodeSet& q : marioh::EnumerateMaximalCliques(*data.g_source).cliques.ToNodeSets()) {
       if (hyperedges.count(q) > 0) continue;
       cliques.push_back(q);
       labels.push_back(0.0);
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
     marioh::la::Matrix x(cliques.size(), extractor.dim());
     for (size_t i = 0; i < cliques.size(); ++i) {
       marioh::la::Vector f =
-          extractor.Extract(data.g_source, cliques[i], true);
+          extractor.Extract(*data.g_source, cliques[i], true);
       std::copy(f.begin(), f.end(), x.Row(i));
     }
     marioh::ml::StandardScaler scaler;

@@ -52,11 +52,11 @@ int main(int argc, char** argv) {
     marioh::eval::PreparedDataset data = marioh::eval::PrepareDataset(
         dataset, /*multiplicity_reduced=*/true, /*seed=*/42);
     auto method = marioh::api::MustCreateMethod("MARIOH", 42);
-    method->Train(data.g_source, data.source);
-    marioh::Hypergraph reconstructed = method->Reconstruct(data.g_target);
+    method->Train(*data.g_source, *data.source);
+    marioh::Hypergraph reconstructed = method->Reconstruct(*data.g_target);
 
-    size_t graph_cells = GraphCells(data.g_target);
-    size_t truth_cells = HypergraphCells(data.target);
+    size_t graph_cells = GraphCells(*data.g_target);
+    size_t truth_cells = HypergraphCells(*data.target);
     size_t recon_cells = HypergraphCells(reconstructed);
     double saving =
         100.0 * (1.0 - static_cast<double>(recon_cells) /

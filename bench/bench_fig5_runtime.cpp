@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
       auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       marioh::util::Timer timer;
       if (reconstructor->IsSupervised()) {
-        reconstructor->Train(data.g_source, data.source);
+        reconstructor->Train(*data.g_source, *data.source);
       }
-      reconstructor->Reconstruct(data.g_target);
+      reconstructor->Reconstruct(*data.g_target);
       double elapsed = timer.Seconds();
       stats.Add(elapsed);
       max_seconds = std::max(max_seconds, elapsed);

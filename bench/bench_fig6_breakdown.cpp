@@ -37,18 +37,18 @@ int main(int argc, char** argv) {
 
     marioh::api::MariohMethod marioh_method(
         marioh::core::MariohVariant::kFull, {});
-    marioh_method.Train(data.g_source, data.source);
-    marioh_method.Reconstruct(data.g_target);
+    marioh_method.Train(*data.g_source, *data.source);
+    marioh_method.Reconstruct(*data.g_target);
     const marioh::util::StageTimer& stages = marioh_method.stage_timer();
 
     marioh::baselines::Shyre::Options shyre_options;
     shyre_options.seed = 42;
     marioh::baselines::Shyre shyre(shyre_options);
     marioh::util::Timer train_timer;
-    shyre.Train(data.g_source, data.source);
+    shyre.Train(*data.g_source, *data.source);
     double shyre_train = train_timer.Seconds();
     marioh::util::Timer infer_timer;
-    shyre.Reconstruct(data.g_target);
+    shyre.Reconstruct(*data.g_target);
     double shyre_infer = infer_timer.Seconds();
 
     table.AddRow({dataset,

@@ -66,13 +66,15 @@ int main(int argc, char** argv) {
     marioh::util::Rng rng(43);
     marioh::gen::SourceTargetSplit split = marioh::gen::SplitHypergraph(
         dblp.hypergraph.MultiplicityReduced(), &rng, 0.5);
-    train_data.source = std::move(split.source);
-    train_data.g_source = train_data.source.Project();
+    train_data.source = std::make_shared<const marioh::Hypergraph>(
+        std::move(split.source));
+    train_data.g_source = std::make_shared<const marioh::ProjectedGraph>(
+        train_data.source->Project());
   }
   marioh::core::MariohOptions options;
   options.num_threads = threads;
   marioh::core::Marioh marioh(options);
-  marioh.Train(train_data.g_source, train_data.source);
+  marioh.Train(*train_data.g_source, *train_data.source);
 
   std::vector<size_t> scales =
       quick ? std::vector<size_t>{1, 2, 4} : std::vector<size_t>{1, 2, 4,

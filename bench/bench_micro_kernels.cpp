@@ -197,7 +197,7 @@ void BM_FeatureExtraction(benchmark::State& state) {
   ProjectedGraph g = MakeGraph(500, 1500);
   marioh::core::FeatureExtractor extractor(
       marioh::core::FeatureMode::kMultiplicityAware);
-  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  std::vector<NodeSet> cliques = marioh::EnumerateMaximalCliques(g).cliques.ToNodeSets();
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -212,7 +212,7 @@ void BM_FeatureExtractionCsr(benchmark::State& state) {
   CsrGraph csr(g);
   marioh::core::FeatureExtractor extractor(
       marioh::core::FeatureMode::kMultiplicityAware);
-  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  std::vector<NodeSet> cliques = marioh::EnumerateMaximalCliques(g).cliques.ToNodeSets();
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -228,7 +228,7 @@ void BM_FeatureExtractAllThreads(benchmark::State& state) {
   CsrGraph csr(g);
   marioh::core::FeatureExtractor extractor(
       marioh::core::FeatureMode::kMultiplicityAware);
-  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  std::vector<NodeSet> cliques = marioh::EnumerateMaximalCliques(g).cliques.ToNodeSets();
   int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -256,7 +256,7 @@ BENCHMARK(BM_FilteringThreads)->Arg(1)->Arg(4);
 
 void BM_PeelClique(benchmark::State& state) {
   ProjectedGraph base = MakeGraph(500, 1500);
-  std::vector<NodeSet> cliques = marioh::MaximalCliques(base);
+  std::vector<NodeSet> cliques = marioh::EnumerateMaximalCliques(base).cliques.ToNodeSets();
   for (auto _ : state) {
     state.PauseTiming();
     ProjectedGraph g = base;
@@ -277,7 +277,7 @@ void BM_ParallelScoringScaling(benchmark::State& state) {
   CsrGraph csr(g);
   marioh::core::FeatureExtractor extractor(
       marioh::core::FeatureMode::kMultiplicityAware);
-  std::vector<NodeSet> cliques = marioh::MaximalCliques(g);
+  std::vector<NodeSet> cliques = marioh::EnumerateMaximalCliques(g).cliques.ToNodeSets();
   int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     std::vector<double> sums(cliques.size());

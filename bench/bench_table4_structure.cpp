@@ -42,12 +42,12 @@ int main(int argc, char** argv) {
     for (const std::string& method : methods) {
       auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
-        reconstructor->Train(data.g_source, data.source);
+        reconstructor->Train(*data.g_source, *data.source);
       }
       marioh::Hypergraph reconstructed =
-          reconstructor->Reconstruct(data.g_target);
+          reconstructor->Reconstruct(*data.g_target);
       marioh::eval::StructuralReport report =
-          marioh::eval::CompareStructure(data.target, reconstructed, 7);
+          marioh::eval::CompareStructure(*data.target, reconstructed, 7);
       auto record = [&](const std::string& property, double err) {
         if (errors.count(property) == 0) property_order.push_back(property);
         errors[property][method].Add(err);

@@ -60,21 +60,21 @@ int main(int argc, char** argv) {
 
     size_t row_idx = 0;
     rows[row_idx++].push_back(
-        marioh::util::TextTable::Num(nmi_of_graph(data.g_target), 4));
+        marioh::util::TextTable::Num(nmi_of_graph(*data.g_target), 4));
     for (const std::string& method : methods) {
       auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
-        reconstructor->Train(data.g_source, data.source);
+        reconstructor->Train(*data.g_source, *data.source);
       }
       marioh::Hypergraph reconstructed =
-          reconstructor->Reconstruct(data.g_target);
+          reconstructor->Reconstruct(*data.g_target);
       double nmi = nmi_of_hypergraph(reconstructed);
       rows[row_idx++].push_back(marioh::util::TextTable::Num(nmi, 4));
       std::cerr << "[table7] " << method << " / " << dataset << " NMI "
                 << nmi << "\n";
     }
     rows[row_idx++].push_back(
-        marioh::util::TextTable::Num(nmi_of_hypergraph(data.target), 4));
+        marioh::util::TextTable::Num(nmi_of_hypergraph(*data.target), 4));
   }
   for (auto& row : rows) table.AddRow(row);
   std::cout << table.Render() << std::endl;

@@ -75,16 +75,16 @@ int main(int argc, char** argv) {
     };
     size_t row_idx = 0;
     push(row_idx++,
-         AverageF1(marioh::eval::GraphSpectralEmbedding(data.g_target,
+         AverageF1(marioh::eval::GraphSpectralEmbedding(*data.g_target,
                                                         embed_dim),
                    data.labels, data.num_classes));
     for (const std::string& method : methods) {
       auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
-        reconstructor->Train(data.g_source, data.source);
+        reconstructor->Train(*data.g_source, *data.source);
       }
       marioh::Hypergraph reconstructed =
-          reconstructor->Reconstruct(data.g_target);
+          reconstructor->Reconstruct(*data.g_target);
       marioh::eval::F1Scores f1 = AverageF1(
           marioh::eval::HypergraphSpectralEmbedding(reconstructed,
                                                     embed_dim),
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
                 << f1.micro << " macro " << f1.macro << "\n";
     }
     push(row_idx++,
-         AverageF1(marioh::eval::HypergraphSpectralEmbedding(data.target,
+         AverageF1(marioh::eval::HypergraphSpectralEmbedding(*data.target,
                                                              embed_dim),
                    data.labels, data.num_classes));
   }

@@ -65,23 +65,23 @@ int main(int argc, char** argv) {
     marioh::eval::PreparedDataset data = marioh::eval::PrepareDataset(
         dataset, /*multiplicity_reduced=*/true, /*seed=*/42);
     size_t row_idx = 0;
-    double g_auc = AverageAuc(data.g_target, nullptr, use_gcn);
+    double g_auc = AverageAuc(*data.g_target, nullptr, use_gcn);
     rows[row_idx++].push_back(marioh::util::TextTable::Num(g_auc));
     std::cerr << "[table9] projected / " << dataset << " AUC " << g_auc
               << "\n";
     for (const std::string& method : methods) {
       auto reconstructor = marioh::api::MustCreateMethod(method, 42);
       if (reconstructor->IsSupervised()) {
-        reconstructor->Train(data.g_source, data.source);
+        reconstructor->Train(*data.g_source, *data.source);
       }
       marioh::Hypergraph reconstructed =
-          reconstructor->Reconstruct(data.g_target);
-      double auc = AverageAuc(data.g_target, &reconstructed, use_gcn);
+          reconstructor->Reconstruct(*data.g_target);
+      double auc = AverageAuc(*data.g_target, &reconstructed, use_gcn);
       rows[row_idx++].push_back(marioh::util::TextTable::Num(auc));
       std::cerr << "[table9] " << method << " / " << dataset << " AUC "
                 << auc << "\n";
     }
-    double h_auc = AverageAuc(data.g_target, &data.target, use_gcn);
+    double h_auc = AverageAuc(*data.g_target, data.target.get(), use_gcn);
     rows[row_idx++].push_back(marioh::util::TextTable::Num(h_auc));
   }
   for (auto& row : rows) table.AddRow(row);

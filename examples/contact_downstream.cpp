@@ -19,24 +19,24 @@ int main() {
       eval::PrepareDataset("pschool", /*multiplicity_reduced=*/true,
                            /*seed=*/7);
   std::cout << "Contact network (P.School-like profile): "
-            << data.target.num_nodes() << " students, "
-            << data.target.num_unique_edges()
+            << data.target->num_nodes() << " students, "
+            << data.target->num_unique_edges()
             << " unique contact groups, " << data.num_classes
             << " classes\n\n";
 
   core::Marioh marioh;
-  marioh.Train(data.g_source, data.source);
-  Hypergraph reconstructed = marioh.Reconstruct(data.g_target);
+  marioh.Train(*data.g_source, *data.source);
+  Hypergraph reconstructed = marioh.Reconstruct(*data.g_target);
   std::cout << "MARIOH reconstructed " << reconstructed.num_unique_edges()
             << " contact groups\n\n";
 
   const size_t embed_dim = 16;
   la::Matrix graph_embedding =
-      eval::GraphSpectralEmbedding(data.g_target, embed_dim);
+      eval::GraphSpectralEmbedding(*data.g_target, embed_dim);
   la::Matrix recon_embedding =
       eval::HypergraphSpectralEmbedding(reconstructed, embed_dim);
   la::Matrix truth_embedding =
-      eval::HypergraphSpectralEmbedding(data.target, embed_dim);
+      eval::HypergraphSpectralEmbedding(*data.target, embed_dim);
 
   util::TextTable table("Downstream task quality by input representation");
   table.SetHeader({"Input", "Clustering NMI", "Classification micro-F1"});

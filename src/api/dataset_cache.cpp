@@ -1,0 +1,168 @@
+#include "api/dataset_cache.hpp"
+
+#include <utility>
+
+#include "io/text_io.hpp"
+
+namespace marioh::api {
+
+std::string DatasetCache::NamesForErrorLocked() const {
+  if (entries_.empty()) return "(cache is empty)";
+  std::string names;
+  for (const auto& [name, entry] : entries_) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
+Status DatasetCache::ConflictLocked(const Entry& entry,
+                                    const std::string& name) const {
+  return Status::AlreadyExists(
+      "dataset '" + name + "' is already loaded" +
+      (entry.path.empty() ? std::string(" (in-memory)")
+                          : " from '" + entry.path + "'"));
+}
+
+StatusOr<DatasetHandle> DatasetCache::InsertLocked(
+    const std::string& name, DatasetHandle dataset,
+    const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (!dataset.has_hypergraph() && !dataset.has_graph()) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "' has neither a hypergraph nor a "
+                                   "graph");
+  }
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    // Load-once under concurrency: two racing loads of the same
+    // name+path both succeed, the loser adopting the winner's handle —
+    // provided the resident entry covers the kind the loser loaded
+    // (a hypergraph load must not silently receive a graph-only entry).
+    const DatasetHandle& resident = it->second.dataset;
+    bool compatible =
+        (!dataset.has_hypergraph() || resident.has_hypergraph()) &&
+        (!dataset.has_graph() || resident.has_graph());
+    if (!path.empty() && it->second.path == path && compatible) {
+      return resident;
+    }
+    return ConflictLocked(it->second, name);
+  }
+  dataset.name = name;
+  entries_.emplace(name, Entry{dataset, path});
+  return dataset;
+}
+
+StatusOr<DatasetHandle> DatasetCache::LoadHypergraphFile(
+    const std::string& name, const std::string& path) {
+  {
+    // Resolve the name before touching the file system: a same-path hit
+    // is the load-once fast path, any other resident entry is a
+    // conflict (reported even if the new path does not exist).
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      if (it->second.path == path && it->second.dataset.has_hypergraph()) {
+        return it->second.dataset;
+      }
+      return ConflictLocked(it->second, name);
+    }
+  }
+  StatusOr<Hypergraph> h = io::TryReadHypergraphFile(path);
+  if (!h.ok()) return h.status();
+  auto hypergraph =
+      std::make_shared<const Hypergraph>(std::move(h).value());
+  auto graph = std::make_shared<const ProjectedGraph>(hypergraph->Project());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InsertLocked(name,
+                      DatasetHandle{name, std::move(hypergraph),
+                                    std::move(graph)},
+                      path);
+}
+
+StatusOr<DatasetHandle> DatasetCache::LoadProjectedGraphFile(
+    const std::string& name, const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      if (it->second.path == path && it->second.dataset.has_graph()) {
+        return it->second.dataset;
+      }
+      return ConflictLocked(it->second, name);
+    }
+  }
+  StatusOr<ProjectedGraph> g = io::TryReadProjectedGraphFile(path);
+  if (!g.ok()) return g.status();
+  auto graph = std::make_shared<const ProjectedGraph>(std::move(g).value());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InsertLocked(name, DatasetHandle{name, nullptr, std::move(graph)},
+                      path);
+}
+
+StatusOr<DatasetHandle> DatasetCache::Insert(const std::string& name,
+                                             HypergraphHandle hypergraph,
+                                             GraphHandle graph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InsertLocked(
+      name, DatasetHandle{name, std::move(hypergraph), std::move(graph)},
+      /*path=*/"");
+}
+
+StatusOr<DatasetHandle> DatasetCache::InsertHypergraph(
+    const std::string& name, Hypergraph hypergraph) {
+  auto h = std::make_shared<const Hypergraph>(std::move(hypergraph));
+  auto graph = std::make_shared<const ProjectedGraph>(h->Project());
+  return Insert(name, std::move(h), std::move(graph));
+}
+
+StatusOr<DatasetHandle> DatasetCache::InsertProjectedGraph(
+    const std::string& name, ProjectedGraph graph) {
+  return Insert(name, nullptr,
+                std::make_shared<const ProjectedGraph>(std::move(graph)));
+}
+
+StatusOr<DatasetHandle> DatasetCache::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no dataset named '" + name +
+                            "'; resident datasets: " +
+                            NamesForErrorLocked());
+  }
+  return it->second.dataset;
+}
+
+bool DatasetCache::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+Status DatasetCache::Erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no dataset named '" + name +
+                            "'; resident datasets: " +
+                            NamesForErrorLocked());
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> DatasetCache::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+size_t DatasetCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace marioh::api

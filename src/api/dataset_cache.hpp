@@ -1,0 +1,128 @@
+/// \file dataset_cache.hpp
+/// \brief Named, immutable, load-once dataset handles: the layer that lets
+/// N concurrent sessions (or service jobs) share one in-memory copy of a
+/// dataset instead of re-reading files per run.
+///
+/// A `DatasetCache` maps names to immutable datasets held through
+/// `std::shared_ptr<const T>` handles. Loading is load-once: re-loading an
+/// already-resident name from the same path returns the existing handle
+/// without touching the file system. Handles keep their data alive
+/// independently of the cache — evicting a name never invalidates a
+/// handle a running session still holds — and because the pointees are
+/// `const`, sharing one dataset across any number of threads is safe by
+/// construction.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/projected_graph.hpp"
+
+namespace marioh::api {
+
+/// Shared read-only handle to a hypergraph.
+using HypergraphHandle = std::shared_ptr<const Hypergraph>;
+
+/// Shared read-only handle to a projected graph.
+using GraphHandle = std::shared_ptr<const ProjectedGraph>;
+
+/// One named dataset: a hypergraph, a projected graph, or both (a
+/// hypergraph loaded for training carries its projection so sessions
+/// never re-project). Either pointer may be null, never both.
+struct DatasetHandle {
+  std::string name;
+  HypergraphHandle hypergraph;
+  GraphHandle graph;
+
+  bool has_hypergraph() const { return hypergraph != nullptr; }
+  bool has_graph() const { return graph != nullptr; }
+};
+
+/// Thread-safe name → immutable dataset map. Normally one cache is shared
+/// by every consumer of a process (the `api::Service` takes one at
+/// construction; `Session` uses one through `SessionOptions::cache`), but
+/// the class is instantiable so tests can build isolated fixtures.
+class DatasetCache {
+ public:
+  DatasetCache() = default;
+  DatasetCache(const DatasetCache&) = delete;
+  DatasetCache& operator=(const DatasetCache&) = delete;
+
+  /// Reads a hypergraph file, projects it, and stores both under `name`.
+  /// Load-once: if `name` is already resident *from the same path*, the
+  /// existing handle is returned and the file is not re-read.
+  /// kAlreadyExists if the name is taken by a different path or an
+  /// in-memory insert; kNotFound / kInvalidArgument from the reader.
+  StatusOr<DatasetHandle> LoadHypergraphFile(const std::string& name,
+                                             const std::string& path);
+
+  /// Reads a weighted edge list and stores it under `name` as a
+  /// graph-only dataset. Same load-once and error contract as
+  /// LoadHypergraphFile.
+  StatusOr<DatasetHandle> LoadProjectedGraphFile(const std::string& name,
+                                                 const std::string& path);
+
+  /// Stores already-built handles under `name` (zero-copy: the cache
+  /// shares ownership with the caller). At least one of
+  /// `hypergraph`/`graph` must be non-null. kAlreadyExists if the name is
+  /// taken, kInvalidArgument if both handles are null or the name is
+  /// empty.
+  StatusOr<DatasetHandle> Insert(const std::string& name,
+                                 HypergraphHandle hypergraph,
+                                 GraphHandle graph);
+
+  /// Moves a hypergraph into the cache under `name`, projecting it so the
+  /// handle is immediately trainable. kAlreadyExists if the name is taken.
+  StatusOr<DatasetHandle> InsertHypergraph(const std::string& name,
+                                           Hypergraph hypergraph);
+
+  /// Moves a projected graph into the cache under `name` (graph-only
+  /// dataset). kAlreadyExists if the name is taken.
+  StatusOr<DatasetHandle> InsertProjectedGraph(const std::string& name,
+                                               ProjectedGraph graph);
+
+  /// The dataset stored under `name`, or kNotFound listing the resident
+  /// names.
+  StatusOr<DatasetHandle> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Drops `name` from the cache. Handles already given out stay valid
+  /// (shared ownership). kNotFound if the name is not resident.
+  Status Erase(const std::string& name);
+
+  /// Resident dataset names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Number of resident datasets.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    DatasetHandle dataset;
+    std::string path;  ///< source file; empty for in-memory inserts
+  };
+
+  /// Comma-separated resident names for kNotFound messages. Requires
+  /// `mutex_` held.
+  std::string NamesForErrorLocked() const;
+
+  /// The kAlreadyExists status for a name held by `entry`.
+  Status ConflictLocked(const Entry& entry, const std::string& name) const;
+
+  StatusOr<DatasetHandle> InsertLocked(const std::string& name,
+                                       DatasetHandle dataset,
+                                       const std::string& path);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace marioh::api

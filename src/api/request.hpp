@@ -1,0 +1,52 @@
+/// \file request.hpp
+/// \brief The typed request a service client submits: which method to run
+/// on which cached datasets, under what seed/budget, with which
+/// `key=value` overrides. Pure data — validation happens in
+/// `Service::Submit` (dataset/method existence, reserved override keys)
+/// and at job configure time (override values, via the method factories).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace marioh::api {
+
+/// One reconstruction job. Dataset fields name entries of the service's
+/// `DatasetCache`.
+struct ReconstructRequest {
+  /// Registry name of the method to run.
+  std::string method = "MARIOH";
+
+  /// Source pair for supervised training (must be a dataset holding a
+  /// hypergraph *and* its projection, as `DatasetCache` hypergraph loads
+  /// are). Empty skips the train stage — required for supervised methods,
+  /// optional for unsupervised ones.
+  std::string train_dataset;
+
+  /// Reconstruction input (any dataset holding a graph). Required.
+  std::string target_dataset;
+
+  /// Ground truth to score the reconstruction against (any dataset
+  /// holding a hypergraph). Empty skips evaluation.
+  std::string ground_truth_dataset;
+
+  uint64_t seed = 1;
+
+  /// Wall-clock budget over train + reconstruct in seconds; negative
+  /// means unlimited (the `Session` OOT semantics: the overrunning run
+  /// still completes and scores, and the job reports
+  /// `deadline_exceeded`).
+  double time_budget_seconds = -1.0;
+
+  /// Session/method `key=value` overrides, applied through
+  /// `ApplySessionOverride` (so `threads=N`, `snapshot_reuse=0.3`,
+  /// `theta_init=0.8`, ... all work). The structural keys `method`,
+  /// `seed`, and `time_budget_seconds` are reserved — set the typed
+  /// fields above instead; Submit rejects them with kInvalidArgument.
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+}  // namespace marioh::api

@@ -1,0 +1,326 @@
+#include "api/service.hpp"
+
+#include <utility>
+
+#include "api/registry.hpp"
+
+namespace marioh::api {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+Service::Service(std::shared_ptr<DatasetCache> cache,
+                 ServiceOptions options)
+    : cache_(std::move(cache)), options_(options) {
+  MARIOH_CHECK(cache_ != nullptr);
+  pool_ = std::make_unique<util::WorkerPool>(options_.num_workers);
+}
+
+Service::~Service() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, job] : jobs_) {
+      if (job->state == JobState::kQueued) {
+        job->state = JobState::kCancelled;
+        job->status = Status::Cancelled("service shut down before the job "
+                                        "started");
+        ++totals_.cancelled;
+      }
+      // Running jobs get a best-effort stop at their next stage boundary.
+      job->cancel_requested.store(true);
+    }
+  }
+  job_done_.notify_all();
+  pool_->Shutdown();
+}
+
+StatusOr<std::shared_ptr<Service::Job>> Service::Admit(
+    const ReconstructRequest& request) {
+  StatusOr<MethodInfo> info = MethodRegistry::Global().Info(request.method);
+  if (!info.ok()) return info.status();
+
+  for (const auto& [key, value] : request.overrides) {
+    if (key == "method" || key == "seed" || key == "time_budget_seconds") {
+      return Status::InvalidArgument(
+          "override key '" + key +
+          "' is reserved; set the typed ReconstructRequest field instead");
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = request;
+
+  if (request.target_dataset.empty()) {
+    return Status::InvalidArgument("request names no target_dataset");
+  }
+  StatusOr<DatasetHandle> target = cache_->Get(request.target_dataset);
+  if (!target.ok()) return target.status();
+  if (!target->has_graph()) {
+    return Status::FailedPrecondition(
+        "dataset '" + request.target_dataset +
+        "' holds no projected graph to reconstruct from");
+  }
+  job->target = std::move(target).value();
+
+  if (!request.train_dataset.empty()) {
+    StatusOr<DatasetHandle> train = cache_->Get(request.train_dataset);
+    if (!train.ok()) return train.status();
+    if (!train->has_hypergraph() || !train->has_graph()) {
+      return Status::FailedPrecondition(
+          "dataset '" + request.train_dataset +
+          "' is not a source pair (needs a hypergraph and its "
+          "projection)");
+    }
+    job->train = std::move(train).value();
+  } else if (info->supervised) {
+    return Status::FailedPrecondition(
+        "method '" + request.method +
+        "' is supervised and needs a train_dataset");
+  }
+
+  if (!request.ground_truth_dataset.empty()) {
+    StatusOr<DatasetHandle> truth =
+        cache_->Get(request.ground_truth_dataset);
+    if (!truth.ok()) return truth.status();
+    if (!truth->has_hypergraph()) {
+      return Status::FailedPrecondition(
+          "dataset '" + request.ground_truth_dataset +
+          "' holds no hypergraph to evaluate against");
+    }
+    job->ground_truth = std::move(truth).value();
+  }
+
+  return job;
+}
+
+void Service::Enqueue(const std::shared_ptr<Job>& job) {
+  pool_->Submit([this, job] { RunJob(job); });
+}
+
+StatusOr<JobId> Service::Submit(const ReconstructRequest& request) {
+  StatusOr<std::shared_ptr<Job>> admitted = Admit(request);
+  if (!admitted.ok()) return admitted.status();
+  std::shared_ptr<Job> job = std::move(admitted).value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->id = next_id_++;
+    jobs_.emplace(job->id, job);
+    ++totals_.accepted;
+  }
+  Enqueue(job);
+  return job->id;
+}
+
+StatusOr<std::vector<JobId>> Service::SubmitBatch(
+    const std::vector<ReconstructRequest>& requests) {
+  // Validate everything before admitting anything: a batch is atomic.
+  std::vector<std::shared_ptr<Job>> admitted;
+  admitted.reserve(requests.size());
+  for (const ReconstructRequest& request : requests) {
+    StatusOr<std::shared_ptr<Job>> job = Admit(request);
+    if (!job.ok()) return job.status();
+    admitted.push_back(std::move(job).value());
+  }
+  std::vector<JobId> ids;
+  ids.reserve(admitted.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Job>& job : admitted) {
+      job->id = next_id_++;
+      jobs_.emplace(job->id, job);
+      ++totals_.accepted;
+      ids.push_back(job->id);
+    }
+  }
+  for (const std::shared_ptr<Job>& job : admitted) Enqueue(job);
+  return ids;
+}
+
+void Service::RunJob(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    if (job->cancel_requested.load()) {
+      job->state = JobState::kCancelled;
+      job->status = Status::Cancelled("job cancelled before it started");
+      ++totals_.cancelled;
+      job_done_.notify_all();
+      return;
+    }
+    job->state = JobState::kRunning;
+  }
+
+  SessionOptions options;
+  options.method = job->request.method;
+  options.seed = job->request.seed;
+  options.time_budget_seconds = job->request.time_budget_seconds;
+  options.marioh = options_.marioh;
+  // The cancel flag gates every stage entry; mid-stage work completes
+  // (the Session stage boundary is the cancellation point).
+  options.progress = [job](const std::string&, double) {
+    return !job->cancel_requested.load();
+  };
+
+  Status status = Status::Ok();
+  for (const auto& [key, value] : job->request.overrides) {
+    status = ApplySessionOverride(&options, key + "=" + value);
+    if (!status.ok()) break;
+  }
+
+  Session session;
+  std::optional<EvaluationResult> evaluation;
+  if (status.ok()) status = session.Configure(std::move(options));
+  if (status.ok() && job->train.has_hypergraph()) {
+    status = session.Train(job->train);
+  }
+  if (status.ok()) status = session.Reconstruct(job->target);
+  if (status.ok() && job->ground_truth.has_hypergraph()) {
+    StatusOr<EvaluationResult> scores =
+        session.Evaluate(*job->ground_truth.hypergraph);
+    if (scores.ok()) {
+      evaluation = *scores;
+    } else {
+      status = scores.status();
+    }
+  }
+
+  HypergraphHandle reconstruction;
+  if (status.ok()) {
+    StatusOr<Hypergraph> result = session.TakeReconstruction();
+    if (result.ok()) {
+      reconstruction = std::make_shared<const Hypergraph>(
+          std::move(result).value());
+    } else {
+      status = result.status();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->status = status;
+    job->deadline_exceeded = session.deadline_exceeded();
+    job->evaluation = evaluation;
+    job->stage_stats = session.stage_timer().stages();
+    job->reconstruction = std::move(reconstruction);
+    if (status.ok()) {
+      job->state = JobState::kDone;
+      ++totals_.done;
+    } else if (status.code() == StatusCode::kCancelled) {
+      job->state = JobState::kCancelled;
+      ++totals_.cancelled;
+    } else {
+      job->state = JobState::kFailed;
+      ++totals_.failed;
+    }
+    if (job->deadline_exceeded) ++totals_.deadline_exceeded;
+  }
+  job_done_.notify_all();
+}
+
+JobSnapshot Service::SnapshotLocked(const Job& job) const {
+  JobSnapshot snapshot;
+  snapshot.id = job.id;
+  snapshot.state = job.state;
+  snapshot.method = job.request.method;
+  snapshot.target_dataset = job.request.target_dataset;
+  snapshot.status = job.status;
+  snapshot.deadline_exceeded = job.deadline_exceeded;
+  snapshot.evaluation = job.evaluation;
+  snapshot.stage_stats = job.stage_stats;
+  snapshot.reconstruction = job.reconstruction;
+  return snapshot;
+}
+
+StatusOr<JobSnapshot> Service::Poll(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  return SnapshotLocked(*it->second);
+}
+
+StatusOr<JobSnapshot> Service::Wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  std::shared_ptr<Job> job = it->second;
+  job_done_.wait(lock, [&job] {
+    return job->state == JobState::kDone ||
+           job->state == JobState::kFailed ||
+           job->state == JobState::kCancelled;
+  });
+  return SnapshotLocked(*job);
+}
+
+Status Service::Cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  Job& job = *it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+      // The worker that eventually pops this job sees a non-queued state
+      // and returns immediately.
+      job.state = JobState::kCancelled;
+      job.status = Status::Cancelled("job cancelled while queued");
+      ++totals_.cancelled;
+      job_done_.notify_all();
+      return Status::Ok();
+    case JobState::kRunning:
+      job.cancel_requested.store(true);
+      return Status::Ok();
+    case JobState::kDone:
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      return Status::FailedPrecondition(
+          "job " + std::to_string(id) + " is already " +
+          JobStateName(job.state));
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Service::Forget(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  const Job& job = *it->second;
+  if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
+    return Status::FailedPrecondition(
+        "job " + std::to_string(id) + " is still " +
+        JobStateName(job.state) + "; Cancel/Wait before Forget");
+  }
+  jobs_.erase(it);
+  return Status::Ok();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats = totals_;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kQueued) ++stats.queued;
+    if (job->state == JobState::kRunning) ++stats.running;
+  }
+  return stats;
+}
+
+}  // namespace marioh::api

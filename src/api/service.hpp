@@ -1,0 +1,191 @@
+/// \file service.hpp
+/// \brief The async job layer: `ReconstructRequest` → `JobId` on a worker
+/// pool, with Submit/SubmitBatch/Poll/Wait/Cancel, per-job `Status` +
+/// stage stats + `EvaluationResult`, and service-level counters. This is
+/// the serving loop the ROADMAP's "server front end" item asked for:
+/// N jobs run concurrently over shared `DatasetCache` handles, each
+/// inside its own `Session`, and — because datasets are immutable and
+/// every method is a pure function of (dataset, seed, options) — a
+/// concurrent schedule produces bit-identical hypergraphs to running the
+/// same requests sequentially (asserted by `test_api_service`).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/dataset_cache.hpp"
+#include "api/request.hpp"
+#include "api/session.hpp"
+#include "api/status.hpp"
+#include "core/marioh.hpp"
+#include "util/worker_pool.hpp"
+
+namespace marioh::api {
+
+/// Identifies a submitted job; dense, starting at 1.
+using JobId = uint64_t;
+
+/// Lifecycle of a job. Terminal states: kDone, kFailed, kCancelled.
+enum class JobState {
+  kQueued,     ///< accepted, waiting for a worker
+  kRunning,    ///< executing on a worker
+  kDone,       ///< finished with an OK status
+  kFailed,     ///< finished with an error status
+  kCancelled,  ///< cancelled before completing
+};
+
+/// Stable upper-case name of a state ("QUEUED", ...).
+const char* JobStateName(JobState state);
+
+/// Point-in-time view of a job, returned by Poll/Wait. Result fields are
+/// populated once the job is terminal.
+struct JobSnapshot {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  /// Echo of the request's method and target dataset, for display.
+  std::string method;
+  std::string target_dataset;
+  /// Terminal status: OK for kDone, the failure for kFailed, kCancelled
+  /// for a cancelled job. OK while the job is still queued/running.
+  Status status;
+  /// True if the run exceeded its time budget (the overrunning
+  /// reconstruction still completed and scored; see Session).
+  bool deadline_exceeded = false;
+  /// Scores, when the request named a ground-truth dataset.
+  std::optional<EvaluationResult> evaluation;
+  /// Stage wall-clock and reconstruction counters of the job's session
+  /// ("train", "reconstruct", "reconstruct.iterations", ...).
+  std::map<std::string, double> stage_stats;
+  /// The reconstructed hypergraph (kDone only); shared so callers can
+  /// keep it after the service forgets the job (see Service::Forget).
+  HypergraphHandle reconstruction;
+
+  bool terminal() const {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  }
+};
+
+/// Service-level counters. Gauges (`queued`, `running`) describe the
+/// current instant; the rest are monotone totals since construction.
+struct ServiceStats {
+  uint64_t accepted = 0;           ///< jobs admitted by Submit
+  uint64_t queued = 0;             ///< currently waiting for a worker
+  uint64_t running = 0;            ///< currently executing
+  uint64_t done = 0;               ///< finished OK
+  uint64_t failed = 0;             ///< finished with an error
+  uint64_t cancelled = 0;          ///< cancelled before completing
+  uint64_t deadline_exceeded = 0;  ///< finished past their budget
+};
+
+/// Configuration of a Service.
+struct ServiceOptions {
+  /// Concurrent jobs (worker threads); 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Typed base options inherited by every job's MARIOH-family method;
+  /// request overrides apply on top. The default keeps per-job kernels
+  /// sequential (num_threads = 1) so job-level concurrency composes with
+  /// kernel-level parallelism explicitly, not implicitly quadratically.
+  core::MariohOptions marioh;
+};
+
+/// Runs reconstruction jobs asynchronously over a shared `DatasetCache`.
+/// All methods are thread-safe; Submit never blocks on job execution.
+/// Destruction cancels queued jobs, then waits for running ones.
+class Service {
+ public:
+  explicit Service(std::shared_ptr<DatasetCache> cache,
+                   ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Validates the request against the registry and the dataset cache
+  /// (unknown method / unknown or ill-typed datasets / reserved override
+  /// keys fail here, before any work is queued) and enqueues it.
+  /// The job holds handles to its datasets from this point on, so cache
+  /// eviction cannot affect an admitted job.
+  StatusOr<JobId> Submit(const ReconstructRequest& request);
+
+  /// Submits all requests atomically: either every request is admitted
+  /// (ids returned in order) or none is and the first error is returned.
+  StatusOr<std::vector<JobId>> SubmitBatch(
+      const std::vector<ReconstructRequest>& requests);
+
+  /// Non-blocking state snapshot. kNotFound for unknown ids.
+  StatusOr<JobSnapshot> Poll(JobId id) const;
+
+  /// Blocks until the job reaches a terminal state and returns its final
+  /// snapshot. kNotFound for unknown ids.
+  StatusOr<JobSnapshot> Wait(JobId id);
+
+  /// Requests cancellation: a queued job never starts (kCancelled); a
+  /// running job is stopped at its next stage boundary (the Session
+  /// progress gate). Best-effort — a job that finishes first stays
+  /// done/failed. kNotFound for unknown ids, kFailedPrecondition if the
+  /// job is already terminal.
+  Status Cancel(JobId id);
+
+  /// Retires a *terminal* job: drops it from the job table, releasing
+  /// its reconstruction and dataset pins (snapshots already taken stay
+  /// valid — everything shared is handle-owned). Long-running servers
+  /// call this after consuming a result so memory stays bounded; the
+  /// monotone counters in stats() are unaffected. kNotFound for unknown
+  /// ids, kFailedPrecondition while the job is still queued/running
+  /// (Cancel and Wait first).
+  Status Forget(JobId id);
+
+  /// Current service counters.
+  ServiceStats stats() const;
+
+  const std::shared_ptr<DatasetCache>& cache() const { return cache_; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    ReconstructRequest request;
+    /// Dataset handles resolved at submit time (own the data from then
+    /// on).
+    DatasetHandle train;
+    DatasetHandle target;
+    DatasetHandle ground_truth;
+    JobState state = JobState::kQueued;
+    std::atomic<bool> cancel_requested{false};
+    Status status;
+    bool deadline_exceeded = false;
+    std::optional<EvaluationResult> evaluation;
+    std::map<std::string, double> stage_stats;
+    HypergraphHandle reconstruction;
+  };
+
+  /// Builds and admits a job (no enqueue). Requires nothing locked.
+  StatusOr<std::shared_ptr<Job>> Admit(const ReconstructRequest& request);
+  void Enqueue(const std::shared_ptr<Job>& job);
+  void RunJob(const std::shared_ptr<Job>& job);
+  /// Snapshot of `job` under `mutex_`.
+  JobSnapshot SnapshotLocked(const Job& job) const;
+
+  std::shared_ptr<DatasetCache> cache_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable job_done_;  ///< Wait blocks here
+  std::map<JobId, std::shared_ptr<Job>> jobs_;
+  JobId next_id_ = 1;
+  ServiceStats totals_;  ///< counters other than the live gauges
+
+  /// Created last, destroyed first: workers must be gone before the job
+  /// table they touch.
+  std::unique_ptr<util::WorkerPool> pool_;
+};
+
+}  // namespace marioh::api

@@ -8,20 +8,50 @@
 
 namespace marioh::api {
 
+namespace {
+
+/// kInvalidArgument if a session-level key was already applied to this
+/// SessionOptions (each may be assigned at most once). Called from each
+/// session-level parse branch, so the set of session-level keys lives in
+/// exactly one place: the branches themselves.
+Status CheckNotDuplicate(const SessionOptions& options,
+                         const std::string& key) {
+  for (const std::string& applied : options.applied_session_keys) {
+    if (applied == key) {
+      return Status::InvalidArgument(
+          "duplicate session option '" + key +
+          "': it was already set by an earlier override");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status ApplySessionOverride(SessionOptions* options,
                             const std::string& assignment) {
   size_t eq = assignment.find('=');
-  if (eq == std::string::npos || eq == 0) {
+  if (eq == std::string::npos) {
     return Status::InvalidArgument("expected key=value, got '" +
                                    assignment + "'");
   }
+  if (eq == 0) {
+    return Status::InvalidArgument("empty key in override '" + assignment +
+                                   "'");
+  }
   std::string key = assignment.substr(0, eq);
   std::string value = assignment.substr(eq + 1);
+  if (value.empty()) {
+    return Status::InvalidArgument("empty value for option '" + key + "'");
+  }
   if (key == "method") {
+    MARIOH_RETURN_IF_ERROR(CheckNotDuplicate(*options, key));
     options->method = value;
+    options->applied_session_keys.push_back(key);
     return Status::Ok();
   }
   if (key == "seed" || key == "time_budget_seconds" || key == "threads") {
+    MARIOH_RETURN_IF_ERROR(CheckNotDuplicate(*options, key));
     try {
       size_t pos = 0;
       if (key == "seed") {
@@ -42,6 +72,7 @@ Status ApplySessionOverride(SessionOptions* options,
       return Status::InvalidArgument("bad value '" + value +
                                      "' for option '" + key + "'");
     }
+    options->applied_session_keys.push_back(key);
     return Status::Ok();
   }
   options->overrides.emplace_back(std::move(key), std::move(value));
@@ -52,6 +83,8 @@ Status Session::Configure(SessionOptions options) {
   // Reset everything so a Session can be reused for a fresh run.
   method_.reset();
   reconstruction_.reset();
+  source_handle_ = {};
+  target_handle_ = {};
   stage_timer_.Clear();
   clock_.reset();
   trained_ = false;
@@ -132,7 +165,25 @@ Status Session::Train(const ProjectedGraph& g_source,
   return Status::Ok();
 }
 
+Status Session::Train(const DatasetHandle& source) {
+  if (!source.has_hypergraph() || !source.has_graph()) {
+    return Status::InvalidArgument(
+        "dataset '" + source.name +
+        "' is not a source pair (needs a hypergraph and its projection)");
+  }
+  source_handle_ = source;  // pin: outlives any cache eviction
+  return Train(*source.graph, *source.hypergraph);
+}
+
 Status Session::TrainFromFile(const std::string& path) {
+  if (options_.cache != nullptr) {
+    // Shared load-once path: the cache keys the dataset by its path, so
+    // N sessions reading the same file share one in-memory copy.
+    StatusOr<DatasetHandle> handle =
+        options_.cache->LoadHypergraphFile(path, path);
+    if (!handle.ok()) return handle.status();
+    return Train(*handle);
+  }
   StatusOr<Hypergraph> source = io::TryReadHypergraphFile(path);
   if (!source.ok()) return source.status();
   return Train(source->Project(), *source);
@@ -159,7 +210,23 @@ Status Session::Reconstruct(const ProjectedGraph& g_target) {
   return Status::Ok();
 }
 
+Status Session::Reconstruct(const DatasetHandle& target) {
+  if (!target.has_graph()) {
+    return Status::InvalidArgument(
+        "dataset '" + target.name +
+        "' holds no projected graph to reconstruct from");
+  }
+  target_handle_ = target;  // pin: outlives any cache eviction
+  return Reconstruct(*target.graph);
+}
+
 Status Session::ReconstructFromFile(const std::string& path) {
+  if (options_.cache != nullptr) {
+    StatusOr<DatasetHandle> handle =
+        options_.cache->LoadProjectedGraphFile(path, path);
+    if (!handle.ok()) return handle.status();
+    return Reconstruct(*handle);
+  }
   StatusOr<ProjectedGraph> target = io::TryReadProjectedGraphFile(path);
   if (!target.ok()) return target.status();
   return Reconstruct(*target);
@@ -181,6 +248,16 @@ StatusOr<EvaluationResult> Session::Evaluate(
   result.reconstructed_total_edges = reconstruction_->num_total_edges();
   stage_timer_.Add("evaluate", watch.Seconds());
   return result;
+}
+
+StatusOr<Hypergraph> Session::TakeReconstruction() {
+  if (!reconstruction_) {
+    return Status::FailedPrecondition(
+        "nothing to take: call Reconstruct first");
+  }
+  Hypergraph out = std::move(*reconstruction_);
+  reconstruction_.reset();
+  return out;
 }
 
 Status Session::WriteReconstruction(const std::string& path) const {

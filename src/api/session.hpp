@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/dataset_cache.hpp"
 #include "api/registry.hpp"
 #include "api/status.hpp"
 #include "core/marioh.hpp"
@@ -56,6 +57,16 @@ struct SessionOptions {
   /// "theta_init=0.8"); unknown keys fail Configure.
   std::vector<std::pair<std::string, std::string>> overrides;
   ProgressCallback progress;
+  /// Shared dataset cache consulted by the `*FromFile` entry points:
+  /// when set, files are loaded once per path across every session (and
+  /// service) sharing the cache, and the session trains/reconstructs on
+  /// the shared immutable handle. Null keeps the classic
+  /// one-read-per-call behavior.
+  std::shared_ptr<DatasetCache> cache;
+  /// Session-level keys already consumed by `ApplySessionOverride`, used
+  /// to reject duplicate assignments (e.g. two `seed=` overrides) with a
+  /// precise error. Managed by ApplySessionOverride; leave it alone.
+  std::vector<std::string> applied_session_keys;
 };
 
 /// Applies one `key=value` assignment to `options`. Session-level keys
@@ -68,8 +79,10 @@ struct SessionOptions {
 /// (baselines ignore it). Method-level keys ride the override list the
 /// same way — e.g. `snapshot_reuse=0.3` tunes the MARIOH loop's
 /// patch-vs-rebuild snapshot policy (a pure wall-clock knob; output is
-/// identical for any value). kInvalidArgument on syntax errors or bad
-/// session-level values.
+/// identical for any value). kInvalidArgument on syntax errors (missing
+/// '=', empty key, empty value), bad session-level values, and duplicate
+/// session-level keys (each of `method`/`seed`/`time_budget_seconds`/
+/// `threads` may be assigned at most once per SessionOptions).
 Status ApplySessionOverride(SessionOptions* options,
                             const std::string& assignment);
 
@@ -101,8 +114,17 @@ class Session {
   /// unsupervised methods (still recorded in the stage timer).
   Status Train(const ProjectedGraph& g_source, const Hypergraph& h_source);
 
+  /// Trains on a shared dataset handle (a hypergraph with its
+  /// projection, as `DatasetCache` hypergraph loads provide). The session
+  /// keeps the handle alive for its own lifetime, so N concurrent
+  /// sessions can train on one in-memory copy — and cache eviction can
+  /// never invalidate a running session. kInvalidArgument if the handle
+  /// is not a source pair.
+  Status Train(const DatasetHandle& source);
+
   /// Loads a source hypergraph from `path` (text format), projects it,
-  /// and trains on the pair.
+  /// and trains on the pair. With `SessionOptions::cache` set, the load
+  /// is shared: one read per path process-wide, keyed by the path.
   Status TrainFromFile(const std::string& path);
 
   /// Reconstructs a hypergraph from the target projected graph; the
@@ -110,7 +132,14 @@ class Session {
   /// kFailedPrecondition if a supervised method was not trained.
   Status Reconstruct(const ProjectedGraph& g_target);
 
+  /// Reconstructs from a shared dataset handle (any dataset holding a
+  /// graph); the session keeps the handle alive. kInvalidArgument if the
+  /// handle holds no graph.
+  Status Reconstruct(const DatasetHandle& target);
+
   /// Loads a projected graph from `path` (text format) and reconstructs.
+  /// With `SessionOptions::cache` set, the load is shared like
+  /// TrainFromFile's.
   Status ReconstructFromFile(const std::string& path);
 
   /// Scores the most recent reconstruction against `ground_truth`.
@@ -123,6 +152,12 @@ class Session {
   const Hypergraph* reconstruction() const {
     return reconstruction_ ? &*reconstruction_ : nullptr;
   }
+
+  /// Moves the reconstruction out of the session (the session then holds
+  /// none, as before Reconstruct). kFailedPrecondition if there is
+  /// nothing to take. Lets callers like `api::Service` hand the result
+  /// off without a copy.
+  StatusOr<Hypergraph> TakeReconstruction();
 
   /// Per-stage wall-clock of this session ("train", "reconstruct",
   /// "evaluate").
@@ -143,6 +178,10 @@ class Session {
   SessionOptions options_;
   MethodInfo info_;
   std::unique_ptr<Reconstructor> method_;
+  /// Shared-handle pins: keep handle-based inputs alive for the
+  /// session's lifetime even if the cache evicts them mid-run.
+  DatasetHandle source_handle_;
+  DatasetHandle target_handle_;
   std::optional<Hypergraph> reconstruction_;
   util::StageTimer stage_timer_;
   std::optional<util::Timer> clock_;

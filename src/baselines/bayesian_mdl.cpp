@@ -51,7 +51,10 @@ Hypergraph BayesianMdl::Reconstruct(const ProjectedGraph& g_target) {
 
   // Greedy weighted set cover over maximal cliques: repeatedly take the
   // clique covering the most uncovered edges per unit description length.
-  std::vector<NodeSet> maximal = MaximalCliques(g_target);
+  // Candidates are read as views into the enumeration arena; only cliques
+  // accepted into the cover materialize an owning NodeSet.
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(g_target);
+  const CliqueStore& maximal = enumerated.cliques;
   std::unordered_set<NodePair, util::PairHash> uncovered;
   for (const ProjectedGraph::Edge& e : edges) {
     uncovered.insert(MakePair(e.u, e.v));
@@ -59,8 +62,9 @@ Hypergraph BayesianMdl::Reconstruct(const ProjectedGraph& g_target) {
   std::vector<NodeSet> cover;
   while (!uncovered.empty()) {
     double best_gain = -1.0;
-    const NodeSet* best = nullptr;
-    for (const NodeSet& q : maximal) {
+    size_t best = maximal.size();  // sentinel: none
+    for (size_t c = 0; c < maximal.size(); ++c) {
+      CliqueView q = maximal[c];
       size_t newly = 0;
       for (size_t i = 0; i < q.size(); ++i) {
         for (size_t j = i + 1; j < q.size(); ++j) {
@@ -72,14 +76,17 @@ Hypergraph BayesianMdl::Reconstruct(const ProjectedGraph& g_target) {
                     (1.0 + static_cast<double>(q.size()));
       if (gain > best_gain) {
         best_gain = gain;
-        best = &q;
+        best = c;
       }
     }
-    if (best == nullptr) break;  // defensive; cannot happen for cliques
-    cover.push_back(*best);
-    for (size_t i = 0; i < best->size(); ++i) {
-      for (size_t j = i + 1; j < best->size(); ++j) {
-        uncovered.erase(MakePair((*best)[i], (*best)[j]));
+    // No clique covers anything further — possible when a truncated
+    // enumeration left some edge pairs uncoverable.
+    if (best == maximal.size()) break;
+    CliqueView chosen = maximal[best];
+    cover.push_back(maximal.Materialize(best));
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      for (size_t j = i + 1; j < chosen.size(); ++j) {
+        uncovered.erase(MakePair(chosen[i], chosen[j]));
       }
     }
   }

@@ -19,7 +19,10 @@ namespace {
 std::vector<NodeSet> KCliques(const ProjectedGraph& g, size_t k,
                               size_t max_per_maximal = 2000) {
   std::unordered_set<NodeSet, util::VectorHash> found;
-  for (const NodeSet& q : MaximalCliques(g)) {
+  // Maximal cliques stay in the enumeration arena; only the k-subsets
+  // materialize owning sets.
+  MaximalCliqueResult enumerated = EnumerateMaximalCliques(g);
+  for (CliqueView q : enumerated.cliques) {
     if (q.size() < k) continue;
     // Enumerate k-subsets of q with a bounded combination walk.
     std::vector<size_t> idx(k);

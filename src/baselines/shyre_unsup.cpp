@@ -26,7 +26,7 @@ struct RankedClique {
   }
 };
 
-double AverageMultiplicity(const ProjectedGraph& g, const NodeSet& q) {
+double AverageMultiplicity(const ProjectedGraph& g, CliqueView q) {
   double sum = 0.0;
   size_t cnt = 0;
   for (size_t i = 0; i < q.size(); ++i) {
@@ -49,10 +49,13 @@ Hypergraph ShyreUnsup::Reconstruct(const ProjectedGraph& g_target) {
   while (!g.Empty() && iterations < max_iterations_) {
     if (queue.empty()) {
       // (Re-)enumerate and rank the maximal cliques of the current graph —
-      // the repeated expensive search the paper criticizes.
-      for (NodeSet& q : MaximalCliques(g)) {
-        double avg = AverageMultiplicity(g, q);
-        queue.push_back({std::move(q), avg});
+      // the repeated expensive search the paper criticizes. The queue
+      // outlives the enumeration arena, so entries materialize here.
+      MaximalCliqueResult enumerated = EnumerateMaximalCliques(g);
+      queue.reserve(enumerated.cliques.size());
+      for (size_t c = 0; c < enumerated.cliques.size(); ++c) {
+        double avg = AverageMultiplicity(g, enumerated.cliques[c]);
+        queue.push_back({enumerated.cliques.Materialize(c), avg});
       }
       std::sort(queue.begin(), queue.end());
       std::reverse(queue.begin(), queue.end());  // pop_back = best

@@ -34,10 +34,12 @@ api::StatusOr<PreparedDataset> TryPrepareDataset(
   }
   PreparedDataset out;
   out.name = profile_name;
-  out.g_source = split.source.Project();
-  out.g_target = split.target.Project();
-  out.source = std::move(split.source);
-  out.target = std::move(split.target);
+  out.g_source =
+      std::make_shared<const ProjectedGraph>(split.source.Project());
+  out.g_target =
+      std::make_shared<const ProjectedGraph>(split.target.Project());
+  out.source = std::make_shared<const Hypergraph>(std::move(split.source));
+  out.target = std::make_shared<const Hypergraph>(std::move(split.target));
   out.labels = std::move(data.labels);
   out.num_classes = data.num_classes;
   return out;
@@ -84,13 +86,13 @@ api::StatusOr<AccuracyResult> RunPair(const std::string& method_name,
     api::Session session;
     MARIOH_RETURN_IF_ERROR(session.Configure(std::move(session_options)));
 
-    MARIOH_RETURN_IF_ERROR(session.Train(data->g_source, data->source));
-    MARIOH_RETURN_IF_ERROR(session.Reconstruct(data->g_target));
+    MARIOH_RETURN_IF_ERROR(session.Train(data->train()));
+    MARIOH_RETURN_IF_ERROR(session.Reconstruct(data->target_input()));
     time_stats.Add(session.stage_timer().Get("train") +
                    session.stage_timer().Get("reconstruct"));
 
     api::StatusOr<api::EvaluationResult> scores =
-        session.Evaluate(data->target);
+        session.Evaluate(*data->target);
     if (!scores.ok()) return scores.status();
     double score = options.multiplicity_reduced ? scores->jaccard
                                                 : scores->multi_jaccard;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "api/dataset_cache.hpp"
 #include "api/session.hpp"
 #include "api/status.hpp"
 #include "core/marioh.hpp"
@@ -32,15 +33,28 @@ std::vector<std::string> Table2Methods();
 /// `api::Table3Roster()`.
 std::vector<std::string> Table3Methods();
 
-/// A prepared experiment instance: the split halves and their projections.
+/// A prepared experiment instance: the split halves and their
+/// projections, held through shared immutable handles so any number of
+/// concurrent sessions (or `api::Service` jobs) can run on one in-memory
+/// copy — insert them into a `DatasetCache` or pass them to the
+/// handle-based `Session` entry points directly.
 struct PreparedDataset {
   std::string name;
-  Hypergraph source;       ///< H_S (training supervision)
-  Hypergraph target;       ///< H_T (hidden ground truth)
-  ProjectedGraph g_source; ///< G_S
-  ProjectedGraph g_target; ///< G_T (reconstruction input)
+  api::HypergraphHandle source;   ///< H_S (training supervision)
+  api::HypergraphHandle target;   ///< H_T (hidden ground truth)
+  api::GraphHandle g_source;      ///< G_S
+  api::GraphHandle g_target;      ///< G_T (reconstruction input)
   std::vector<uint32_t> labels;
   size_t num_classes = 0;
+
+  /// The source pair as a trainable dataset handle.
+  api::DatasetHandle train() const { return {name, source, g_source}; }
+  /// The reconstruction input as a dataset handle.
+  api::DatasetHandle target_input() const {
+    return {name, nullptr, g_target};
+  }
+  /// The hidden ground truth as a dataset handle (for evaluation).
+  api::DatasetHandle ground_truth() const { return {name, target, nullptr}; }
 };
 
 /// How the source/target halves are produced.

@@ -700,11 +700,6 @@ MaximalCliqueResult EnumerateMaximalCliques(const ProjectedGraph& g,
   return EnumerateMaximalCliques(csr, options);
 }
 
-std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
-                                    const CliqueOptions& options) {
-  return EnumerateMaximalCliques(g, options).cliques.ToNodeSets();
-}
-
 std::vector<NodeSet> MaximalCliquesHashMapReference(
     const ProjectedGraph& g, const CliqueOptions& options) {
   std::vector<NodeSet> out;

@@ -162,15 +162,6 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
 MaximalCliqueResult EnumerateMaximalCliques(const ProjectedGraph& g,
                                             const CliqueOptions& options = {});
 
-/// DEPRECATED back-compat shim: enumerates and then copies every clique
-/// out of the arena into an owning `std::vector<NodeSet>` (one heap
-/// allocation per clique) and drops the truncation flag. Kept only for
-/// the remaining legacy baselines (cfinder, bayesian_mdl, shyre_unsup)
-/// and tests; new code should consume `MaximalCliqueResult::cliques`
-/// views directly.
-std::vector<NodeSet> MaximalCliques(const ProjectedGraph& g,
-                                    const CliqueOptions& options = {});
-
 /// Reference enumeration over the mutable hash-map adjacency, sequential.
 /// Kept as the equivalence-test oracle and the hashmap side of the
 /// CSR-vs-hashmap microbenchmarks; produces the same sorted clique set as

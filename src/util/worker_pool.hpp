@@ -1,0 +1,71 @@
+/// \file worker_pool.hpp
+/// \brief A persistent FIFO worker pool for *task*-level concurrency —
+/// many independent jobs in flight at once — complementing `ParallelFor`,
+/// which stays the sanctioned primitive for *data*-level parallelism
+/// inside one kernel. `api::Service` runs its reconstruction jobs on a
+/// WorkerPool; each job's kernels may in turn fan out with `ParallelFor`.
+///
+/// Tasks are opaque `std::function<void()>`s executed in submission order
+/// (FIFO) by a fixed set of threads sized with the same `ResolveThreads`
+/// rule as `ParallelFor` (0 = hardware concurrency). The pool never drops
+/// a task: destruction and `Shutdown` drain the queue before joining.
+/// Determinism note: the pool schedules *when* tasks run, never what they
+/// compute — a task must be a pure function of its own captured state, so
+/// results are identical to running the same tasks sequentially.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace marioh::util {
+
+class WorkerPool {
+ public:
+  /// Starts `num_threads` workers (0 = hardware concurrency, min 1).
+  explicit WorkerPool(int num_threads = 0);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task. Tasks start in FIFO order as workers free up.
+  /// Submitting after Shutdown is a no-op (the task is discarded) — the
+  /// pool is then committed to terminating; callers that need the
+  /// distinction should not race Submit against Shutdown.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing
+  /// (queue empty and all workers idle). Other threads may keep
+  /// submitting; their tasks are not waited for.
+  void Drain();
+
+  /// Stops accepting new tasks, finishes everything already queued, and
+  /// joins the workers. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks queued but not yet started (snapshot).
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;   ///< workers wait here for tasks
+  std::condition_variable idle_;   ///< Drain waits here for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;              ///< tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace marioh::util

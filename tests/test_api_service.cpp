@@ -1,0 +1,425 @@
+// Tests for the service-grade API stack: DatasetCache (named, immutable,
+// load-once shared handles), the async job Service (Submit/SubmitBatch/
+// Poll/Wait/Cancel on a worker pool, service counters), and the
+// determinism contract the whole design rests on — N concurrent jobs over
+// one shared dataset handle produce bit-identical hypergraphs to the same
+// runs executed sequentially through Session.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/dataset_cache.hpp"
+#include "api/request.hpp"
+#include "api/service.hpp"
+#include "api/session.hpp"
+#include "eval/harness.hpp"
+#include "io/text_io.hpp"
+
+namespace marioh::api {
+namespace {
+
+eval::PreparedDataset SmallDataset() {
+  return eval::PrepareDataset("crime", /*multiplicity_reduced=*/true,
+                              /*seed=*/1);
+}
+
+/// A cache pre-filled with the crime profile's three roles, sharing the
+/// PreparedDataset's handles (zero copies).
+std::shared_ptr<DatasetCache> CacheWithCrime(
+    const eval::PreparedDataset& data) {
+  auto cache = std::make_shared<DatasetCache>();
+  EXPECT_TRUE(cache->Insert("crime.train", data.source, data.g_source).ok());
+  EXPECT_TRUE(cache->Insert("crime.target", nullptr, data.g_target).ok());
+  EXPECT_TRUE(cache->Insert("crime.truth", data.target, nullptr).ok());
+  return cache;
+}
+
+TEST(DatasetCache, InsertGetEraseAndListing) {
+  eval::PreparedDataset data = SmallDataset();
+  DatasetCache cache;
+  ASSERT_TRUE(cache.Insert("d", data.source, data.g_source).ok());
+  EXPECT_TRUE(cache.Contains("d"));
+  EXPECT_EQ(cache.size(), 1u);
+
+  StatusOr<DatasetHandle> fetched = cache.Get("d");
+  ASSERT_TRUE(fetched.ok());
+  // Zero-copy: the cache shares the caller's objects, not copies.
+  EXPECT_EQ(fetched->hypergraph.get(), data.source.get());
+  EXPECT_EQ(fetched->graph.get(), data.g_source.get());
+
+  // Unknown names are a NotFound listing the residents.
+  Status missing = cache.Get("nope").status();
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.message().find("d"), std::string::npos);
+
+  // Duplicate names are rejected; the original stays.
+  EXPECT_EQ(cache.Insert("d", data.target, nullptr).status().code(),
+            StatusCode::kAlreadyExists);
+
+  // Eviction drops the name but never invalidates handles already out.
+  ASSERT_TRUE(cache.Erase("d").ok());
+  EXPECT_FALSE(cache.Contains("d"));
+  EXPECT_EQ(cache.Erase("d").code(), StatusCode::kNotFound);
+  EXPECT_GT(fetched->hypergraph->num_unique_edges(), 0u);
+
+  // A dataset must hold something, under a non-empty name.
+  EXPECT_EQ(cache.Insert("empty", nullptr, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.Insert("", data.source, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetCache, FileLoadsAreSharedAndLoadOnce) {
+  eval::PreparedDataset data = SmallDataset();
+  const std::string path = "cache_test_source.hg";
+  ASSERT_TRUE(io::TryWriteHypergraphFile(*data.source, path).ok());
+
+  DatasetCache cache;
+  StatusOr<DatasetHandle> first = cache.LoadHypergraphFile("src", path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_hypergraph());
+  ASSERT_TRUE(first->has_graph());  // projection comes with the load
+  EXPECT_EQ(first->hypergraph->num_unique_edges(),
+            data.source->num_unique_edges());
+
+  // Load-once: the same name+path returns the identical handle even if
+  // the file vanished in between — no re-read happens.
+  std::remove(path.c_str());
+  StatusOr<DatasetHandle> second = cache.LoadHypergraphFile("src", path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->hypergraph.get(), first->hypergraph.get());
+
+  // The same name from a *different* path is a conflict, not a reload.
+  EXPECT_EQ(cache.LoadHypergraphFile("src", "other.hg").status().code(),
+            StatusCode::kAlreadyExists);
+  // Missing files surface as NotFound under a fresh name.
+  EXPECT_EQ(cache.LoadHypergraphFile("fresh", "no_such.hg").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Session, HandleBasedStagesShareOneDatasetCopy) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MARIOH";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(data.train()).ok());
+  ASSERT_TRUE(session.Reconstruct(data.target_input()).ok());
+  ASSERT_NE(session.reconstruction(), nullptr);
+  EXPECT_GT(session.reconstruction()->num_unique_edges(), 0u);
+
+  // Ill-typed handles are precise InvalidArguments.
+  EXPECT_EQ(session.Train(data.target_input()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Reconstruct(data.ground_truth()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Session, TakeReconstructionMovesTheResultOut) {
+  eval::PreparedDataset data = SmallDataset();
+  SessionOptions options;
+  options.method = "MaxClique";
+  Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  EXPECT_EQ(session.TakeReconstruction().status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session.Reconstruct(data.target_input()).ok());
+  size_t unique = session.reconstruction()->num_unique_edges();
+  StatusOr<Hypergraph> taken = session.TakeReconstruction();
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken->num_unique_edges(), unique);
+  EXPECT_EQ(session.reconstruction(), nullptr);
+}
+
+TEST(Service, SubmitValidatesBeforeQueueing) {
+  eval::PreparedDataset data = SmallDataset();
+  Service service(CacheWithCrime(data));
+
+  ReconstructRequest request;
+  request.method = "NoSuchMethod";
+  request.target_dataset = "crime.target";
+  EXPECT_EQ(service.Submit(request).status().code(), StatusCode::kNotFound);
+
+  request.method = "MARIOH";
+  request.target_dataset = "";
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.target_dataset = "no.such.dataset";
+  EXPECT_EQ(service.Submit(request).status().code(), StatusCode::kNotFound);
+
+  // A graph-only dataset cannot train; a hypergraph-only one cannot be a
+  // target; a supervised method needs a train dataset at all.
+  request.target_dataset = "crime.truth";
+  request.train_dataset = "crime.train";
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kFailedPrecondition);
+  request.target_dataset = "crime.target";
+  request.train_dataset = "crime.target";
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kFailedPrecondition);
+  request.train_dataset = "";
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Reserved override keys belong in the typed request fields.
+  request.train_dataset = "crime.train";
+  request.overrides = {{"seed", "3"}};
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Nothing was admitted by any of the rejects.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(service.Poll(1).status().code(), StatusCode::kNotFound);
+}
+
+// The acceptance-criteria test: K concurrent jobs sharing one DatasetCache
+// handle must produce bit-identical hypergraphs to the same runs executed
+// sequentially through Session with the same seeds.
+TEST(Service, ConcurrentJobsMatchSequentialSessionsBitForBit) {
+  constexpr int kJobs = 4;
+  eval::PreparedDataset data = SmallDataset();
+
+  // Sequential reference runs, one Session each, seeds 1..K.
+  std::vector<Hypergraph> reference;
+  for (int s = 1; s <= kJobs; ++s) {
+    SessionOptions options;
+    options.method = "MARIOH";
+    options.seed = static_cast<uint64_t>(s);
+    Session session;
+    ASSERT_TRUE(session.Configure(options).ok());
+    ASSERT_TRUE(session.Train(data.train()).ok());
+    ASSERT_TRUE(session.Reconstruct(data.target_input()).ok());
+    StatusOr<Hypergraph> taken = session.TakeReconstruction();
+    ASSERT_TRUE(taken.ok());
+    reference.push_back(std::move(taken).value());
+  }
+
+  // The same K runs as concurrent service jobs on shared handles.
+  ServiceOptions service_options;
+  service_options.num_workers = kJobs;
+  Service service(CacheWithCrime(data), service_options);
+  std::vector<ReconstructRequest> batch;
+  for (int s = 1; s <= kJobs; ++s) {
+    ReconstructRequest request;
+    request.method = "MARIOH";
+    request.train_dataset = "crime.train";
+    request.target_dataset = "crime.target";
+    request.ground_truth_dataset = "crime.truth";
+    request.seed = static_cast<uint64_t>(s);
+    batch.push_back(request);
+  }
+  StatusOr<std::vector<JobId>> ids = service.SubmitBatch(batch);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids->size(), static_cast<size_t>(kJobs));
+
+  for (int s = 0; s < kJobs; ++s) {
+    StatusOr<JobSnapshot> job = service.Wait((*ids)[static_cast<size_t>(s)]);
+    ASSERT_TRUE(job.ok());
+    EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
+    ASSERT_NE(job->reconstruction, nullptr);
+    // Bit-identical output: same edge multiset, same multiplicities.
+    EXPECT_EQ(job->reconstruction->edges(), reference[static_cast<size_t>(s)].edges())
+        << "job seed " << s + 1;
+    // Evaluation and stage stats rode along.
+    ASSERT_TRUE(job->evaluation.has_value());
+    EXPECT_GE(job->evaluation->jaccard, 0.5);
+    EXPECT_GT(job->stage_stats.at("reconstruct"), 0.0);
+    EXPECT_GT(job->stage_stats.at("reconstruct.iterations"), 0.0);
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.done, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+TEST(Service, CancelQueuedJobsOnASingleWorker) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.num_workers = 1;  // everything after the first job queues
+  Service service(CacheWithCrime(data), options);
+
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  std::vector<JobId> ids;
+  for (int s = 0; s < 4; ++s) {
+    request.seed = static_cast<uint64_t>(s + 1);
+    StatusOr<JobId> id = service.Submit(request);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // Cancel the tail jobs; whichever already started/finished reports
+  // FailedPrecondition — on a 1-worker pool at least the last ones are
+  // still queued and cancel cleanly.
+  size_t cancelled = 0;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (service.Cancel(ids[i]).ok()) ++cancelled;
+  }
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(service.Cancel(999).code(), StatusCode::kNotFound);
+
+  size_t observed_cancelled = 0;
+  for (JobId id : ids) {
+    StatusOr<JobSnapshot> job = service.Wait(id);
+    ASSERT_TRUE(job.ok());
+    ASSERT_TRUE(job->terminal());
+    if (job->state == JobState::kCancelled) {
+      ++observed_cancelled;
+      EXPECT_EQ(job->status.code(), StatusCode::kCancelled);
+      EXPECT_EQ(job->reconstruction, nullptr);
+    } else {
+      EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
+    }
+    // Cancelling a terminal job is a FailedPrecondition, not a crash.
+    EXPECT_EQ(service.Cancel(id).code(), StatusCode::kFailedPrecondition);
+  }
+  // A Cancel that caught its job queued lands for sure; one that raced a
+  // just-started job is best-effort, so observed <= issued.
+  EXPECT_LE(observed_cancelled, cancelled);
+  EXPECT_EQ(service.stats().cancelled, observed_cancelled);
+}
+
+TEST(Service, BudgetOverrunsAreCountedNotFatal) {
+  constexpr int kJobs = 3;
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.num_workers = kJobs;
+  Service service(CacheWithCrime(data), options);
+
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  request.ground_truth_dataset = "crime.truth";
+  request.time_budget_seconds = 0.0;  // any reconstruction overruns
+  std::vector<JobId> ids;
+  for (int s = 0; s < kJobs; ++s) {
+    request.seed = static_cast<uint64_t>(s + 1);
+    StatusOr<JobId> id = service.Submit(request);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (JobId id : ids) {
+    StatusOr<JobSnapshot> job = service.Wait(id);
+    ASSERT_TRUE(job.ok());
+    // The overrunning run still completes and scores (OOT semantics).
+    EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
+    EXPECT_TRUE(job->deadline_exceeded);
+    EXPECT_TRUE(job->evaluation.has_value());
+  }
+  EXPECT_EQ(service.stats().deadline_exceeded,
+            static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(service.stats().done, static_cast<uint64_t>(kJobs));
+}
+
+TEST(Service, MethodLevelOverridesReachTheJob) {
+  eval::PreparedDataset data = SmallDataset();
+  Service service(CacheWithCrime(data));
+
+  // A bad override value is validated inside the job (Configure), so the
+  // job fails cleanly rather than Submit.
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  request.overrides = {{"theta_init", "oops"}};
+  StatusOr<JobId> bad = service.Submit(request);
+  ASSERT_TRUE(bad.ok());
+  StatusOr<JobSnapshot> failed = service.Wait(*bad);
+  ASSERT_TRUE(failed.ok());
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_EQ(failed->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(failed->status.message().find("theta_init"), std::string::npos);
+  EXPECT_EQ(service.stats().failed, 1u);
+
+  // A good override (threads=2) changes nothing about the output — the
+  // determinism contract — and the job succeeds.
+  request.overrides = {{"threads", "2"}};
+  request.seed = 7;
+  StatusOr<JobId> good = service.Submit(request);
+  ASSERT_TRUE(good.ok());
+  StatusOr<JobSnapshot> done = service.Wait(*good);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->state, JobState::kDone) << done->status.ToString();
+
+  SessionOptions session_options;
+  session_options.method = "MARIOH";
+  session_options.seed = 7;
+  Session session;
+  ASSERT_TRUE(session.Configure(session_options).ok());
+  ASSERT_TRUE(session.Train(data.train()).ok());
+  ASSERT_TRUE(session.Reconstruct(data.target_input()).ok());
+  EXPECT_EQ(done->reconstruction->edges(),
+            session.reconstruction()->edges());
+}
+
+TEST(Service, ForgetRetiresTerminalJobsOnly) {
+  eval::PreparedDataset data = SmallDataset();
+  Service service(CacheWithCrime(data));
+  ReconstructRequest request;
+  request.method = "MaxClique";
+  request.target_dataset = "crime.target";
+  StatusOr<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  StatusOr<JobSnapshot> job = service.Wait(*id);
+  ASSERT_TRUE(job.ok());
+  ASSERT_EQ(job->state, JobState::kDone);
+
+  ASSERT_TRUE(service.Forget(*id).ok());
+  // The job is gone from the table, but the snapshot's shared handle
+  // keeps the result alive — and the monotone counters are unaffected.
+  EXPECT_EQ(service.Poll(*id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Forget(*id).code(), StatusCode::kNotFound);
+  EXPECT_GT(job->reconstruction->num_unique_edges(), 0u);
+  EXPECT_EQ(service.stats().done, 1u);
+
+  // A queued/running job cannot be forgotten.
+  ServiceOptions one_worker;
+  one_worker.num_workers = 1;
+  Service busy(CacheWithCrime(data), one_worker);
+  ReconstructRequest slow;
+  slow.method = "MARIOH";
+  slow.train_dataset = "crime.train";
+  slow.target_dataset = "crime.target";
+  StatusOr<JobId> first = busy.Submit(slow);
+  StatusOr<JobId> second = busy.Submit(slow);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // The second job sits behind the first on the single worker; unless
+  // both raced to completion already, forgetting it is premature.
+  Status premature = busy.Forget(*second);
+  if (!premature.ok()) {
+    EXPECT_EQ(premature.code(), StatusCode::kFailedPrecondition);
+    ASSERT_TRUE(busy.Wait(*second).ok());
+  }
+  ASSERT_TRUE(busy.Wait(*first).ok());
+}
+
+TEST(Service, UnsupervisedJobsSkipTraining) {
+  eval::PreparedDataset data = SmallDataset();
+  Service service(CacheWithCrime(data));
+  ReconstructRequest request;
+  request.method = "MaxClique";
+  request.target_dataset = "crime.target";
+  StatusOr<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  StatusOr<JobSnapshot> job = service.Wait(*id);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
+  EXPECT_EQ(job->stage_stats.count("train"), 0u);
+  ASSERT_NE(job->reconstruction, nullptr);
+  EXPECT_GT(job->reconstruction->num_unique_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace marioh::api

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/session.hpp"
@@ -30,13 +32,13 @@ TEST(Session, WalksTheWholeProtocol) {
   ASSERT_TRUE(session.Configure(options).ok());
   EXPECT_TRUE(session.method_info().supervised);
 
-  ASSERT_TRUE(session.Train(data.g_source, data.source).ok());
-  Status reconstructed = session.Reconstruct(data.g_target);
+  ASSERT_TRUE(session.Train(*data.g_source, *data.source).ok());
+  Status reconstructed = session.Reconstruct(*data.g_target);
   ASSERT_TRUE(reconstructed.ok()) << reconstructed.ToString();
   ASSERT_NE(session.reconstruction(), nullptr);
   EXPECT_GT(session.reconstruction()->num_unique_edges(), 0u);
 
-  StatusOr<EvaluationResult> scores = session.Evaluate(data.target);
+  StatusOr<EvaluationResult> scores = session.Evaluate(*data.target);
   ASSERT_TRUE(scores.ok());
   // The crime profile is one of the easiest regimes in Table II; anything
   // below 0.5 Jaccard means the pipeline is broken, not merely inaccurate.
@@ -64,11 +66,11 @@ TEST(Session, UnknownMethodIsANotFoundStatusNotAnAbort) {
 TEST(Session, StagesBeforeConfigureFailCleanly) {
   eval::PreparedDataset data = SmallDataset();
   Session session;
-  EXPECT_EQ(session.Train(data.g_source, data.source).code(),
+  EXPECT_EQ(session.Train(*data.g_source, *data.source).code(),
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ(session.Reconstruct(data.g_target).code(),
+  EXPECT_EQ(session.Reconstruct(*data.g_target).code(),
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ(session.Evaluate(data.target).status().code(),
+  EXPECT_EQ(session.Evaluate(*data.target).status().code(),
             StatusCode::kFailedPrecondition);
 }
 
@@ -78,7 +80,7 @@ TEST(Session, SupervisedMethodRequiresTrainBeforeReconstruct) {
   options.method = "MARIOH";
   Session session;
   ASSERT_TRUE(session.Configure(options).ok());
-  Status result = session.Reconstruct(data.g_target);
+  Status result = session.Reconstruct(*data.g_target);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.code(), StatusCode::kFailedPrecondition);
 }
@@ -90,7 +92,7 @@ TEST(Session, UnsupervisedMethodReconstructsWithoutTrain) {
   Session session;
   ASSERT_TRUE(session.Configure(options).ok());
   EXPECT_FALSE(session.method_info().supervised);
-  Status result = session.Reconstruct(data.g_target);
+  Status result = session.Reconstruct(*data.g_target);
   ASSERT_TRUE(result.ok()) << result.ToString();
   ASSERT_NE(session.reconstruction(), nullptr);
   EXPECT_GT(session.reconstruction()->num_unique_edges(), 0u);
@@ -103,15 +105,15 @@ TEST(Session, ExhaustedTimeBudgetIsDeadlineExceededNotAnAbort) {
   options.time_budget_seconds = 0.0;  // any reconstruction overruns it
   Session session;
   ASSERT_TRUE(session.Configure(options).ok());
-  ASSERT_TRUE(session.Train(data.g_source, data.source).ok());
+  ASSERT_TRUE(session.Train(*data.g_source, *data.source).ok());
   // The overrunning reconstruction itself completes (the paper's OOT
   // accounting still scores the overrunning run) ...
-  Status first = session.Reconstruct(data.g_target);
+  Status first = session.Reconstruct(*data.g_target);
   ASSERT_TRUE(first.ok()) << first.ToString();
   EXPECT_TRUE(session.deadline_exceeded());
-  EXPECT_TRUE(session.Evaluate(data.target).ok());
+  EXPECT_TRUE(session.Evaluate(*data.target).ok());
   // ... but no further budgeted stage may start.
-  Status second = session.Reconstruct(data.g_target);
+  Status second = session.Reconstruct(*data.g_target);
   ASSERT_FALSE(second.ok());
   EXPECT_EQ(second.code(), StatusCode::kDeadlineExceeded);
   EXPECT_NE(second.message().find("time budget"), std::string::npos);
@@ -129,13 +131,13 @@ TEST(Session, ProgressCallbackObservesStagesAndCanCancel) {
   };
   Session session;
   ASSERT_TRUE(session.Configure(options).ok());
-  ASSERT_TRUE(session.Reconstruct(data.g_target).ok());
+  ASSERT_TRUE(session.Reconstruct(*data.g_target).ok());
   EXPECT_EQ(stages, std::vector<std::string>{"reconstruct"});
 
   options.progress = [](const std::string&, double) { return false; };
   Session cancelled;
   ASSERT_TRUE(cancelled.Configure(options).ok());
-  Status result = cancelled.Reconstruct(data.g_target);
+  Status result = cancelled.Reconstruct(*data.g_target);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.code(), StatusCode::kCancelled);
 }
@@ -156,10 +158,11 @@ TEST(Session, StringOverridesConfigureTheSessionAndTheMethod) {
 
   EXPECT_EQ(ApplySessionOverride(&options, "garbage").code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(ApplySessionOverride(&options, "seed=abc").code(),
+  SessionOptions fresh;
+  EXPECT_EQ(ApplySessionOverride(&fresh, "seed=abc").code(),
             StatusCode::kInvalidArgument);
   // stoull would silently wrap a negative seed; it must be rejected.
-  EXPECT_EQ(ApplySessionOverride(&options, "seed=-1").code(),
+  EXPECT_EQ(ApplySessionOverride(&fresh, "seed=-1").code(),
             StatusCode::kInvalidArgument);
   ASSERT_TRUE(ApplySessionOverride(&options, "bogus_key=1").ok());
   Session rejects;
@@ -170,15 +173,69 @@ TEST(Session, StringOverridesConfigureTheSessionAndTheMethod) {
 }
 
 TEST(Session, ThreadsOverrideConfiguresTheHotKernels) {
+  {
+    SessionOptions options;
+    ASSERT_TRUE(ApplySessionOverride(&options, "threads=8").ok());
+    EXPECT_EQ(options.marioh.num_threads, 8);
+  }
+  {
+    SessionOptions options;
+    ASSERT_TRUE(ApplySessionOverride(&options, "threads=0").ok());
+    EXPECT_EQ(options.marioh.num_threads, 0);  // 0 = all cores
+  }
   SessionOptions options;
-  ASSERT_TRUE(ApplySessionOverride(&options, "threads=8").ok());
-  EXPECT_EQ(options.marioh.num_threads, 8);
-  ASSERT_TRUE(ApplySessionOverride(&options, "threads=0").ok());
-  EXPECT_EQ(options.marioh.num_threads, 0);  // 0 = all cores
   EXPECT_EQ(ApplySessionOverride(&options, "threads=-2").code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(ApplySessionOverride(&options, "threads=two").code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(Session, OverridesRejectEmptyKeysAndValues) {
+  SessionOptions options;
+  // Empty key ('=value') and empty value ('key=') each get a precise
+  // InvalidArgument naming the problem — session- and method-level alike.
+  Status empty_key = ApplySessionOverride(&options, "=0.8");
+  EXPECT_EQ(empty_key.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty_key.message().find("empty key"), std::string::npos);
+  for (const char* assignment :
+       {"seed=", "method=", "threads=", "time_budget_seconds=",
+        "theta_init="}) {
+    Status status = ApplySessionOverride(&options, assignment);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << assignment;
+    EXPECT_NE(status.message().find("empty value"), std::string::npos)
+        << assignment;
+  }
+  // Nothing leaked into the override list or the applied-key ledger.
+  EXPECT_TRUE(options.overrides.empty());
+  EXPECT_TRUE(options.applied_session_keys.empty());
+}
+
+TEST(Session, DuplicateSessionLevelOverridesAreRejected) {
+  for (const auto& [first, second] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"seed=1", "seed=2"},
+           {"method=MARIOH", "method=MaxClique"},
+           {"threads=2", "threads=4"},
+           {"time_budget_seconds=5", "time_budget_seconds=9"}}) {
+    SessionOptions options;
+    ASSERT_TRUE(ApplySessionOverride(&options, first).ok()) << first;
+    Status status = ApplySessionOverride(&options, second);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << second;
+    EXPECT_NE(status.message().find("duplicate session option"),
+              std::string::npos)
+        << status.message();
+  }
+  // A failed assignment claims nothing: the key can still be set once.
+  SessionOptions options;
+  EXPECT_EQ(ApplySessionOverride(&options, "seed=abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ApplySessionOverride(&options, "seed=5").ok());
+  EXPECT_EQ(options.seed, 5u);
+  // Method-level keys are not session state; factories see duplicates
+  // and apply their own policy.
+  EXPECT_TRUE(ApplySessionOverride(&options, "theta_init=0.8").ok());
+  EXPECT_TRUE(ApplySessionOverride(&options, "theta_init=0.9").ok());
+  EXPECT_EQ(options.overrides.size(), 2u);
 }
 
 TEST(Session, ThreadsOverrideDoesNotChangeTheReconstruction) {
@@ -191,8 +248,8 @@ TEST(Session, ThreadsOverrideDoesNotChangeTheReconstruction) {
     }
     Session session;
     EXPECT_TRUE(session.Configure(options).ok());
-    EXPECT_TRUE(session.Train(data.g_source, data.source).ok());
-    EXPECT_TRUE(session.Reconstruct(data.g_target).ok());
+    EXPECT_TRUE(session.Train(*data.g_source, *data.source).ok());
+    EXPECT_TRUE(session.Reconstruct(*data.g_target).ok());
     return session.reconstruction()->edges();
   };
   auto sequential = run(nullptr);
@@ -205,8 +262,8 @@ TEST(Session, ReconstructionCountersLandInStageStats) {
   options.method = "MARIOH";
   Session session;
   ASSERT_TRUE(session.Configure(options).ok());
-  ASSERT_TRUE(session.Train(data.g_source, data.source).ok());
-  ASSERT_TRUE(session.Reconstruct(data.g_target).ok());
+  ASSERT_TRUE(session.Train(*data.g_source, *data.source).ok());
+  ASSERT_TRUE(session.Reconstruct(*data.g_target).ok());
   // The method's run counters are recorded under "reconstruct.<name>";
   // in particular a truncated clique enumeration would be visible here
   // (this small dataset never truncates).
@@ -232,8 +289,8 @@ TEST(Session, SnapshotReuseOverrideIsAPureWallClockKnob) {
     }
     Session session;
     EXPECT_TRUE(session.Configure(options).ok());
-    EXPECT_TRUE(session.Train(data.g_source, data.source).ok());
-    EXPECT_TRUE(session.Reconstruct(data.g_target).ok());
+    EXPECT_TRUE(session.Train(*data.g_source, *data.source).ok());
+    EXPECT_TRUE(session.Reconstruct(*data.g_target).ok());
     double patches =
         session.stage_timer().Get("reconstruct.snapshot_patches");
     return std::make_pair(session.reconstruction()->edges(), patches);
@@ -253,9 +310,9 @@ TEST(Session, FileBasedRoundTripMatchesInMemoryRun) {
   const std::string train_path = "session_test_train.hg";
   const std::string target_path = "session_test_target.eg";
   const std::string out_path = "session_test_out.hg";
-  ASSERT_TRUE(io::TryWriteHypergraphFile(data.source, train_path).ok());
+  ASSERT_TRUE(io::TryWriteHypergraphFile(*data.source, train_path).ok());
   ASSERT_TRUE(
-      io::TryWriteProjectedGraphFile(data.g_target, target_path).ok());
+      io::TryWriteProjectedGraphFile(*data.g_target, target_path).ok());
 
   SessionOptions options;
   options.method = "MARIOH";
@@ -283,13 +340,51 @@ TEST(Session, FileBasedRoundTripMatchesInMemoryRun) {
   std::remove(out_path.c_str());
 }
 
+TEST(Session, SharedCacheLoadsEachFileOnce) {
+  eval::PreparedDataset data = SmallDataset();
+  const std::string train_path = "session_cache_train.hg";
+  const std::string target_path = "session_cache_target.eg";
+  ASSERT_TRUE(io::TryWriteHypergraphFile(*data.source, train_path).ok());
+  ASSERT_TRUE(
+      io::TryWriteProjectedGraphFile(*data.g_target, target_path).ok());
+
+  auto cache = std::make_shared<DatasetCache>();
+  auto run = [&] {
+    SessionOptions options;
+    options.method = "MARIOH";
+    options.cache = cache;
+    Session session;
+    EXPECT_TRUE(session.Configure(options).ok());
+    EXPECT_TRUE(session.TrainFromFile(train_path).ok());
+    EXPECT_TRUE(session.ReconstructFromFile(target_path).ok());
+    return session.reconstruction()->edges();
+  };
+  auto first = run();
+
+  // The files are gone, yet a second session sharing the cache still
+  // runs — proof the data is served from the resident handles, not
+  // re-read per run — and reconstructs identically.
+  std::remove(train_path.c_str());
+  std::remove(target_path.c_str());
+  EXPECT_EQ(run(), first);
+  EXPECT_EQ(cache->size(), 2u);  // one entry per path
+
+  // Without the cache, the same session options now hit NotFound.
+  SessionOptions uncached;
+  uncached.method = "MARIOH";
+  Session session;
+  ASSERT_TRUE(session.Configure(uncached).ok());
+  EXPECT_EQ(session.TrainFromFile(train_path).code(),
+            StatusCode::kNotFound);
+}
+
 TEST(Session, ConfigureResetsStateForReuse) {
   eval::PreparedDataset data = SmallDataset();
   SessionOptions options;
   options.method = "MaxClique";
   Session session;
   ASSERT_TRUE(session.Configure(options).ok());
-  ASSERT_TRUE(session.Reconstruct(data.g_target).ok());
+  ASSERT_TRUE(session.Reconstruct(*data.g_target).ok());
   EXPECT_NE(session.reconstruction(), nullptr);
 
   ASSERT_TRUE(session.Configure(options).ok());

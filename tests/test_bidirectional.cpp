@@ -95,7 +95,7 @@ TEST_F(BidirectionalTest, RHundredExploresEveryNegClique) {
   // One sample per size k in [2, |Q|-1] per clique: the total equals
   // sum over cliques of (|Q| - 2); verify it is positive and bounded.
   size_t upper = 0;
-  for (const NodeSet& q : MaximalCliques(*g_target_)) {
+  for (const NodeSet& q : EnumerateMaximalCliques(*g_target_).cliques.ToNodeSets()) {
     upper += q.size() > 2 ? q.size() - 2 : 0;
   }
   EXPECT_LE(stats.subcliques_scored, upper);

@@ -21,15 +21,22 @@ ProjectedGraph CompleteGraph(size_t n) {
   return g;
 }
 
+/// Enumerates and copies out to owning sets — the ergonomic form for
+/// assertions (production code consumes the arena views directly).
+std::vector<NodeSet> MaximalCliqueSets(const ProjectedGraph& g,
+                                       const CliqueOptions& options = {}) {
+  return EnumerateMaximalCliques(g, options).cliques.ToNodeSets();
+}
+
 TEST(MaximalCliques, EmptyGraph) {
   ProjectedGraph g(5);
-  EXPECT_TRUE(MaximalCliques(g).empty());
+  EXPECT_TRUE(MaximalCliqueSets(g).empty());
 }
 
 TEST(MaximalCliques, SingleEdge) {
   ProjectedGraph g(3);
   g.AddWeight(0, 2, 1);
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = MaximalCliqueSets(g);
   ASSERT_EQ(cliques.size(), 1u);
   EXPECT_EQ(cliques[0], (NodeSet{0, 2}));
 }
@@ -37,7 +44,7 @@ TEST(MaximalCliques, SingleEdge) {
 TEST(MaximalCliques, CompleteGraphHasOneClique) {
   for (size_t n : {2, 3, 5, 8}) {
     ProjectedGraph g = CompleteGraph(n);
-    std::vector<NodeSet> cliques = MaximalCliques(g);
+    std::vector<NodeSet> cliques = MaximalCliqueSets(g);
     ASSERT_EQ(cliques.size(), 1u) << "n=" << n;
     EXPECT_EQ(cliques[0].size(), n);
   }
@@ -50,7 +57,7 @@ TEST(MaximalCliques, TrianglePlusPendant) {
   g.AddWeight(0, 2, 1);
   g.AddWeight(1, 2, 1);
   g.AddWeight(2, 3, 1);
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = MaximalCliqueSets(g);
   ASSERT_EQ(cliques.size(), 2u);
   EXPECT_TRUE(std::find(cliques.begin(), cliques.end(),
                         NodeSet{0, 1, 2}) != cliques.end());
@@ -66,7 +73,7 @@ TEST(MaximalCliques, TwoTrianglesSharingAnEdge) {
   g.AddWeight(1, 2, 1);
   g.AddWeight(1, 3, 1);
   g.AddWeight(2, 3, 1);
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = MaximalCliqueSets(g);
   ASSERT_EQ(cliques.size(), 2u);
 }
 
@@ -76,7 +83,7 @@ TEST(MaximalCliques, RespectsMaxCliqueCap) {
   for (NodeId u = 0; u < 8; u += 2) g.AddWeight(u, u + 1, 1);
   CliqueOptions options;
   options.max_cliques = 2;
-  EXPECT_EQ(MaximalCliques(g, options).size(), 2u);
+  EXPECT_EQ(MaximalCliqueSets(g, options).size(), 2u);
 }
 
 TEST(MaximalCliques, TruncationIsReported) {
@@ -111,7 +118,7 @@ TEST(MaximalCliques, MoonMoserGraph) {
       if (u / 2 != v / 2) g.AddWeight(u, v, 1);
     }
   }
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = MaximalCliqueSets(g);
   EXPECT_EQ(cliques.size(), 8u);
   for (const NodeSet& q : cliques) EXPECT_EQ(q.size(), 3u);
 }
@@ -241,7 +248,7 @@ TEST_P(MaximalCliquesProperty, SoundCompleteMaximal) {
       if (rng.Bernoulli(0.25)) g.AddWeight(u, v, 1 + rng.UniformInt(0, 3));
     }
   }
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = MaximalCliqueSets(g);
 
   std::set<NodePair> covered;
   for (const NodeSet& q : cliques) {

@@ -176,11 +176,11 @@ TEST(LinkPrediction, RunsOnGeneratedDataAndBeatsCoinFlip) {
 
 TEST(Harness, PrepareDatasetSplitsAndProjects) {
   PreparedDataset data = PrepareDataset("crime", true, 21);
-  EXPECT_GT(data.source.num_total_edges(), 0u);
-  EXPECT_GT(data.target.num_total_edges(), 0u);
-  EXPECT_EQ(data.g_source.num_nodes(), data.source.num_nodes());
+  EXPECT_GT(data.source->num_total_edges(), 0u);
+  EXPECT_GT(data.target->num_total_edges(), 0u);
+  EXPECT_EQ(data.g_source->num_nodes(), data.source->num_nodes());
   // Multiplicity-reduced: every hyperedge has multiplicity 1.
-  for (const auto& [e, m] : data.source.edges()) {
+  for (const auto& [e, m] : data.source->edges()) {
     (void)e;
     EXPECT_EQ(m, 1u);
   }
@@ -189,19 +189,19 @@ TEST(Harness, PrepareDatasetSplitsAndProjects) {
 TEST(Harness, TemporalSplitModeProducesValidHalves) {
   PreparedDataset data = PrepareDataset(
       "enron", /*multiplicity_reduced=*/false, 25, SplitMode::kTemporal);
-  EXPECT_GT(data.source.num_total_edges(), 0u);
-  EXPECT_GT(data.target.num_total_edges(), 0u);
+  EXPECT_GT(data.source->num_total_edges(), 0u);
+  EXPECT_GT(data.target->num_total_edges(), 0u);
   // Halves roughly balanced (the paper's 50/50 timestamp split).
   double frac =
-      static_cast<double>(data.source.num_total_edges()) /
-      static_cast<double>(data.source.num_total_edges() +
-                          data.target.num_total_edges());
+      static_cast<double>(data.source->num_total_edges()) /
+      static_cast<double>(data.source->num_total_edges() +
+                          data.target->num_total_edges());
   EXPECT_NEAR(frac, 0.5, 0.1);
   // Reconstruction on the temporal split still runs end to end.
   core::Marioh marioh;
-  marioh.Train(data.g_source, data.source);
-  Hypergraph reconstructed = marioh.Reconstruct(data.g_target);
-  EXPECT_GT(eval::MultiJaccard(data.target, reconstructed), 0.1);
+  marioh.Train(*data.g_source, *data.source);
+  Hypergraph reconstructed = marioh.Reconstruct(*data.g_target);
+  EXPECT_GT(eval::MultiJaccard(*data.target, reconstructed), 0.1);
 }
 
 TEST(Harness, RegistryBacksEveryTableRoster) {

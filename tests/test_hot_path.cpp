@@ -73,7 +73,7 @@ TEST_P(HotPathEquivalence, MhhAndMotifsMatchOnEveryEdge) {
     EXPECT_EQ(csr.WeightedDegree(u), g.WeightedDegree(u));
   }
   // IsClique agrees on actual cliques and on perturbed non-cliques.
-  for (const NodeSet& q : MaximalCliques(g)) {
+  for (const NodeSet& q : EnumerateMaximalCliques(g).cliques.ToNodeSets()) {
     EXPECT_TRUE(csr.IsClique(q));
     NodeSet broken = q;
     broken.push_back(static_cast<NodeId>(g.num_nodes() - 1));
@@ -85,7 +85,7 @@ TEST_P(HotPathEquivalence, MhhAndMotifsMatchOnEveryEdge) {
 TEST_P(HotPathEquivalence, FeaturesMatchBitForBitInAllModes) {
   ProjectedGraph g = RandomGraph(GetParam());
   CsrGraph csr(g);
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = EnumerateMaximalCliques(g).cliques.ToNodeSets();
   ASSERT_FALSE(cliques.empty());
   for (core::FeatureMode mode :
        {core::FeatureMode::kMultiplicityAware, core::FeatureMode::kStructural,
@@ -227,7 +227,7 @@ TEST(HotPathScoring, ScoreAllMatchesScalarScoresForAnyThreadCount) {
 
   ProjectedGraph g = RandomGraph(23);
   CsrGraph csr(g);
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = EnumerateMaximalCliques(g).cliques.ToNodeSets();
   ASSERT_FALSE(cliques.empty());
   std::vector<double> scalar;
   scalar.reserve(cliques.size());

@@ -28,21 +28,21 @@ TEST_P(PipelineInvariants, ReconstructionExplainsGraphExactly) {
       eval::PrepareDataset(GetParam(), /*multiplicity_reduced=*/true,
                            /*seed=*/11);
   core::Marioh marioh;
-  marioh.Train(data.g_source, data.source);
-  Hypergraph reconstructed = marioh.Reconstruct(data.g_target);
+  marioh.Train(*data.g_source, *data.source);
+  Hypergraph reconstructed = marioh.Reconstruct(*data.g_target);
 
   // (a) Every reconstructed hyperedge is a clique of the input.
   for (const auto& [e, m] : reconstructed.edges()) {
     (void)m;
-    EXPECT_TRUE(data.g_target.IsClique(e));
+    EXPECT_TRUE(data.g_target->IsClique(e));
   }
   // (b) The reconstruction explains the graph exactly: its projection has
   // the same weighted edge multiset.
   ProjectedGraph reprojected = reconstructed.Project();
-  EXPECT_EQ(reprojected.TotalWeight(), data.g_target.TotalWeight());
-  EXPECT_EQ(reprojected.num_edges(), data.g_target.num_edges());
+  EXPECT_EQ(reprojected.TotalWeight(), data.g_target->TotalWeight());
+  EXPECT_EQ(reprojected.num_edges(), data.g_target->num_edges());
   // (c) Sanity: accuracy is meaningfully above zero on every profile.
-  EXPECT_GT(eval::Jaccard(data.target, reconstructed), 0.1);
+  EXPECT_GT(eval::Jaccard(*data.target, reconstructed), 0.1);
 }
 
 INSTANTIATE_TEST_SUITE_P(FastProfiles, PipelineInvariants,
@@ -58,13 +58,13 @@ TEST_P(MultiplicityPipeline, MultiJaccardBoundedAndProjectionExact) {
       eval::PrepareDataset(GetParam(), /*multiplicity_reduced=*/false,
                            /*seed=*/13);
   core::Marioh marioh;
-  marioh.Train(data.g_source, data.source);
-  Hypergraph reconstructed = marioh.Reconstruct(data.g_target);
-  double mj = eval::MultiJaccard(data.target, reconstructed);
+  marioh.Train(*data.g_source, *data.source);
+  Hypergraph reconstructed = marioh.Reconstruct(*data.g_target);
+  double mj = eval::MultiJaccard(*data.target, reconstructed);
   EXPECT_GE(mj, 0.0);
   EXPECT_LE(mj, 1.0);
   EXPECT_EQ(reconstructed.Project().TotalWeight(),
-            data.g_target.TotalWeight());
+            data.g_target->TotalWeight());
 }
 
 INSTANTIATE_TEST_SUITE_P(FastProfiles, MultiplicityPipeline,
@@ -125,18 +125,18 @@ TEST(Integration, SerializedPipelineMatchesInMemory) {
   eval::PreparedDataset data =
       eval::PrepareDataset("crime", true, 17);
   std::stringstream hyperedges, graph;
-  io::WriteHypergraph(data.source, hyperedges);
-  io::WriteProjectedGraph(data.g_target, graph);
+  io::WriteHypergraph(*data.source, hyperedges);
+  io::WriteProjectedGraph(*data.g_target, graph);
   Hypergraph source2 = io::ReadHypergraph(hyperedges);
   ProjectedGraph g2 = io::ReadProjectedGraph(graph);
 
   core::MariohOptions options;
   options.seed = 5;
   core::Marioh a(options), b(options);
-  a.Train(data.g_source, data.source);
+  a.Train(*data.g_source, *data.source);
   // Projections of the same hypergraph are identical regardless of source.
   b.Train(source2.Project(), source2);
-  Hypergraph ra = a.Reconstruct(data.g_target);
+  Hypergraph ra = a.Reconstruct(*data.g_target);
   Hypergraph rb = b.Reconstruct(g2);
   EXPECT_EQ(ra.UniqueEdges(), rb.UniqueEdges());
 }
@@ -147,16 +147,16 @@ TEST(Integration, StructuralErrorTracksJaccard) {
   // pairs) on the same dataset.
   eval::PreparedDataset data = eval::PrepareDataset("hosts", true, 19);
   core::Marioh marioh;
-  marioh.Train(data.g_source, data.source);
-  Hypergraph good = marioh.Reconstruct(data.g_target);
-  Hypergraph pairs(data.g_target.num_nodes());
-  for (const auto& e : data.g_target.Edges()) {
+  marioh.Train(*data.g_source, *data.source);
+  Hypergraph good = marioh.Reconstruct(*data.g_target);
+  Hypergraph pairs(data.g_target->num_nodes());
+  for (const auto& e : data.g_target->Edges()) {
     pairs.AddEdge({e.u, e.v}, e.weight);
   }
   double err_good =
-      eval::CompareStructure(data.target, good, 21).AverageError();
+      eval::CompareStructure(*data.target, good, 21).AverageError();
   double err_pairs =
-      eval::CompareStructure(data.target, pairs, 21).AverageError();
+      eval::CompareStructure(*data.target, pairs, 21).AverageError();
   EXPECT_LE(err_good, err_pairs);
 }
 

@@ -111,7 +111,7 @@ TEST_P(RandomHypergraph, MaximalCliqueOfProjectionContainsEveryHyperedge) {
   // least one maximal clique.
   Hypergraph h = Make();
   ProjectedGraph g = h.Project();
-  std::vector<NodeSet> cliques = MaximalCliques(g);
+  std::vector<NodeSet> cliques = EnumerateMaximalCliques(g).cliques.ToNodeSets();
   for (const auto& [e, m] : h.edges()) {
     (void)m;
     bool contained = false;
