@@ -16,12 +16,15 @@
 //   datasets                        list resident dataset names
 //   methods                         list registered method names
 //   submit key=value ...            submit a job; keys: method= train=
-//                                   target= truth= seed= budget= plus any
-//                                   session/method override (threads=,
-//                                   theta_init=, ...). Responds `ok job N`.
+//                                   target= truth= seed= budget=
+//                                   deadline= priority= client= kthreads=
+//                                   plus any session/method override
+//                                   (threads=, theta_init=, ...).
+//                                   Responds `ok job N`.
 //   poll <id>                       non-blocking job state
 //   wait <id>                       block until the job finishes
-//   cancel <id>                     cancel a queued/running job
+//   cancel <id>                     cancel a queued job, or preempt a
+//                                   running one mid-kernel
 //   forget <id>                     retire a finished job (frees its
 //                                   result; keeps memory bounded)
 //   stats                           service counters
@@ -83,7 +86,10 @@ void PrintJob(const JobSnapshot& job) {
       std::cout << " status="
                 << marioh::api::StatusCodeName(job.status.code());
     }
-    if (job.deadline_exceeded) std::cout << " deadline_exceeded=1";
+    if (job.budget_overrun) std::cout << " budget_overrun=1";
+    if (job.cancel_latency_seconds >= 0.0) {
+      std::cout << " cancel_latency=" << job.cancel_latency_seconds;
+    }
     if (job.reconstruction != nullptr) {
       std::cout << " unique_edges=" << job.reconstruction->num_unique_edges()
                 << " total_edges=" << job.reconstruction->num_total_edges();
@@ -202,7 +208,9 @@ void HandleSubmit(Service& service, std::istringstream& args) {
     std::string key = token.substr(0, eq);
     std::string value = token.substr(eq + 1);
     bool typed = key == "method" || key == "train" || key == "target" ||
-                 key == "truth" || key == "seed" || key == "budget";
+                 key == "truth" || key == "seed" || key == "budget" ||
+                 key == "deadline" || key == "priority" ||
+                 key == "client" || key == "kthreads";
     if (typed) {
       // Mirror the session layer's duplicate hardening: a repeated typed
       // key is a typo, not a silent overwrite.
@@ -234,6 +242,23 @@ void HandleSubmit(Service& service, std::istringstream& args) {
       } else if (key == "budget") {
         request.time_budget_seconds = std::stod(value, &pos);
         if (pos != value.size()) throw std::invalid_argument(value);
+      } else if (key == "deadline") {
+        request.deadline_seconds = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } else if (key == "priority") {
+        if (!marioh::api::ParsePriority(value, &request.priority)) {
+          PrintError(Status::InvalidArgument(
+              "bad priority '" + value +
+              "' (expected batch, normal, or interactive)"));
+          return;
+        }
+      } else if (key == "client") {
+        request.client_id = value;
+      } else if (key == "kthreads") {
+        request.kernel_threads = std::stoi(value, &pos);
+        if (pos != value.size() || request.kernel_threads < 0) {
+          throw std::invalid_argument(value);
+        }
       } else {
         request.overrides.emplace_back(std::move(key), std::move(value));
       }
@@ -275,7 +300,19 @@ void PrintStats(const Service& service) {
             << " queued=" << stats.queued << " running=" << stats.running
             << " done=" << stats.done << " failed=" << stats.failed
             << " cancelled=" << stats.cancelled
-            << " deadline_exceeded=" << stats.deadline_exceeded << "\n";
+            << " deadline_exceeded=" << stats.deadline_exceeded
+            << " budget_overruns=" << stats.budget_overruns
+            << " preempted=" << stats.preempted
+            << " queued_interactive=" << stats.queued_interactive
+            << " queued_normal=" << stats.queued_normal
+            << " queued_batch=" << stats.queued_batch;
+  if (stats.cancel_latency_count > 0) {
+    std::cout << " cancel_latency_mean="
+              << stats.cancel_latency_total_seconds /
+                     static_cast<double>(stats.cancel_latency_count)
+              << " cancel_latency_max=" << stats.cancel_latency_max_seconds;
+  }
+  std::cout << "\n";
 }
 
 }  // namespace
@@ -367,7 +404,8 @@ int main(int argc, char** argv) {
     }
   }
   // EOF behaves like quit: the Service destructor cancels queued jobs
-  // and stops running ones at their next stage boundary before joining.
+  // and preempts running ones at their next mid-kernel preemption point
+  // before joining.
   std::cout << "ok bye\n";
   return 0;
 }

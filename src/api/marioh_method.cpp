@@ -48,6 +48,7 @@ MariohMethod::ReconstructionStats() const {
       {"snapshot_patches", static_cast<double>(s.snapshot_patches)},
       {"snapshot_rebuilds", static_cast<double>(s.snapshot_rebuilds)},
       {"cliques_truncated", s.cliques_truncated ? 1.0 : 0.0},
+      {"cancelled", s.cancelled ? 1.0 : 0.0},
   };
 }
 

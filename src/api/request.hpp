@@ -14,6 +14,45 @@
 
 namespace marioh::api {
 
+/// Scheduling class of a job. A higher class always dispatches before a
+/// lower one (regardless of submission order); within a class the
+/// service's worker pool round-robins across client ids (see
+/// util::WorkerPool). The numeric values are the pool's priority ints.
+enum class Priority {
+  kBatch = 0,        ///< bulk work; yields to everything else
+  kNormal = 1,       ///< the default
+  kInteractive = 2,  ///< latency-sensitive; jumps every queue
+};
+
+/// Stable lower-case name of a priority ("batch", "normal",
+/// "interactive").
+inline const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "unknown";
+}
+
+/// Parses a priority name as printed by PriorityName. Returns false (and
+/// leaves `*out` alone) for anything else.
+inline bool ParsePriority(const std::string& name, Priority* out) {
+  if (name == "batch") {
+    *out = Priority::kBatch;
+  } else if (name == "normal") {
+    *out = Priority::kNormal;
+  } else if (name == "interactive") {
+    *out = Priority::kInteractive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 /// One reconstruction job. Dataset fields name entries of the service's
 /// `DatasetCache`.
 struct ReconstructRequest {
@@ -37,9 +76,31 @@ struct ReconstructRequest {
 
   /// Wall-clock budget over train + reconstruct in seconds; negative
   /// means unlimited (the `Session` OOT semantics: the overrunning run
-  /// still completes and scores, and the job reports
-  /// `deadline_exceeded`).
+  /// still completes and scores, and the job reports `budget_overrun`).
   double time_budget_seconds = -1.0;
+
+  /// Hard wall-clock deadline in seconds, armed when the job *starts
+  /// running* (queue time does not count); negative means none. Unlike
+  /// the soft budget above, overrunning it aborts the job mid-kernel via
+  /// its CancelToken: the job ends DEADLINE_EXCEEDED with no result.
+  double deadline_seconds = -1.0;
+
+  /// Scheduling class (see Priority above).
+  Priority priority = Priority::kNormal;
+
+  /// Fair-share key: jobs with the same client id form one FIFO lane;
+  /// distinct clients of equal priority are served round-robin, so one
+  /// flooding client only delays itself. Empty is a valid shared
+  /// (anonymous) lane — the default keeps single-tenant submission
+  /// order.
+  std::string client_id;
+
+  /// Per-job thread budget for the reconstruction kernels' `ParallelFor`
+  /// fan-out: overrides the service-wide `MariohOptions::num_threads`
+  /// base when positive (0 keeps the base). Results are identical for
+  /// any value (the thread-count-invariance contract); only this job's
+  /// wall-clock and CPU share change.
+  int kernel_threads = 0;
 
   /// Session/method `key=value` overrides, applied through
   /// `ApplySessionOverride` (so `threads=N`, `snapshot_reuse=0.3`,

@@ -1,5 +1,6 @@
 #include "api/service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "api/registry.hpp"
@@ -18,6 +19,8 @@ const char* JobStateName(JobState state) {
       return "FAILED";
     case JobState::kCancelled:
       return "CANCELLED";
+    case JobState::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -37,10 +40,11 @@ Service::~Service() {
         job->state = JobState::kCancelled;
         job->status = Status::Cancelled("service shut down before the job "
                                         "started");
+        job->finish_seq = next_finish_seq_++;
         ++totals_.cancelled;
       }
-      // Running jobs get a best-effort stop at their next stage boundary.
-      job->cancel_requested.store(true);
+      // Running jobs stop at their next mid-kernel preemption point.
+      job->cancel.Cancel();
     }
   }
   job_done_.notify_all();
@@ -107,7 +111,10 @@ StatusOr<std::shared_ptr<Service::Job>> Service::Admit(
 }
 
 void Service::Enqueue(const std::shared_ptr<Job>& job) {
-  pool_->Submit([this, job] { RunJob(job); });
+  util::TaskOptions scheduling;
+  scheduling.priority = static_cast<int>(job->request.priority);
+  scheduling.client = job->request.client_id;
+  pool_->Submit([this, job] { RunJob(job); }, std::move(scheduling));
 }
 
 StatusOr<JobId> Service::Submit(const ReconstructRequest& request) {
@@ -153,14 +160,21 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (job->state != JobState::kQueued) return;  // cancelled while queued
-    if (job->cancel_requested.load()) {
+    if (job->cancel.cancelled()) {
       job->state = JobState::kCancelled;
       job->status = Status::Cancelled("job cancelled before it started");
+      job->finish_seq = next_finish_seq_++;
       ++totals_.cancelled;
       job_done_.notify_all();
       return;
     }
     job->state = JobState::kRunning;
+  }
+  // The hard deadline covers *run* time, so arm it only now that the job
+  // holds a worker — a job stuck behind a long queue keeps its full
+  // allowance.
+  if (job->request.deadline_seconds >= 0.0) {
+    job->cancel.SetDeadline(job->request.deadline_seconds);
   }
 
   SessionOptions options;
@@ -168,11 +182,15 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
   options.seed = job->request.seed;
   options.time_budget_seconds = job->request.time_budget_seconds;
   options.marioh = options_.marioh;
-  // The cancel flag gates every stage entry; mid-stage work completes
-  // (the Session stage boundary is the cancellation point).
-  options.progress = [job](const std::string&, double) {
-    return !job->cancel_requested.load();
-  };
+  if (job->request.kernel_threads > 0) {
+    // Per-job thread budget: this job's ParallelFor fan-out width
+    // (results are thread-count invariant; only its CPU share changes).
+    options.marioh.num_threads = job->request.kernel_threads;
+  }
+  // The token gates every stage entry *and* rides into the MARIOH-family
+  // kernels, so Cancel/deadline trips land mid-kernel; baselines still
+  // stop at their next stage boundary.
+  options.cancel = &job->cancel;
 
   Status status = Status::Ok();
   for (const auto& [key, value] : job->request.overrides) {
@@ -211,21 +229,48 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job->status = status;
-    job->deadline_exceeded = session.deadline_exceeded();
+    job->budget_overrun = session.deadline_exceeded();
     job->evaluation = evaluation;
     job->stage_stats = session.stage_timer().stages();
     job->reconstruction = std::move(reconstruction);
+    job->finish_seq = next_finish_seq_++;
+    bool preempted = false;
     if (status.ok()) {
       job->state = JobState::kDone;
       ++totals_.done;
     } else if (status.code() == StatusCode::kCancelled) {
       job->state = JobState::kCancelled;
       ++totals_.cancelled;
+      preempted = true;
+    } else if (status.code() == StatusCode::kDeadlineExceeded &&
+               job->cancel.reason() == util::CancelReason::kDeadline) {
+      // The *hard* deadline tripped the token mid-run. (A plain
+      // kDeadlineExceeded without a tripped token is the soft
+      // time_budget_seconds gate refusing a later stage — that run
+      // produced and kept nothing extra, but it was not preempted.)
+      job->state = JobState::kDeadlineExceeded;
+      ++totals_.deadline_exceeded;
+      preempted = true;
     } else {
       job->state = JobState::kFailed;
       ++totals_.failed;
     }
-    if (job->deadline_exceeded) ++totals_.deadline_exceeded;
+    if (job->budget_overrun) ++totals_.budget_overruns;
+    if (preempted) {
+      ++totals_.preempted;
+      if (job->cancelled_at.has_value() &&
+          job->state == JobState::kCancelled) {
+        job->cancel_latency_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - *job->cancelled_at)
+                .count();
+        ++totals_.cancel_latency_count;
+        totals_.cancel_latency_total_seconds += job->cancel_latency_seconds;
+        totals_.cancel_latency_max_seconds =
+            std::max(totals_.cancel_latency_max_seconds,
+                     job->cancel_latency_seconds);
+      }
+    }
   }
   job_done_.notify_all();
 }
@@ -236,8 +281,12 @@ JobSnapshot Service::SnapshotLocked(const Job& job) const {
   snapshot.state = job.state;
   snapshot.method = job.request.method;
   snapshot.target_dataset = job.request.target_dataset;
+  snapshot.priority = job.request.priority;
+  snapshot.client_id = job.request.client_id;
   snapshot.status = job.status;
-  snapshot.deadline_exceeded = job.deadline_exceeded;
+  snapshot.budget_overrun = job.budget_overrun;
+  snapshot.finish_seq = job.finish_seq;
+  snapshot.cancel_latency_seconds = job.cancel_latency_seconds;
   snapshot.evaluation = job.evaluation;
   snapshot.stage_stats = job.stage_stats;
   snapshot.reconstruction = job.reconstruction;
@@ -261,9 +310,8 @@ StatusOr<JobSnapshot> Service::Wait(JobId id) {
   }
   std::shared_ptr<Job> job = it->second;
   job_done_.wait(lock, [&job] {
-    return job->state == JobState::kDone ||
-           job->state == JobState::kFailed ||
-           job->state == JobState::kCancelled;
+    return job->state != JobState::kQueued &&
+           job->state != JobState::kRunning;
   });
   return SnapshotLocked(*job);
 }
@@ -281,15 +329,20 @@ Status Service::Cancel(JobId id) {
       // and returns immediately.
       job.state = JobState::kCancelled;
       job.status = Status::Cancelled("job cancelled while queued");
+      job.finish_seq = next_finish_seq_++;
       ++totals_.cancelled;
       job_done_.notify_all();
       return Status::Ok();
     case JobState::kRunning:
-      job.cancel_requested.store(true);
+      // Timestamp first so the measured latency can only over-count the
+      // cancel-to-stop interval, never under-count it.
+      job.cancelled_at = std::chrono::steady_clock::now();
+      job.cancel.Cancel();
       return Status::Ok();
     case JobState::kDone:
     case JobState::kFailed:
     case JobState::kCancelled:
+    case JobState::kDeadlineExceeded:
       return Status::FailedPrecondition(
           "job " + std::to_string(id) + " is already " +
           JobStateName(job.state));
@@ -317,7 +370,20 @@ ServiceStats Service::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServiceStats stats = totals_;
   for (const auto& [id, job] : jobs_) {
-    if (job->state == JobState::kQueued) ++stats.queued;
+    if (job->state == JobState::kQueued) {
+      ++stats.queued;
+      switch (job->request.priority) {
+        case Priority::kInteractive:
+          ++stats.queued_interactive;
+          break;
+        case Priority::kNormal:
+          ++stats.queued_normal;
+          break;
+        case Priority::kBatch:
+          ++stats.queued_batch;
+          break;
+      }
+    }
     if (job->state == JobState::kRunning) ++stats.running;
   }
   return stats;

@@ -11,7 +11,7 @@
 
 #pragma once
 
-#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -26,6 +26,7 @@
 #include "api/session.hpp"
 #include "api/status.hpp"
 #include "core/marioh.hpp"
+#include "util/cancel.hpp"
 #include "util/worker_pool.hpp"
 
 namespace marioh::api {
@@ -33,13 +34,18 @@ namespace marioh::api {
 /// Identifies a submitted job; dense, starting at 1.
 using JobId = uint64_t;
 
-/// Lifecycle of a job. Terminal states: kDone, kFailed, kCancelled.
+/// Lifecycle of a job. Terminal states: kDone, kFailed, kCancelled,
+/// kDeadlineExceeded.
 enum class JobState {
   kQueued,     ///< accepted, waiting for a worker
   kRunning,    ///< executing on a worker
   kDone,       ///< finished with an OK status
   kFailed,     ///< finished with an error status
   kCancelled,  ///< cancelled before completing
+  /// Aborted mid-run by the request's *hard* `deadline_seconds` (the
+  /// soft `time_budget_seconds` overrun still ends kDone, flagged
+  /// `budget_overrun`).
+  kDeadlineExceeded,
 };
 
 /// Stable upper-case name of a state ("QUEUED", ...).
@@ -50,15 +56,28 @@ const char* JobStateName(JobState state);
 struct JobSnapshot {
   JobId id = 0;
   JobState state = JobState::kQueued;
-  /// Echo of the request's method and target dataset, for display.
+  /// Echo of the request's method, target dataset and scheduling
+  /// attributes, for display.
   std::string method;
   std::string target_dataset;
+  Priority priority = Priority::kNormal;
+  std::string client_id;
   /// Terminal status: OK for kDone, the failure for kFailed, kCancelled
-  /// for a cancelled job. OK while the job is still queued/running.
+  /// / kDeadlineExceeded for a preempted job. OK while the job is still
+  /// queued/running.
   Status status;
-  /// True if the run exceeded its time budget (the overrunning
-  /// reconstruction still completed and scored; see Session).
-  bool deadline_exceeded = false;
+  /// True if the run exceeded its soft time budget (the overrunning
+  /// reconstruction still completed and scored; see Session — the
+  /// overshoot is in `stage_stats["budget_overrun_seconds"]`).
+  bool budget_overrun = false;
+  /// Position in the service-wide terminal order (1 = first job to reach
+  /// any terminal state; 0 while queued/running). Makes scheduling
+  /// assertions exact: job A finished before job B iff
+  /// A.finish_seq < B.finish_seq.
+  uint64_t finish_seq = 0;
+  /// Seconds from the Cancel() call to the job actually stopping, for a
+  /// job preempted while running; negative when not applicable.
+  double cancel_latency_seconds = -1.0;
   /// Scores, when the request named a ground-truth dataset.
   std::optional<EvaluationResult> evaluation;
   /// Stage wall-clock and reconstruction counters of the job's session
@@ -70,20 +89,42 @@ struct JobSnapshot {
 
   bool terminal() const {
     return state == JobState::kDone || state == JobState::kFailed ||
-           state == JobState::kCancelled;
+           state == JobState::kCancelled ||
+           state == JobState::kDeadlineExceeded;
   }
 };
 
-/// Service-level counters. Gauges (`queued`, `running`) describe the
+/// Service-level counters. Gauges (`queued*`, `running`) describe the
 /// current instant; the rest are monotone totals since construction.
+/// The terminal totals partition the admitted jobs:
+/// `accepted = done + failed + cancelled + deadline_exceeded + queued +
+/// running` holds at every instant (asserted by test_service_stress).
 struct ServiceStats {
-  uint64_t accepted = 0;           ///< jobs admitted by Submit
-  uint64_t queued = 0;             ///< currently waiting for a worker
-  uint64_t running = 0;            ///< currently executing
-  uint64_t done = 0;               ///< finished OK
-  uint64_t failed = 0;             ///< finished with an error
-  uint64_t cancelled = 0;          ///< cancelled before completing
-  uint64_t deadline_exceeded = 0;  ///< finished past their budget
+  uint64_t accepted = 0;   ///< jobs admitted by Submit
+  uint64_t queued = 0;     ///< currently waiting for a worker
+  uint64_t running = 0;    ///< currently executing
+  uint64_t done = 0;       ///< finished OK (soft overruns included)
+  uint64_t failed = 0;     ///< finished with an error
+  uint64_t cancelled = 0;  ///< cancelled before completing
+  /// Aborted mid-run by their hard deadline (terminal state
+  /// kDeadlineExceeded) — disjoint from every other terminal total.
+  uint64_t deadline_exceeded = 0;
+  /// Jobs that finished past their *soft* time budget (they still ended
+  /// kDone and scored; overlaps `done`).
+  uint64_t budget_overruns = 0;
+  /// Running jobs stopped before completion — by Cancel() or the hard
+  /// deadline (queued cancels don't count; nothing was interrupted).
+  uint64_t preempted = 0;
+  /// Queue-depth gauges per priority class (these sum to `queued`).
+  uint64_t queued_interactive = 0;
+  uint64_t queued_normal = 0;
+  uint64_t queued_batch = 0;
+  /// Cancel-to-stop latency over jobs preempted by an explicit Cancel()
+  /// while running: sample count, running sum, and worst case. The mean
+  /// is total / count.
+  uint64_t cancel_latency_count = 0;
+  double cancel_latency_total_seconds = 0.0;
+  double cancel_latency_max_seconds = 0.0;
 };
 
 /// Configuration of a Service.
@@ -129,10 +170,12 @@ class Service {
   StatusOr<JobSnapshot> Wait(JobId id);
 
   /// Requests cancellation: a queued job never starts (kCancelled); a
-  /// running job is stopped at its next stage boundary (the Session
-  /// progress gate). Best-effort — a job that finishes first stays
-  /// done/failed. kNotFound for unknown ids, kFailedPrecondition if the
-  /// job is already terminal.
+  /// running job's CancelToken trips and the kernels stop at their next
+  /// preemption point — mid-kernel, within bounded latency (the
+  /// cancel-to-stop time lands in the job's `cancel_latency_seconds` and
+  /// the service latency counters). Best-effort — a job that finishes
+  /// first stays done/failed. kNotFound for unknown ids,
+  /// kFailedPrecondition if the job is already terminal.
   Status Cancel(JobId id);
 
   /// Retires a *terminal* job: drops it from the job table, releasing
@@ -159,9 +202,18 @@ class Service {
     DatasetHandle target;
     DatasetHandle ground_truth;
     JobState state = JobState::kQueued;
-    std::atomic<bool> cancel_requested{false};
+    /// The job's stop signal, threaded through Session into every
+    /// kernel. Trips on Cancel() and on the request's hard deadline
+    /// (armed when the job starts running). Lives here so it outlives
+    /// the Session by construction.
+    util::CancelToken cancel;
+    /// When an explicit Cancel() hit the job while running (guarded by
+    /// mutex_); the terminal transition turns it into a latency sample.
+    std::optional<std::chrono::steady_clock::time_point> cancelled_at;
     Status status;
-    bool deadline_exceeded = false;
+    bool budget_overrun = false;
+    uint64_t finish_seq = 0;
+    double cancel_latency_seconds = -1.0;
     std::optional<EvaluationResult> evaluation;
     std::map<std::string, double> stage_stats;
     HypergraphHandle reconstruction;
@@ -181,6 +233,9 @@ class Service {
   std::condition_variable job_done_;  ///< Wait blocks here
   std::map<JobId, std::shared_ptr<Job>> jobs_;
   JobId next_id_ = 1;
+  /// Next value of JobSnapshot::finish_seq, assigned at every terminal
+  /// transition under mutex_.
+  uint64_t next_finish_seq_ = 1;
   ServiceStats totals_;  ///< counters other than the live gauges
 
   /// Created last, destroyed first: workers must be gone before the job

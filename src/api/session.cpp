@@ -26,6 +26,19 @@ Status CheckNotDuplicate(const SessionOptions& options,
   return Status::Ok();
 }
 
+/// Maps a tripped token to the stage's failure status: an armed deadline
+/// becomes kDeadlineExceeded (the *hard* variant — the soft
+/// time_budget_seconds path reports its own message), anything else
+/// kCancelled.
+Status StatusForTrip(util::CancelReason reason, const std::string& method,
+                     const std::string& where) {
+  if (reason == util::CancelReason::kDeadline) {
+    return Status::DeadlineExceeded(method + ": hard deadline exceeded " +
+                                    where);
+  }
+  return Status::Cancelled(method + ": run cancelled " + where);
+}
+
 }  // namespace
 
 Status ApplySessionOverride(SessionOptions* options,
@@ -94,6 +107,11 @@ Status Session::Configure(SessionOptions options) {
       MethodRegistry::Global().Info(options.method);
   if (!info.ok()) return info.status();
 
+  // Thread the session's stop token into the MARIOH-family kernels via
+  // the typed base options (the method factory copies them), so a trip
+  // lands mid-kernel instead of waiting for the next stage gate.
+  options.marioh.cancel = options.cancel;
+
   MethodConfig config;
   config.seed = options.seed;
   config.marioh_base = &options.marioh;
@@ -134,6 +152,13 @@ Status Session::BeginStage(const std::string& stage) {
         std::to_string(options_.time_budget_seconds) +
         "s exhausted before stage '" + stage + "'");
   }
+  if (options_.cancel != nullptr) {
+    util::CancelReason reason = options_.cancel->reason();
+    if (reason != util::CancelReason::kNone) {
+      return StatusForTrip(reason, info_.name,
+                           "before stage '" + stage + "'");
+    }
+  }
   if (options_.progress && !options_.progress(stage, elapsed)) {
     return Status::Cancelled(info_.name + ": run cancelled before stage '" +
                              stage + "'");
@@ -152,6 +177,11 @@ void Session::EndStage(const std::string& stage, double stage_seconds) {
   if (stage == "reconstruct" && options_.time_budget_seconds >= 0.0 &&
       budgeted_seconds > options_.time_budget_seconds) {
     deadline_exceeded_ = true;
+    // Report how far past the budget the run landed — the overshoot a
+    // stage-boundary-only check used to hide, and the number the
+    // mid-kernel deadline path is asserted against.
+    stage_timer_.Add("budget_overrun_seconds",
+                     budgeted_seconds - options_.time_budget_seconds);
   }
 }
 
@@ -162,6 +192,10 @@ Status Session::Train(const ProjectedGraph& g_source,
   method_->Train(g_source, h_source);
   trained_ = true;
   EndStage("train", watch.Seconds());
+  if (util::ShouldStop(options_.cancel)) {
+    return StatusForTrip(options_.cancel->reason(), info_.name,
+                         "during stage 'train'");
+  }
   return Status::Ok();
 }
 
@@ -206,6 +240,16 @@ Status Session::Reconstruct(const ProjectedGraph& g_target) {
   // partial result.
   for (const auto& [name, value] : method_->ReconstructionStats()) {
     stage_timer_.Add("reconstruct." + name, value);
+  }
+  if (util::ShouldStop(options_.cancel)) {
+    // The kernels stopped at a preemption point (or the trip landed
+    // moments after they finished — indistinguishable, and moot): the
+    // hypergraph is not trustworthy output. Drop it and surface the trip
+    // as the stage status; the stage time and `reconstruct.*` counters
+    // above stay recorded so callers can see how far the run got.
+    reconstruction_.reset();
+    return StatusForTrip(options_.cancel->reason(), info_.name,
+                         "during stage 'reconstruct'");
   }
   return Status::Ok();
 }

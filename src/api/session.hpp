@@ -27,6 +27,7 @@
 #include "core/marioh.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/projected_graph.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace marioh::api {
@@ -47,9 +48,21 @@ struct SessionOptions {
   /// means unlimited. The budget is evaluated each time a reconstruction
   /// completes (the paper's OOT accounting point, which still scores the
   /// overrunning run): once exceeded the session is marked
-  /// `deadline_exceeded()` and any further stage fails with
-  /// kDeadlineExceeded.
+  /// `deadline_exceeded()`, the overshoot is recorded in the stage stats
+  /// as `budget_overrun_seconds`, and any further stage fails with
+  /// kDeadlineExceeded. For a *hard* mid-kernel abort, use `cancel`
+  /// below with an armed deadline instead.
   double time_budget_seconds = -1.0;
+  /// Cooperative stop signal, checked at stage entry and threaded into
+  /// the MARIOH-family kernels so Cancel()/deadline trips land
+  /// *mid-kernel* with bounded latency (baselines, which ignore the
+  /// typed `marioh` options, still stop at stage boundaries). When the
+  /// token trips during a stage, that stage's partial result is
+  /// discarded and the stage returns kCancelled — or kDeadlineExceeded
+  /// when the token's armed deadline (not the soft budget above)
+  /// tripped it. Not owned; must outlive every stage call. Null = no
+  /// cancellation (the default).
+  const util::CancelToken* cancel = nullptr;
   /// Typed base options for the MARIOH-family methods; ignored by
   /// baselines.
   core::MariohOptions marioh;

@@ -58,11 +58,19 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
   // arena end-to-end; only accepted ones materialize a NodeSet below.
   CliqueOptions clique_options;
   clique_options.num_threads = options.num_threads;
+  clique_options.cancel = options.cancel;
   MaximalCliqueResult enumerated =
       EnumerateMaximalCliques(snapshot, clique_options);
   const CliqueStore& maximal = enumerated.cliques;
   stats.maximal_cliques = maximal.size();
   stats.cliques_truncated = enumerated.truncated;
+  if (enumerated.cancelled || util::ShouldStop(options.cancel)) {
+    // The clique pool is a timing-dependent subset — nothing downstream
+    // may consume it (scoring or peeling it would make the output depend
+    // on when the trip landed, on top of being doomed work).
+    stats.cancelled = true;
+    return stats;
+  }
   if (maximal.empty()) return stats;
 
   // Score all maximal cliques against the frozen snapshot; each score is
@@ -70,7 +78,11 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
   // any thread count.
   std::vector<double> scores =
       classifier.ScoreAll(snapshot, maximal, /*is_maximal=*/true,
-                          options.num_threads);
+                          options.num_threads, options.cancel);
+  if (util::ShouldStop(options.cancel)) {
+    stats.cancelled = true;
+    return stats;
+  }
   std::vector<IndexedScore> pos, rest;
   for (size_t i = 0; i < maximal.size(); ++i) {
     IndexedScore entry{static_cast<uint32_t>(i), scores[i]};
@@ -94,13 +106,20 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
   };
 
   // Phase 1: most promising cliques, best first, re-validated against the
-  // shrinking graph.
+  // shrinking graph. The peel loop polls the token per clique: stopping
+  // early only leaves accepted hyperedges behind, which the cancelled
+  // run discards wholesale anyway.
+  util::CancelChecker cancel_check(options.cancel);
   SortByScore(maximal, /*best_first=*/true, &pos);
   for (const IndexedScore& sc : pos) {
+    if (cancel_check.ShouldStop()) {
+      stats.cancelled = true;
+      break;
+    }
     if (try_apply(maximal[sc.index])) ++stats.accepted_phase1;
   }
 
-  if (options.explore_subcliques && !rest.empty()) {
+  if (!stats.cancelled && options.explore_subcliques && !rest.empty()) {
     // Phase 2: the lowest-r% scored cliques among the non-promising ones.
     SortByScore(maximal, /*best_first=*/false, &rest);
     size_t take = static_cast<size_t>(std::ceil(
@@ -111,10 +130,14 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
     // Phase 1 peels already happened and sub-clique scores must see the
     // residual weights they would be applied to.
     std::vector<ScoredSubclique> subs;
-    for (size_t i = 0; i < take; ++i) {
+    for (size_t i = 0; i < take && !stats.cancelled; ++i) {
       CliqueView q = maximal[rest[i].index];
       // One random sample per sub-clique size k in [2, |Q|-1].
       for (size_t k = 2; k < q.size(); ++k) {
+        if (cancel_check.ShouldStop()) {
+          stats.cancelled = true;
+          break;
+        }
         NodeSet sub = rng->SampleWithoutReplacement(q, k);
         Canonicalize(&sub);
         double s = classifier.Score(*g, sub, /*is_maximal=*/false);
@@ -128,6 +151,10 @@ BidirectionalStats BidirectionalSearch(ProjectedGraph* g,
                 return a.nodes < b.nodes;
               });
     for (const ScoredSubclique& sc : subs) {
+      if (cancel_check.ShouldStop()) {
+        stats.cancelled = true;
+        break;
+      }
       if (try_apply(sc.nodes)) ++stats.accepted_phase2;
     }
   }

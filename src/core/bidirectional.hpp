@@ -11,6 +11,7 @@
 #include "hypergraph/csr.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/projected_graph.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace marioh::core {
@@ -24,6 +25,12 @@ struct BidirectionalStats {
   /// True if the enumeration cap truncated the maximal-clique set this
   /// iteration (the iteration then worked on a partial candidate pool).
   bool cliques_truncated = false;
+  /// True if `BidirectionalOptions::cancel` tripped mid-iteration: the
+  /// iteration stopped at its next preemption point, `*h` holds whatever
+  /// was accepted before the trip, and the caller must abandon the run
+  /// (the reconstruction loop does, and api::Session discards the
+  /// partial hypergraph).
+  bool cancelled = false;
   /// Sorted, duplicate-free set of nodes belonging to any clique peeled
   /// this iteration — exactly the rows of `g` that changed. The caller
   /// uses it to patch the next iteration's CSR snapshot instead of
@@ -45,6 +52,11 @@ struct BidirectionalOptions {
   /// functions of the frozen iteration snapshot, so results are identical
   /// for any thread count.
   int num_threads = 1;
+  /// Cooperative stop signal threaded into every kernel of the iteration
+  /// (enumeration roots/emissions, per-clique scoring slots, per-peel
+  /// and per-subclique loop steps). Null = non-cancellable; untriggered
+  /// = bit-identical output.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Runs one iteration of Algorithm 3 on `g` in place, appending accepted

@@ -158,10 +158,10 @@ double CliqueClassifier::Score(const CsrGraph& g, CliqueView clique,
 
 std::vector<double> CliqueClassifier::ScoreAll(
     const CsrGraph& g, std::span<const NodeSet> cliques, bool is_maximal,
-    int num_threads) const {
+    int num_threads, const util::CancelToken* cancel) const {
   MARIOH_CHECK(trained());
   std::vector<double> scores(cliques.size());
-  util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {
+  util::ParallelFor(cliques.size(), num_threads, cancel, [&](size_t i) {
     scores[i] = Score(g, cliques[i], is_maximal);
   });
   return scores;
@@ -170,10 +170,12 @@ std::vector<double> CliqueClassifier::ScoreAll(
 std::vector<double> CliqueClassifier::ScoreAll(const CsrGraph& g,
                                                const CliqueStore& cliques,
                                                bool is_maximal,
-                                               int num_threads) const {
+                                               int num_threads,
+                                               const util::CancelToken*
+                                                   cancel) const {
   MARIOH_CHECK(trained());
   std::vector<double> scores(cliques.size());
-  util::ParallelFor(cliques.size(), num_threads, [&](size_t i) {
+  util::ParallelFor(cliques.size(), num_threads, cancel, [&](size_t i) {
     scores[i] = Score(g, cliques[i], is_maximal);
   });
   return scores;

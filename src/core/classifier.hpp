@@ -15,6 +15,7 @@
 #include "hypergraph/projected_graph.hpp"
 #include "ml/mlp.hpp"
 #include "ml/scaler.hpp"
+#include "util/cancel.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
@@ -64,15 +65,21 @@ class CliqueClassifier {
   /// `Score(g, cliques[i], is_maximal)`. Scores are independent pure
   /// functions of the snapshot, computed into per-index slots with
   /// `util::ParallelFor` (0 = all cores) — identical for any thread
-  /// count.
+  /// count. A tripped `cancel` token (null = non-cancellable) stops each
+  /// range within one clique's scoring; the returned vector then holds
+  /// unwritten (zero) slots and must be discarded by the caller.
   std::vector<double> ScoreAll(const CsrGraph& g,
                                std::span<const NodeSet> cliques,
-                               bool is_maximal, int num_threads) const;
+                               bool is_maximal, int num_threads,
+                               const util::CancelToken* cancel =
+                                   nullptr) const;
 
   /// Batched scoring straight off a clique arena (no per-clique NodeSet
   /// materialization) — the reconstruction loop's path.
   std::vector<double> ScoreAll(const CsrGraph& g, const CliqueStore& cliques,
-                               bool is_maximal, int num_threads) const;
+                               bool is_maximal, int num_threads,
+                               const util::CancelToken* cancel =
+                                   nullptr) const;
 
   /// True once Train has completed.
   bool trained() const { return mlp_ != nullptr; }

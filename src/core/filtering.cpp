@@ -8,7 +8,8 @@
 namespace marioh::core {
 
 FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h, int num_threads,
-                         CsrGraph* pre_snapshot) {
+                         CsrGraph* pre_snapshot,
+                         const util::CancelToken* cancel) {
   FilteringStats stats;
   // MHH is defined on the input graph, so compute every residual before
   // mutating any weight (Algorithm 2 reads w from G, not G'). The
@@ -23,7 +24,7 @@ FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h, int num_threads,
   CsrGraph csr(*g, num_threads);
   const size_t n = csr.num_nodes();
   std::vector<std::vector<Extraction>> slots(n);
-  util::ParallelFor(n, num_threads, [&](size_t u) {
+  util::ParallelFor(n, num_threads, cancel, [&](size_t u) {
     auto neighbors = csr.Neighbors(u);
     auto weights = csr.Weights(u);
     for (size_t i = 0; i < neighbors.size(); ++i) {
@@ -37,6 +38,13 @@ FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h, int num_threads,
       }
     }
   });
+  if (util::ShouldStop(cancel)) {
+    // The slots are partial, so applying them would extract a
+    // timing-dependent subset; skip the subtraction pass entirely and
+    // hand back the (still exact) pre-subtraction snapshot.
+    if (pre_snapshot != nullptr) *pre_snapshot = std::move(csr);
+    return stats;
+  }
   for (const std::vector<Extraction>& slot : slots) {
     for (const Extraction& ex : slot) {
       h->AddEdge(NodeSet{ex.u, ex.v}, ex.count);

@@ -10,6 +10,7 @@
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/projected_graph.hpp"
 #include "hypergraph/types.hpp"
+#include "util/cancel.hpp"
 
 namespace marioh::core {
 
@@ -40,8 +41,15 @@ struct FilteringStats {
 /// receives that internal snapshot (of `g` *before* the subtraction
 /// pass), so the caller can reuse it — patched with
 /// `FilteringStats::touched_nodes` — instead of paying a second build.
+///
+/// A tripped `cancel` token (null = non-cancellable) stops the MHH pass
+/// within one node's row and skips the subtraction pass entirely, so a
+/// cancelled call leaves `*g`/`*h` partially filtered at worst by the
+/// already-applied extractions of *no* pass (the subtraction is
+/// all-or-nothing); the caller discards the run either way.
 FilteringStats Filtering(ProjectedGraph* g, Hypergraph* h,
                          int num_threads = 1,
-                         CsrGraph* pre_snapshot = nullptr);
+                         CsrGraph* pre_snapshot = nullptr,
+                         const util::CancelToken* cancel = nullptr);
 
 }  // namespace marioh::core

@@ -65,9 +65,13 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
   if (options_.use_filtering) {
     util::ScopedStage stage(&timer_, "filtering");
     CsrGraph pre_filter;
-    FilteringStats fstats =
-        Filtering(&g, &h, options_.num_threads, &pre_filter);
+    FilteringStats fstats = Filtering(&g, &h, options_.num_threads,
+                                      &pre_filter, options_.cancel);
     last_stats_.filtering_edges = fstats.edges_identified;
+    if (util::ShouldStop(options_.cancel)) {
+      last_stats_.cancelled = true;
+      return h;
+    }
     // Filtering already paid for a snapshot of the pre-filter graph;
     // reuse it for the first iteration instead of building a third.
     snapshot = refresh_snapshot(std::move(pre_filter),
@@ -82,12 +86,14 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
   size_t iterations = 0;
   {
     util::ScopedStage stage(&timer_, "bidirectional");
-    while (!g.Empty() && iterations < options_.max_iterations) {
+    while (!g.Empty() && iterations < options_.max_iterations &&
+           !last_stats_.cancelled) {
       BidirectionalOptions bopt;
       bopt.theta = theta;
       bopt.r_percent = options_.r_percent;
       bopt.explore_subcliques = options_.use_bidirectional;
       bopt.num_threads = options_.num_threads;
+      bopt.cancel = options_.cancel;
       BidirectionalStats stats =
           BidirectionalSearch(&g, snapshot, classifier_, bopt, &rng, &h);
       last_stats_.maximal_cliques += stats.maximal_cliques;
@@ -95,6 +101,7 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
       last_stats_.accepted_phase2 += stats.accepted_phase2;
       last_stats_.subcliques_scored += stats.subcliques_scored;
       last_stats_.cliques_truncated |= stats.cliques_truncated;
+      last_stats_.cancelled |= stats.cancelled;
       theta = std::max(theta - options_.alpha * options_.theta_init, 0.0);
       ++iterations;
       std::vector<NodeId> touched = std::move(stats.touched_nodes);
@@ -106,11 +113,17 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
       // peeled this iteration, so the snapshot is still exact and serves
       // the fallback enumeration directly.
       if (theta == 0.0 && stats.accepted_phase1 == 0 &&
-          stats.accepted_phase2 == 0 && !g.Empty()) {
+          stats.accepted_phase2 == 0 && !g.Empty() &&
+          !last_stats_.cancelled) {
         CliqueOptions copts;
         copts.num_threads = options_.num_threads;
+        copts.cancel = options_.cancel;
         MaximalCliqueResult fallback =
             EnumerateMaximalCliques(snapshot, copts);
+        if (fallback.cancelled) {
+          last_stats_.cancelled = true;
+          break;
+        }
         MARIOH_CHECK(!fallback.cliques.empty());
         NodeSet first = fallback.cliques.Materialize(0);
         h.AddEdge(first, 1);
@@ -118,11 +131,16 @@ Hypergraph Marioh::Reconstruct(const ProjectedGraph& g_target) const {
         touched.insert(touched.end(), first.begin(), first.end());
         Canonicalize(&touched);
       }
-      if (!g.Empty() && iterations < options_.max_iterations) {
+      if (!g.Empty() && iterations < options_.max_iterations &&
+          !last_stats_.cancelled) {
         snapshot = refresh_snapshot(std::move(snapshot), touched);
       }
     }
   }
+  // Catch a trip that landed after the last kernel poll (e.g. between
+  // iterations, or with filtering disabled on a graph the loop never
+  // entered) so callers get a consistent cancelled flag.
+  last_stats_.cancelled |= util::ShouldStop(options_.cancel);
   last_stats_.iterations = iterations;
   return h;
 }

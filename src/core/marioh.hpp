@@ -48,6 +48,17 @@ struct MariohOptions {
   double snapshot_reuse = 0.4;
   uint64_t seed = 1;  ///< seed for training and sub-clique sampling
   ClassifierOptions classifier;
+  /// Cooperative stop signal for Reconstruct, threaded into every hot
+  /// kernel (filtering's MHH pass, clique enumeration roots/emissions,
+  /// scoring slots, peel steps) so Cancel/deadline trips land mid-kernel
+  /// within a bounded number of work items — not at the next stage
+  /// boundary. Null (the default) is non-cancellable; an *untriggered*
+  /// token leaves the output bit-identical (property-tested by
+  /// test_cancellation). After a trip the returned hypergraph is partial
+  /// — check `ReconstructionStats::cancelled` and discard it
+  /// (api::Session does, mapping the trip to kCancelled /
+  /// kDeadlineExceeded). The token must outlive the Reconstruct call.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Named ablation variants from the paper's effectiveness study.
@@ -79,6 +90,10 @@ struct ReconstructionStats {
   /// the clique cap — the reconstruction then worked on partial candidate
   /// pools and callers should not treat the output as exhaustive.
   bool cliques_truncated = false;
+  /// True if `MariohOptions::cancel` tripped mid-run: the loop stopped at
+  /// its next preemption point and the returned hypergraph is partial —
+  /// discard it.
+  bool cancelled = false;
 };
 
 /// Supervised multiplicity-aware hypergraph reconstructor.

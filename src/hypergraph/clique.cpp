@@ -573,9 +573,14 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
     ranges.emplace_back(begin, std::min(n, begin + chunk));
   }
   std::vector<CliqueStore> sub_arenas(ranges.size());
+  // Per-range cancellation flags (one slot per range, no sharing): the
+  // range that observes the trip records it; any set slot flags the
+  // whole result `cancelled`.
+  std::vector<char> range_cancelled(ranges.size(), 0);
   util::ParallelFor(ranges.size(), options.num_threads, [&](size_t ri) {
     const auto [begin, end] = ranges[ri];
     CliqueStore& out = sub_arenas[ri];
+    util::CancelChecker cancel_check(options.cancel);
     // Working state reused across this range's roots, so the hot loop
     // stops allocating after warm-up. Every buffer is rebuilt or cleared
     // per root; the retained capacity is bounded by the largest
@@ -597,6 +602,11 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
     // per_root_cap more) instead of roots * max_cliques.
     for (size_t i = begin; i < end && out.size() <= options.max_cliques;
          ++i) {
+      // Cooperative preemption point #1: between roots.
+      if (cancel_check.ShouldStop()) {
+        range_cancelled[ri] = 1;
+        break;
+      }
       NodeId v = order[i];
       if (g.Degree(v) == 0) continue;
       // The whole subproblem lives inside N(v): relabel it to a compact
@@ -607,6 +617,13 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
       const size_t s = local.globals.size();
       const size_t root_start = out.size();
       auto emit = [&](const std::vector<NodeId>& r) {
+        // Cooperative preemption point #2: between emissions, bounding a
+        // trip's latency inside one root by a single emission-free
+        // Bron–Kerbosch stretch.
+        if (cancel_check.ShouldStop()) {
+          range_cancelled[ri] = 1;
+          return false;
+        }
         if (r.size() + 1 >= options.min_size) {
           clique_buf.clear();
           clique_buf.push_back(v);
@@ -661,6 +678,8 @@ MaximalCliqueResult EnumerateMaximalCliques(const CsrGraph& g,
       }
     }
   });
+
+  for (char flag : range_cancelled) result.cancelled |= flag != 0;
 
   // Concatenate sub-arenas in range (= root) order; the global cap is
   // applied to this deterministic sequence, then the survivors are sorted.

@@ -24,6 +24,7 @@
 #include "hypergraph/csr.hpp"
 #include "hypergraph/projected_graph.hpp"
 #include "hypergraph/types.hpp"
+#include "util/cancel.hpp"
 
 namespace marioh {
 
@@ -134,6 +135,12 @@ struct CliqueOptions {
   /// Threads for the per-root fan-out (0 = all cores). Output is
   /// identical for any value.
   int num_threads = 1;
+  /// Cooperative stop signal, polled at every root and at every emission
+  /// (so a trip lands within one inter-emission Bron–Kerbosch stretch).
+  /// Null = non-cancellable. An untriggered token changes nothing; a
+  /// tripped one stops each worker range early and flags the result
+  /// `cancelled` — the output is then partial and must be discarded.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Result of a maximal-clique enumeration.
@@ -144,6 +151,11 @@ struct MaximalCliqueResult {
   /// partial set and callers relying on completeness must not proceed
   /// silently (api::Session surfaces this in its stage stats).
   bool truncated = false;
+  /// True if `CliqueOptions::cancel` tripped mid-enumeration — `cliques`
+  /// is then partial in a *non-deterministic* way (which roots finished
+  /// depends on when the trip landed) and must be discarded, never
+  /// scored or applied.
+  bool cancelled = false;
 };
 
 /// Enumerates all maximal cliques of the snapshot `g` using Bron–Kerbosch

@@ -1,0 +1,124 @@
+/// \file cancel.hpp
+/// \brief Cooperative cancellation: an atomic stop flag plus an optional
+/// hard deadline on the steady clock, polled by the long-running kernels
+/// at bounded intervals so Cancel and deadline overruns land *mid-kernel*
+/// instead of at the next stage boundary.
+///
+/// Contract (the preemption counterpart of the determinism contract in
+/// docs/ARCHITECTURE.md): a token that never trips must not change any
+/// output bit — kernels may only consult it to *stop early*, never to
+/// alter what they compute. A tripped token leaves partial state behind;
+/// the owner (api::Session / api::Service) discards the partial result
+/// and reports kCancelled / kDeadlineExceeded instead.
+///
+/// Tokens are plumbed as `const CancelToken*` (null = non-cancellable,
+/// the default everywhere) because every kernel is a *reader*: only the
+/// controlling side — a Service job's owner thread — calls Cancel().
+/// Both operations are lock-free atomics, safe to call concurrently with
+/// any number of polling kernels.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace marioh::util {
+
+/// Why a token asked work to stop.
+enum class CancelReason {
+  kNone,       ///< not tripped
+  kCancelled,  ///< Cancel() was called
+  kDeadline,   ///< the armed deadline passed on the steady clock
+};
+
+/// Shared stop signal. Immovable: kernels hold raw pointers to it, so the
+/// owner must keep it at a stable address for the duration of the run
+/// (api::Service stores one per Job; tests keep it on the stack).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trips the flag. Idempotent; wins over a deadline in reason().
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) a hard deadline `seconds` from now on the steady
+  /// clock; negative disarms. Unlike the soft Session time budget — which
+  /// lets the overrunning run finish and score (the paper's OOT
+  /// semantics) — an armed deadline aborts mid-kernel.
+  void SetDeadline(double seconds_from_now) {
+    if (seconds_from_now < 0.0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    int64_t now = NowNanos();
+    int64_t delta = static_cast<int64_t>(seconds_from_now * 1e9);
+    deadline_ns_.store(now + delta, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Tripped for either reason. Reads the clock only when a deadline is
+  /// armed; hot loops should poll through a CancelChecker to stride even
+  /// that out.
+  bool ShouldStop() const { return reason() != CancelReason::kNone; }
+
+  CancelReason reason() const {
+    if (cancelled()) return CancelReason::kCancelled;
+    int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 && NowNanos() >= deadline) {
+      return CancelReason::kDeadline;
+    }
+    return CancelReason::kNone;
+  }
+
+ private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in ns since the clock's epoch; 0 = disarmed.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+/// Null-safe check for the common `const CancelToken* cancel` parameter.
+inline bool ShouldStop(const CancelToken* token) {
+  return token != nullptr && token->ShouldStop();
+}
+
+/// Strided poller for per-item hot loops: every call reads the atomic
+/// flag (cheap — a relaxed load), but the deadline's clock read happens
+/// only once per `stride` calls. Latches once tripped, so a loop can keep
+/// calling it after breaking out of an inner scope.
+class CancelChecker {
+ public:
+  explicit CancelChecker(const CancelToken* token, uint32_t stride = 64)
+      : token_(token), stride_(stride == 0 ? 1 : stride) {}
+
+  /// True once the token tripped (checked with the striding above).
+  bool ShouldStop() {
+    if (stopped_ || token_ == nullptr) return stopped_;
+    if (token_->cancelled()) {
+      stopped_ = true;
+    } else if (++calls_ >= stride_) {
+      calls_ = 0;
+      stopped_ = token_->ShouldStop();
+    }
+    return stopped_;
+  }
+
+ private:
+  const CancelToken* token_;
+  uint32_t stride_;
+  uint32_t calls_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace marioh::util

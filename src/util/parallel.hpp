@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace marioh::util {
 
 /// Resolves a thread-count option: 0 means "hardware concurrency",
@@ -55,6 +57,27 @@ template <typename Fn>
 void ParallelFor(size_t n, int num_threads, Fn&& fn) {
   ParallelForRanges(n, num_threads, [&fn](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Cancellable variant: each range polls `cancel` (null = never stops)
+/// through a per-range CancelChecker before every index and abandons its
+/// remaining indices once the token trips, so a mid-kernel Cancel lands
+/// within one index's work plus the checker stride. An untriggered token
+/// executes exactly the same index set as the overload above — the
+/// determinism contract is untouched — while a tripped token leaves some
+/// slots unwritten; callers must discard the partial output (the Session
+/// layer does).
+template <typename Fn>
+void ParallelFor(size_t n, int num_threads, const CancelToken* cancel,
+                 Fn&& fn) {
+  ParallelForRanges(n, num_threads,
+                    [&fn, cancel](size_t begin, size_t end) {
+    CancelChecker checker(cancel);
+    for (size_t i = begin; i < end; ++i) {
+      if (checker.ShouldStop()) return;
+      fn(i);
+    }
   });
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace marioh::util {
@@ -17,17 +18,47 @@ WorkerPool::WorkerPool(int num_threads) {
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::Submit(std::function<void()> task) {
+  Submit(std::move(task), TaskOptions{});
+}
+
+void WorkerPool::Submit(std::function<void()> task, TaskOptions options) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) return;
-    queue_.push_back(std::move(task));
+    PriorityBucket& bucket = buckets_[options.priority];
+    bucket.lanes[options.client].push_back(std::move(task));
+    ++bucket.size;
+    ++queued_;
   }
   wake_.notify_one();
 }
 
+std::function<void()> WorkerPool::PopLocked() {
+  MARIOH_CHECK(queued_ > 0);
+  // Highest non-empty priority class wins unconditionally.
+  auto bit = buckets_.begin();
+  while (bit->second.size == 0) ++bit;
+  PriorityBucket& bucket = bit->second;
+  // Round-robin across the class's client lanes: the first lane with id
+  // strictly after the one served last, wrapping to the lowest id. A
+  // fresh bucket starts from the lowest id.
+  auto lane = bucket.served_any
+                  ? bucket.lanes.upper_bound(bucket.last_client)
+                  : bucket.lanes.begin();
+  if (lane == bucket.lanes.end()) lane = bucket.lanes.begin();
+  std::function<void()> task = std::move(lane->second.front());
+  lane->second.pop_front();
+  bucket.last_client = lane->first;
+  bucket.served_any = true;
+  if (lane->second.empty()) bucket.lanes.erase(lane);
+  --bucket.size;
+  --queued_;
+  return task;
+}
+
 void WorkerPool::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
 }
 
 void WorkerPool::Shutdown() {
@@ -48,7 +79,13 @@ void WorkerPool::Shutdown() {
 
 size_t WorkerPool::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return queued_;
+}
+
+size_t WorkerPool::pending(int priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(priority);
+  return it == buckets_.end() ? 0 : it->second.size;
 }
 
 void WorkerPool::WorkerLoop() {
@@ -56,17 +93,16 @@ void WorkerPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      wake_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (queued_ == 0) return;  // shutdown with a drained queue
+      task = PopLocked();
       ++active_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queued_ == 0 && active_ == 0) idle_.notify_all();
     }
   }
 }

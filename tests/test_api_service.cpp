@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/dataset_cache.hpp"
@@ -36,6 +38,18 @@ std::shared_ptr<DatasetCache> CacheWithCrime(
   EXPECT_TRUE(cache->Insert("crime.target", nullptr, data.g_target).ok());
   EXPECT_TRUE(cache->Insert("crime.truth", data.target, nullptr).ok());
   return cache;
+}
+
+/// Polls until the job leaves kQueued. True if it was observed kRunning
+/// (false means it raced straight to a terminal state).
+bool WaitUntilRunning(Service& service, JobId id) {
+  for (;;) {
+    StatusOr<JobSnapshot> job = service.Poll(id);
+    if (!job.ok()) return false;
+    if (job->state == JobState::kRunning) return true;
+    if (job->terminal()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 TEST(DatasetCache, InsertGetEraseAndListing) {
@@ -314,12 +328,203 @@ TEST(Service, BudgetOverrunsAreCountedNotFatal) {
     ASSERT_TRUE(job.ok());
     // The overrunning run still completes and scores (OOT semantics).
     EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
-    EXPECT_TRUE(job->deadline_exceeded);
+    EXPECT_TRUE(job->budget_overrun);
     EXPECT_TRUE(job->evaluation.has_value());
+    // The overshoot amount is reported, not just the boolean.
+    EXPECT_GT(job->stage_stats.at("budget_overrun_seconds"), 0.0);
   }
-  EXPECT_EQ(service.stats().deadline_exceeded,
-            static_cast<uint64_t>(kJobs));
-  EXPECT_EQ(service.stats().done, static_cast<uint64_t>(kJobs));
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.budget_overruns, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.done, static_cast<uint64_t>(kJobs));
+  // Soft overruns are not the hard-deadline terminal state, and nothing
+  // was preempted.
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.preempted, 0u);
+}
+
+// Priority classes and fair-share lanes decide dispatch order, proven
+// exactly via finish_seq on a single worker: while a blocker job holds
+// the only worker, six jobs queue up — a batch job first, then three
+// from client "a" interleaved with one from client "b", then an
+// interactive job last. Dispatch must run the interactive job first
+// (submitted last — the priority-inversion check), round-robin a/b
+// within the normal class, and leave batch for the end.
+TEST(Service, FairSharePriorityOrderingOnOneWorker) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.num_workers = 1;
+  Service service(CacheWithCrime(data), options);
+
+  // The blocker is the slowest job we have (supervised MARIOH) so the
+  // whole batch below queues while it runs.
+  ReconstructRequest blocker;
+  blocker.method = "MARIOH";
+  blocker.train_dataset = "crime.train";
+  blocker.target_dataset = "crime.target";
+  StatusOr<JobId> blocker_id = service.Submit(blocker);
+  ASSERT_TRUE(blocker_id.ok());
+  ASSERT_TRUE(WaitUntilRunning(service, *blocker_id));
+
+  ReconstructRequest base;
+  base.method = "MaxClique";
+  base.target_dataset = "crime.target";
+  auto with = [&base](Priority priority, const std::string& client) {
+    ReconstructRequest request = base;
+    request.priority = priority;
+    request.client_id = client;
+    return request;
+  };
+  StatusOr<std::vector<JobId>> ids = service.SubmitBatch({
+      with(Priority::kBatch, "d"),        // submitted first, runs last
+      with(Priority::kNormal, "a"),       // A1
+      with(Priority::kNormal, "b"),       // B1
+      with(Priority::kNormal, "a"),       // A2
+      with(Priority::kNormal, "a"),       // A3
+      with(Priority::kInteractive, "c"),  // submitted last, runs first
+  });
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+
+  // The order is only deterministic if none of the six was dispatched
+  // before all six were queued — i.e. the queue gauge still reads 6 in
+  // one atomic stats snapshot (sub-millisecond submissions vs a
+  // hundreds-of-milliseconds blocker: this is the overwhelmingly common
+  // path, but don't turn a scheduler test into a flake on a loaded CI
+  // box).
+  ServiceStats mid = service.stats();
+  bool deterministic = mid.queued == 6;
+  if (deterministic) {
+    EXPECT_EQ(mid.queued_interactive, 1u);
+    EXPECT_EQ(mid.queued_normal, 4u);
+    EXPECT_EQ(mid.queued_batch, 1u);
+  }
+
+  std::vector<JobSnapshot> jobs;
+  for (JobId id : *ids) {
+    StatusOr<JobSnapshot> job = service.Wait(id);
+    ASSERT_TRUE(job.ok());
+    EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
+    EXPECT_GT(job->finish_seq, 0u);
+    jobs.push_back(*job);
+  }
+  StatusOr<JobSnapshot> blocker_job = service.Wait(*blocker_id);
+  ASSERT_TRUE(blocker_job.ok());
+
+  if (deterministic) {
+    // Submission order: D, A1, B1, A2, A3, C.
+    // Expected dispatch:  blocker, C, A1, B1, A2, A3, D.
+    EXPECT_EQ(blocker_job->finish_seq, 1u);
+    EXPECT_EQ(jobs[5].finish_seq, 2u);  // interactive jumps every queue
+    EXPECT_EQ(jobs[1].finish_seq, 3u);  // A1
+    EXPECT_EQ(jobs[2].finish_seq, 4u);  // B1: round-robin beats FIFO
+    EXPECT_EQ(jobs[3].finish_seq, 5u);  // A2
+    EXPECT_EQ(jobs[4].finish_seq, 6u);  // A3
+    EXPECT_EQ(jobs[0].finish_seq, 7u);  // batch yields to everything
+  }
+  // Snapshots echo the scheduling attributes either way.
+  EXPECT_EQ(jobs[0].priority, Priority::kBatch);
+  EXPECT_EQ(jobs[0].client_id, "d");
+  EXPECT_EQ(jobs[5].priority, Priority::kInteractive);
+}
+
+// Cancelling a running job preempts it mid-kernel: the job ends
+// kCancelled with a measured cancel-to-stop latency, and the service
+// accounts it under preempted + the latency counters.
+TEST(Service, CancelRunningJobMeasuresPreemptionLatency) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.num_workers = 1;
+  Service service(CacheWithCrime(data), options);
+
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  StatusOr<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  if (!WaitUntilRunning(service, *id)) {
+    GTEST_SKIP() << "job finished before Cancel could catch it running";
+  }
+  ASSERT_TRUE(service.Cancel(*id).ok());
+  StatusOr<JobSnapshot> job = service.Wait(*id);
+  ASSERT_TRUE(job.ok());
+  if (job->state == JobState::kDone) {
+    // Best-effort contract: the job crossed the finish line between the
+    // running-state observation and the token trip.
+    EXPECT_EQ(service.stats().preempted, 0u);
+    return;
+  }
+  EXPECT_EQ(job->state, JobState::kCancelled);
+  EXPECT_EQ(job->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(job->reconstruction, nullptr);
+  EXPECT_GE(job->cancel_latency_seconds, 0.0);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.preempted, 1u);
+  EXPECT_EQ(stats.cancel_latency_count, 1u);
+  EXPECT_EQ(stats.cancel_latency_total_seconds, job->cancel_latency_seconds);
+  EXPECT_EQ(stats.cancel_latency_max_seconds, job->cancel_latency_seconds);
+}
+
+// A hard deadline aborts the job with the dedicated terminal state —
+// disjoint from both kCancelled and the soft budget_overrun path.
+TEST(Service, HardDeadlineEndsJobsAsDeadlineExceeded) {
+  eval::PreparedDataset data = SmallDataset();
+  Service service(CacheWithCrime(data));
+
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  request.deadline_seconds = 0.0;  // trips at the first preemption point
+  StatusOr<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  StatusOr<JobSnapshot> job = service.Wait(*id);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->state, JobState::kDeadlineExceeded);
+  EXPECT_EQ(job->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(job->reconstruction, nullptr);
+  EXPECT_GT(job->finish_seq, 0u);
+  // No explicit Cancel happened, so no cancel-latency sample.
+  EXPECT_LT(job->cancel_latency_seconds, 0.0);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.preempted, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.budget_overruns, 0u);
+  EXPECT_EQ(stats.cancel_latency_count, 0u);
+
+  // Cancelling the already-aborted job is a precise FailedPrecondition.
+  EXPECT_EQ(service.Cancel(*id).code(), StatusCode::kFailedPrecondition);
+}
+
+// The per-job kernel_threads field changes only the job's CPU share,
+// never its output (the thread-count-invariance contract, job-level).
+TEST(Service, KernelThreadsOverrideKeepsOutputIdentical) {
+  eval::PreparedDataset data = SmallDataset();
+  Service service(CacheWithCrime(data));
+
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  request.seed = 11;
+  StatusOr<JobId> base = service.Submit(request);
+  request.kernel_threads = 4;
+  StatusOr<JobId> wide = service.Submit(request);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(wide.ok());
+  StatusOr<JobSnapshot> base_job = service.Wait(*base);
+  StatusOr<JobSnapshot> wide_job = service.Wait(*wide);
+  ASSERT_TRUE(base_job.ok());
+  ASSERT_TRUE(wide_job.ok());
+  ASSERT_EQ(base_job->state, JobState::kDone)
+      << base_job->status.ToString();
+  ASSERT_EQ(wide_job->state, JobState::kDone)
+      << wide_job->status.ToString();
+  EXPECT_EQ(base_job->reconstruction->edges(),
+            wide_job->reconstruction->edges());
 }
 
 TEST(Service, MethodLevelOverridesReachTheJob) {

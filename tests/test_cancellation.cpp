@@ -1,0 +1,175 @@
+// The concurrency test battery for mid-kernel preemption (the
+// CancelToken threaded from api::Service jobs through Session, the
+// MARIOH reconstruction loop, ParallelFor bodies, and the Bron–Kerbosch
+// recursion):
+//
+//  * an *untripped* token must not change a single output bit, at any
+//    thread count — cancellation checks may only stop work early, never
+//    alter what it computes;
+//  * a *tripped* token must land within bounded kernel iterations: a
+//    reconstruction that takes T seconds uncancelled returns kCancelled
+//    (or kDeadlineExceeded) in a small fraction of T.
+//
+// The suite runs under TSan in CI alongside the service stress test.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "core/marioh.hpp"
+#include "gen/profiles.hpp"
+#include "gen/split.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace marioh {
+namespace {
+
+/// A prepared source/target split of a generator profile.
+struct Workload {
+  gen::SourceTargetSplit split;
+  ProjectedGraph g_source;
+  ProjectedGraph g_target;
+};
+
+Workload MakeWorkload(const std::string& profile, uint64_t seed) {
+  Workload w;
+  gen::GeneratedDataset data =
+      gen::Generate(gen::ProfileByName(profile), seed);
+  util::Rng rng(seed + 1);
+  w.split = gen::SplitHypergraph(data.hypergraph, &rng, 0.5);
+  w.g_source = w.split.source.Project();
+  w.g_target = w.split.target.Project();
+  return w;
+}
+
+Hypergraph RunMarioh(const Workload& w, int threads,
+                     const util::CancelToken* cancel,
+                     core::ReconstructionStats* stats = nullptr) {
+  core::MariohOptions options;
+  options.seed = 9;
+  options.num_threads = threads;
+  options.cancel = cancel;
+  core::Marioh marioh(options);
+  marioh.Train(w.g_source, w.split.source);
+  Hypergraph h = marioh.Reconstruct(w.g_target);
+  if (stats != nullptr) *stats = marioh.last_reconstruction_stats();
+  return h;
+}
+
+// The preemption counterpart of the determinism contract: plumbing a
+// token that never trips must leave the reconstruction bit-identical to
+// a run with no token at all — across thread counts.
+TEST(Cancellation, UntrippedTokenKeepsOutputBitIdentical) {
+  Workload w = MakeWorkload("hosts", 5);
+  Hypergraph reference = RunMarioh(w, 1, nullptr);
+  ASSERT_GT(reference.num_unique_edges(), 0u);
+
+  util::CancelToken token;  // never tripped
+  for (int threads : {1, 2, 8}) {
+    core::ReconstructionStats stats;
+    Hypergraph gated = RunMarioh(w, threads, &token, &stats);
+    EXPECT_FALSE(stats.cancelled);
+    EXPECT_EQ(gated.edges(), reference.edges()) << "threads " << threads;
+  }
+
+  // An armed-but-distant deadline is also a no-op for the output.
+  util::CancelToken distant;
+  distant.SetDeadline(3600.0);
+  core::ReconstructionStats stats;
+  Hypergraph gated = RunMarioh(w, 2, &distant, &stats);
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_EQ(gated.edges(), reference.edges());
+}
+
+// A token tripped before the run starts stops the kernels at their first
+// preemption point: the reconstruction comes back flagged cancelled
+// (partial — the caller's cue to discard it).
+TEST(Cancellation, PreTrippedTokenFlagsTheReconstruction) {
+  Workload w = MakeWorkload("hosts", 5);
+  util::CancelToken token;
+  token.Cancel();
+  core::ReconstructionStats stats;
+  RunMarioh(w, 2, &token, &stats);
+  EXPECT_TRUE(stats.cancelled);
+}
+
+// Session maps the trip to a Status: kCancelled for Cancel(), and
+// kDeadlineExceeded for the *hard* deadline (distinct from the soft
+// time_budget_seconds OOT path, which still completes the run). Either
+// way the partial reconstruction is discarded.
+TEST(Cancellation, SessionMapsTripsToStatusesAndDiscardsPartialOutput) {
+  Workload w = MakeWorkload("hosts", 5);
+
+  util::CancelToken cancelled;
+  cancelled.Cancel();
+  api::SessionOptions options;
+  options.method = "MARIOH";
+  options.cancel = &cancelled;
+  api::Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(w.g_source, w.split.source).code() ==
+              api::StatusCode::kCancelled);
+
+  util::CancelToken deadline;  // disarmed until after Train
+  options.cancel = &deadline;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(w.g_source, w.split.source).ok());
+  deadline.SetDeadline(0.0);  // trips at the first preemption point
+  api::Status status = session.Reconstruct(w.g_target);
+  EXPECT_EQ(status.code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(session.reconstruction(), nullptr);
+}
+
+// The bounded-latency acceptance test: a reconstruction that takes T
+// seconds uncancelled must return kCancelled in a small fraction of T
+// when the token trips mid-run. "eu" is the hard overlapping regime —
+// the slowest profile in the battery — so T dominates the trip-to-stop
+// latency by orders of magnitude.
+TEST(Cancellation, MidReconstructCancelLandsWellBeforeCompletion) {
+  Workload w = MakeWorkload("eu", 5);
+
+  api::SessionOptions options;
+  options.method = "MARIOH";
+  options.marioh.num_threads = 2;
+  api::Session session;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(w.g_source, w.split.source).ok());
+  util::Timer uncancelled;
+  ASSERT_TRUE(session.Reconstruct(w.g_target).ok());
+  double full_seconds = uncancelled.Seconds();
+
+  // Trip the token from a second thread once a tenth of the uncancelled
+  // time has passed — squarely mid-kernel. The tripper starts only after
+  // Train so the trip can't land before the stage under test.
+  util::CancelToken token;
+  options.cancel = &token;
+  ASSERT_TRUE(session.Configure(options).ok());
+  ASSERT_TRUE(session.Train(w.g_source, w.split.source).ok());
+  double trip_after = full_seconds / 10.0;
+  std::thread tripper([&token, trip_after] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(trip_after));
+    token.Cancel();
+  });
+  util::Timer cancelled;
+  api::Status status = session.Reconstruct(w.g_target);
+  double cancelled_seconds = cancelled.Seconds();
+  tripper.join();
+
+  EXPECT_EQ(status.code(), api::StatusCode::kCancelled)
+      << status.ToString();
+  EXPECT_EQ(session.reconstruction(), nullptr);
+  // Generous bound for loaded CI boxes: the preemption points poll every
+  // kernel item, so the real latency is microseconds — half of T means
+  // the trip landed mid-run, not at the finish line.
+  EXPECT_LT(cancelled_seconds, full_seconds * 0.5)
+      << "uncancelled run took " << full_seconds << "s";
+}
+
+}  // namespace
+}  // namespace marioh

@@ -5,14 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/marioh.hpp"
 #include "eval/metrics.hpp"
 #include "gen/profiles.hpp"
 #include "gen/split.hpp"
+#include "util/cancel.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/worker_pool.hpp"
@@ -49,6 +55,82 @@ TEST(ParallelFor, ResultsMatchSequential) {
   ParallelFor(n, 1, [&](size_t i) { seq[i] = work(i); });
   ParallelFor(n, 4, [&](size_t i) { par[i] = work(i); });
   EXPECT_EQ(seq, par);
+}
+
+TEST(CancelToken, CancelAndDeadlineSetReasonOnce) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+
+  // An explicit Cancel wins over a deadline that trips later.
+  token.SetDeadline(0.0);
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+
+  CancelToken deadline;
+  deadline.SetDeadline(0.0);  // already past
+  EXPECT_TRUE(deadline.ShouldStop());
+  EXPECT_FALSE(deadline.cancelled());  // the flag is Cancel()'s alone
+  EXPECT_EQ(deadline.reason(), CancelReason::kDeadline);
+
+  CancelToken disarmed;
+  disarmed.SetDeadline(3600.0);
+  EXPECT_FALSE(disarmed.ShouldStop());
+  disarmed.SetDeadline(-1.0);  // negative disarms
+  EXPECT_FALSE(disarmed.ShouldStop());
+  EXPECT_EQ(disarmed.reason(), CancelReason::kNone);
+
+  // The null-token helper never stops.
+  EXPECT_FALSE(ShouldStop(nullptr));
+  EXPECT_TRUE(ShouldStop(&token));
+}
+
+TEST(CancelToken, CheckerLatchesAndNullTokenIsFree) {
+  CancelChecker none(nullptr);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(none.ShouldStop());
+
+  CancelToken token;
+  CancelChecker checker(&token);
+  EXPECT_FALSE(checker.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(checker.ShouldStop());
+  // Latches: stays stopped on every later poll.
+  EXPECT_TRUE(checker.ShouldStop());
+}
+
+TEST(ParallelFor, UntrippedTokenLeavesResultsIdentical) {
+  const size_t n = 1000;
+  auto work = [](size_t i) {
+    return std::sin(static_cast<double>(i)) * std::sqrt(i + 1.0);
+  };
+  std::vector<double> plain(n);
+  ParallelFor(n, 2, [&](size_t i) { plain[i] = work(i); });
+
+  CancelToken token;  // never tripped
+  for (int threads : {1, 2, 8}) {
+    std::vector<double> gated(n);
+    ParallelFor(n, threads, &token, [&](size_t i) { gated[i] = work(i); });
+    EXPECT_EQ(gated, plain) << "threads " << threads;
+  }
+  // A null token is the plain overload.
+  std::vector<double> null_token(n);
+  ParallelFor(n, 2, nullptr, [&](size_t i) { null_token[i] = work(i); });
+  EXPECT_EQ(null_token, plain);
+}
+
+TEST(ParallelFor, TrippedTokenStopsEveryRangeEarly) {
+  const size_t n = 100000;
+  CancelToken token;
+  token.Cancel();  // tripped before the loop even starts
+  std::atomic<size_t> visited{0};
+  ParallelFor(n, 4, &token, [&](size_t) { ++visited; });
+  // Each worker range stops within one checker stride of the trip.
+  EXPECT_LT(visited.load(), n / 2);
 }
 
 TEST(ResolveThreads, Basics) {
@@ -102,6 +184,125 @@ TEST(WorkerPool, TasksMaySubmitTasks) {
   // Drain waits for the transitively submitted work too.
   pool.Drain();
   EXPECT_EQ(done.load(), 8);
+}
+
+// A single worker blocked on a latch, then six tasks queued with mixed
+// priorities and clients: when the latch opens, the pool must dispatch
+// them in the documented order — priority classes first, round-robin
+// across clients within a class, FIFO within a client — independent of
+// submission order. Fully deterministic: nothing runs until the latch
+// opens, so every task is queued before the first scheduling decision.
+TEST(WorkerPool, DispatchOrderIsPriorityThenFairShare) {
+  util::WorkerPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  bool blocker_running = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    blocker_running = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return open; });
+  });
+  {
+    // The blocker must hold the worker before anything else is queued.
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return blocker_running; });
+  }
+
+  std::vector<std::string> order;
+  auto task = [&mutex, &order](std::string name) {
+    return [&mutex, &order, name] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(name);
+    };
+  };
+  auto submit = [&pool, &task](const std::string& name, int priority,
+                               const std::string& client) {
+    pool.Submit(task(name), util::TaskOptions{priority, client});
+  };
+  submit("D", /*priority=*/-1, "d");  // lowest class, submitted first
+  submit("A1", 0, "a");
+  submit("B1", 0, "b");
+  submit("A2", 0, "a");
+  submit("A3", 0, "a");
+  submit("C", /*priority=*/1, "c");  // highest class, submitted last
+
+  EXPECT_EQ(pool.pending(), 6u);
+  EXPECT_EQ(pool.pending(1), 1u);
+  EXPECT_EQ(pool.pending(0), 4u);
+  EXPECT_EQ(pool.pending(-1), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    open = true;
+  }
+  cv.notify_all();
+  pool.Drain();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"C", "A1", "B1", "A2", "A3", "D"}));
+}
+
+// The round-robin cursor wraps in ascending client order and resumes
+// *after* the client served last, even across queue refills.
+TEST(WorkerPool, RoundRobinCursorSurvivesRefills) {
+  util::WorkerPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  bool blocker_running = false;
+  auto block = [&] {
+    // The blocker lives in a *different* priority bucket so its pops
+    // never touch the class-0 round-robin cursor under test.
+    pool.Submit(
+        [&] {
+          std::unique_lock<std::mutex> lock(mutex);
+          blocker_running = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return open; });
+        },
+        util::TaskOptions{1, "blocker"});
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return blocker_running; });
+  };
+  auto release = [&] {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+    pool.Drain();
+    std::lock_guard<std::mutex> lock(mutex);
+    open = false;
+    blocker_running = false;
+  };
+
+  std::vector<std::string> order;
+  auto submit = [&](const std::string& name, const std::string& client) {
+    pool.Submit(
+        [&mutex, &order, name] {
+          std::lock_guard<std::mutex> lock(mutex);
+          order.push_back(name);
+        },
+        util::TaskOptions{0, client});
+  };
+
+  block();
+  submit("a1", "a");
+  submit("a2", "a");
+  submit("b1", "b");
+  release();
+  // First round: a, b alternate starting from the lowest client id.
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "a2"}));
+
+  // Refill: the cursor remembers "a" was served last, so "b" goes first
+  // now even though "a" submitted first again.
+  order.clear();
+  block();
+  submit("a3", "a");
+  submit("b2", "b");
+  release();
+  EXPECT_EQ(order, (std::vector<std::string>{"b2", "a3"}));
 }
 
 TEST(ParallelReconstruction, ThreadCountDoesNotChangeResult) {

@@ -1,0 +1,175 @@
+// Seed-fixed concurrency stress test for the api::Service scheduler: N
+// producer threads submit jobs with randomized priorities, clients,
+// deadlines and budgets while randomly cancelling earlier ones, and a
+// sampler thread keeps asserting the counter invariant
+//
+//   accepted = done + failed + cancelled + deadline_exceeded
+//            + queued + running
+//
+// at arbitrary instants (every state transition and every stats() read
+// happens under one mutex, so the books must balance in every snapshot,
+// not just at quiescence). The suite runs under TSan in CI, where it
+// doubles as the data-race battery for the CancelToken plumbing; it also
+// writes the measured cancel-to-stop latencies to cancel_latency.json,
+// which CI uploads next to bench_micro.json.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dataset_cache.hpp"
+#include "api/request.hpp"
+#include "api/service.hpp"
+#include "eval/harness.hpp"
+
+namespace marioh::api {
+namespace {
+
+constexpr int kProducers = 4;
+constexpr int kJobsPerProducer = 12;
+
+void CheckInvariant(const ServiceStats& stats) {
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled +
+                                stats.deadline_exceeded + stats.queued +
+                                stats.running);
+  EXPECT_EQ(stats.queued, stats.queued_interactive + stats.queued_normal +
+                              stats.queued_batch);
+  EXPECT_LE(stats.preempted, stats.cancelled + stats.deadline_exceeded);
+  EXPECT_LE(stats.cancel_latency_count, stats.cancelled);
+  EXPECT_LE(stats.budget_overruns, stats.done);
+  EXPECT_LE(stats.cancel_latency_total_seconds,
+            stats.cancel_latency_max_seconds *
+                    static_cast<double>(stats.cancel_latency_count) +
+                1e-9);
+}
+
+TEST(ServiceStress, CountersReconcileUnderConcurrentSubmitAndCancel) {
+  eval::PreparedDataset data =
+      eval::PrepareDataset("crime", /*multiplicity_reduced=*/true,
+                           /*seed=*/1);
+  auto cache = std::make_shared<DatasetCache>();
+  ASSERT_TRUE(cache->Insert("crime.train", data.source, data.g_source).ok());
+  ASSERT_TRUE(cache->Insert("crime.target", nullptr, data.g_target).ok());
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  Service service(cache, options);
+
+  std::atomic<bool> producing{true};
+  std::vector<std::thread> producers;
+  std::mutex ids_mutex;
+  std::vector<JobId> all_ids;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&service, &ids_mutex, &all_ids, p] {
+      // Seed fixed per producer: the submission stream is reproducible;
+      // only the interleaving with the workers varies run to run.
+      std::mt19937 rng(1234u + static_cast<unsigned>(p));
+      std::vector<JobId> mine;
+      for (int j = 0; j < kJobsPerProducer; ++j) {
+        ReconstructRequest request;
+        // Mostly the fast unsupervised method; every 4th job the slower
+        // supervised one so cancels have something running to preempt.
+        if (j % 4 == 0) {
+          request.method = "MARIOH";
+          request.train_dataset = "crime.train";
+        } else {
+          request.method = "MaxClique";
+        }
+        request.target_dataset = "crime.target";
+        request.seed = 1 + rng() % 5;
+        request.priority = static_cast<Priority>(rng() % 3);
+        request.client_id = "producer-" + std::to_string(rng() % 3);
+        switch (rng() % 6) {
+          case 0:
+            request.deadline_seconds = 0.0;  // guaranteed hard abort
+            break;
+          case 1:
+            request.time_budget_seconds = 0.0;  // guaranteed soft overrun
+            break;
+          default:
+            break;
+        }
+        StatusOr<JobId> id = service.Submit(request);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        mine.push_back(*id);
+        // Randomly cancel one of this producer's earlier jobs; whatever
+        // state it is in (queued/running/terminal) must be handled.
+        if (rng() % 5 < 2) {
+          // Any outcome is legal here (ok / kFailedPrecondition on a
+          // terminal job); the invariant checks below are the oracle.
+          service.Cancel(mine[rng() % mine.size()]);
+        }
+      }
+      std::lock_guard<std::mutex> lock(ids_mutex);
+      all_ids.insert(all_ids.end(), mine.begin(), mine.end());
+    });
+  }
+
+  // The sampler hammers stats() while producers and workers run: the
+  // invariant must hold in every mid-flight snapshot.
+  std::thread sampler([&service, &producing] {
+    while (producing.load()) {
+      CheckInvariant(service.stats());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (std::thread& producer : producers) producer.join();
+  producing.store(false);
+  sampler.join();
+
+  for (JobId id : all_ids) {
+    StatusOr<JobSnapshot> job = service.Wait(id);
+    ASSERT_TRUE(job.ok());
+    EXPECT_TRUE(job->terminal());
+    EXPECT_GT(job->finish_seq, 0u);
+    if (job->state == JobState::kDone) {
+      EXPECT_NE(job->reconstruction, nullptr);
+    } else {
+      EXPECT_EQ(job->reconstruction, nullptr);
+    }
+  }
+
+  ServiceStats stats = service.stats();
+  CheckInvariant(stats);
+  EXPECT_EQ(stats.accepted,
+            static_cast<uint64_t>(kProducers * kJobsPerProducer));
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  // Roughly a sixth of the jobs carried deadline_seconds=0, so hard
+  // aborts must have happened.
+  EXPECT_GT(stats.deadline_exceeded, 0u);
+  EXPECT_GT(stats.done, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+
+  // Publish the measured cancel latencies for the CI artifact (empty
+  // stats are valid: every Cancel may have caught its job queued).
+  std::ofstream out("cancel_latency.json");
+  ASSERT_TRUE(out.good());
+  double mean =
+      stats.cancel_latency_count == 0
+          ? 0.0
+          : stats.cancel_latency_total_seconds /
+                static_cast<double>(stats.cancel_latency_count);
+  out << "{\n"
+      << "  \"cancel_latency_count\": " << stats.cancel_latency_count
+      << ",\n"
+      << "  \"cancel_latency_mean_seconds\": " << mean << ",\n"
+      << "  \"cancel_latency_max_seconds\": "
+      << stats.cancel_latency_max_seconds << ",\n"
+      << "  \"preempted\": " << stats.preempted << ",\n"
+      << "  \"cancelled\": " << stats.cancelled << ",\n"
+      << "  \"deadline_exceeded\": " << stats.deadline_exceeded << "\n"
+      << "}\n";
+}
+
+}  // namespace
+}  // namespace marioh::api
