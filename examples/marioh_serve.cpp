@@ -1,9 +1,10 @@
 // marioh_serve: a line-oriented serving loop over the api::Service stack —
 // the front end that runs many reconstructions concurrently over shared
-// in-memory datasets. It speaks a plain-text request protocol on
+// in-memory datasets. It speaks the net::LineProtocol request codec on
 // stdin/stdout (one request per line, one `ok ...` or `error ...` response
 // line each), so it works interactively, under a pipe, and in the ctest
-// smoke test alike.
+// smoke test alike. The TCP front end (examples/marioh_served) speaks the
+// same codec over sockets.
 //
 //   marioh_serve [--workers N]
 //
@@ -34,290 +35,18 @@
 // line and the server keeps reading. Unknown datasets, unknown methods,
 // malformed files, bad overrides all arrive as api::Status values.
 
-#include <cstdint>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "api/dataset_cache.hpp"
-#include "api/registry.hpp"
-#include "api/request.hpp"
 #include "api/service.hpp"
-#include "eval/harness.hpp"
-#include "io/text_io.hpp"
-
-namespace {
-
-using marioh::api::DatasetCache;
-using marioh::api::DatasetHandle;
-using marioh::api::JobId;
-using marioh::api::JobSnapshot;
-using marioh::api::ReconstructRequest;
-using marioh::api::Service;
-using marioh::api::Status;
-using marioh::api::StatusOr;
-
-void PrintError(const Status& status) {
-  std::cout << "error " << marioh::api::StatusCodeName(status.code())
-            << ": " << status.message() << "\n";
-}
-
-void PrintDataset(const DatasetHandle& dataset) {
-  std::cout << "ok dataset " << dataset.name;
-  if (dataset.has_hypergraph()) {
-    std::cout << " hypergraph_nodes=" << dataset.hypergraph->num_nodes()
-              << " hyperedges=" << dataset.hypergraph->num_unique_edges();
-  }
-  if (dataset.has_graph()) {
-    std::cout << " graph_nodes=" << dataset.graph->num_nodes()
-              << " graph_edges=" << dataset.graph->num_edges();
-  }
-  std::cout << "\n";
-}
-
-void PrintJob(const JobSnapshot& job) {
-  std::cout << "ok job " << job.id << " state="
-            << marioh::api::JobStateName(job.state) << " method="
-            << job.method << " target=" << job.target_dataset;
-  if (job.terminal()) {
-    if (!job.status.ok()) {
-      std::cout << " status="
-                << marioh::api::StatusCodeName(job.status.code());
-    }
-    if (job.budget_overrun) std::cout << " budget_overrun=1";
-    if (job.cancel_latency_seconds >= 0.0) {
-      std::cout << " cancel_latency=" << job.cancel_latency_seconds;
-    }
-    if (job.reconstruction != nullptr) {
-      std::cout << " unique_edges=" << job.reconstruction->num_unique_edges()
-                << " total_edges=" << job.reconstruction->num_total_edges();
-    }
-    if (job.evaluation.has_value()) {
-      std::cout << " jaccard=" << job.evaluation->jaccard
-                << " multi_jaccard=" << job.evaluation->multi_jaccard;
-    }
-    auto train = job.stage_stats.find("train");
-    auto reconstruct = job.stage_stats.find("reconstruct");
-    double seconds =
-        (train != job.stage_stats.end() ? train->second : 0.0) +
-        (reconstruct != job.stage_stats.end() ? reconstruct->second : 0.0);
-    std::cout << " seconds=" << seconds;
-    if (!job.status.ok()) std::cout << " message=\"" << job.status.message()
-                                    << "\"";
-  }
-  std::cout << "\n";
-}
-
-/// `load <hypergraph|graph> <name> <path>`
-void HandleLoad(DatasetCache& cache, std::istringstream& args) {
-  std::string kind, name, path;
-  args >> kind >> name >> path;
-  if (kind.empty() || name.empty() || path.empty()) {
-    PrintError(Status::InvalidArgument(
-        "usage: load <hypergraph|graph> <name> <path>"));
-    return;
-  }
-  StatusOr<DatasetHandle> dataset =
-      kind == "hypergraph" ? cache.LoadHypergraphFile(name, path)
-      : kind == "graph"    ? cache.LoadProjectedGraphFile(name, path)
-                           : Status::InvalidArgument(
-                                 "unknown dataset kind '" + kind +
-                                 "' (expected hypergraph or graph)");
-  if (!dataset.ok()) {
-    PrintError(dataset.status());
-    return;
-  }
-  PrintDataset(*dataset);
-}
-
-/// `gen <name> <profile> <seed>`: the multi-user benchmark workflow
-/// without files — prepares a dataset exactly as the evaluation harness
-/// does (generate, multiplicity-reduce, split, project) and shares the
-/// halves through the cache as <name>.train / <name>.target /
-/// <name>.truth.
-void HandleGen(DatasetCache& cache, std::istringstream& args) {
-  std::string name, profile_name, seed_token;
-  uint64_t seed = 1;
-  args >> name >> profile_name >> seed_token;
-  if (name.empty() || profile_name.empty()) {
-    PrintError(
-        Status::InvalidArgument("usage: gen <name> <profile> [seed]"));
-    return;
-  }
-  if (!seed_token.empty()) {
-    try {
-      size_t pos = 0;
-      if (seed_token.find('-') != std::string::npos) {
-        throw std::invalid_argument(seed_token);
-      }
-      seed = std::stoull(seed_token, &pos);
-      if (pos != seed_token.size()) throw std::invalid_argument(seed_token);
-    } catch (const std::exception&) {
-      PrintError(Status::InvalidArgument("bad seed '" + seed_token + "'"));
-      return;
-    }
-  }
-  // All three names must be free up front so a conflict cannot leave a
-  // partially inserted triple behind.
-  for (const char* suffix : {".train", ".target", ".truth"}) {
-    if (cache.Contains(name + suffix)) {
-      PrintError(Status::AlreadyExists("dataset '" + name + suffix +
-                                       "' is already loaded"));
-      return;
-    }
-  }
-  StatusOr<marioh::eval::PreparedDataset> data =
-      marioh::eval::TryPrepareDataset(profile_name,
-                                      /*multiplicity_reduced=*/true, seed);
-  if (!data.ok()) {
-    PrintError(data.status());
-    return;
-  }
-  // The names were pre-checked and the loop is single-threaded, so the
-  // inserts cannot conflict.
-  StatusOr<DatasetHandle> train =
-      cache.Insert(name + ".train", data->source, data->g_source);
-  StatusOr<DatasetHandle> target =
-      cache.Insert(name + ".target", nullptr, data->g_target);
-  StatusOr<DatasetHandle> truth =
-      cache.Insert(name + ".truth", data->target, nullptr);
-  for (const auto* inserted : {&train, &target, &truth}) {
-    if (!inserted->ok()) {
-      PrintError(inserted->status());
-      return;
-    }
-  }
-  std::cout << "ok generated " << name << ".train " << name << ".target "
-            << name << ".truth\n";
-}
-
-/// `submit key=value ...`
-void HandleSubmit(Service& service, std::istringstream& args) {
-  ReconstructRequest request;
-  std::string token;
-  std::vector<std::string> typed_keys_seen;
-  while (args >> token) {
-    size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
-      PrintError(Status::InvalidArgument("expected key=value, got '" +
-                                         token + "'"));
-      return;
-    }
-    std::string key = token.substr(0, eq);
-    std::string value = token.substr(eq + 1);
-    bool typed = key == "method" || key == "train" || key == "target" ||
-                 key == "truth" || key == "seed" || key == "budget" ||
-                 key == "deadline" || key == "priority" ||
-                 key == "client" || key == "kthreads";
-    if (typed) {
-      // Mirror the session layer's duplicate hardening: a repeated typed
-      // key is a typo, not a silent overwrite.
-      for (const std::string& seen : typed_keys_seen) {
-        if (seen == key) {
-          PrintError(Status::InvalidArgument("duplicate option '" + key +
-                                             "'"));
-          return;
-        }
-      }
-      typed_keys_seen.push_back(key);
-    }
-    try {
-      size_t pos = 0;
-      if (key == "method") {
-        request.method = value;
-      } else if (key == "train") {
-        request.train_dataset = value;
-      } else if (key == "target") {
-        request.target_dataset = value;
-      } else if (key == "truth") {
-        request.ground_truth_dataset = value;
-      } else if (key == "seed") {
-        if (value.find('-') != std::string::npos) {
-          throw std::invalid_argument(value);
-        }
-        request.seed = std::stoull(value, &pos);
-        if (pos != value.size()) throw std::invalid_argument(value);
-      } else if (key == "budget") {
-        request.time_budget_seconds = std::stod(value, &pos);
-        if (pos != value.size()) throw std::invalid_argument(value);
-      } else if (key == "deadline") {
-        request.deadline_seconds = std::stod(value, &pos);
-        if (pos != value.size()) throw std::invalid_argument(value);
-      } else if (key == "priority") {
-        if (!marioh::api::ParsePriority(value, &request.priority)) {
-          PrintError(Status::InvalidArgument(
-              "bad priority '" + value +
-              "' (expected batch, normal, or interactive)"));
-          return;
-        }
-      } else if (key == "client") {
-        request.client_id = value;
-      } else if (key == "kthreads") {
-        request.kernel_threads = std::stoi(value, &pos);
-        if (pos != value.size() || request.kernel_threads < 0) {
-          throw std::invalid_argument(value);
-        }
-      } else {
-        request.overrides.emplace_back(std::move(key), std::move(value));
-      }
-    } catch (const std::exception&) {
-      PrintError(Status::InvalidArgument("bad value '" + value +
-                                         "' for option '" + key + "'"));
-      return;
-    }
-  }
-  StatusOr<JobId> id = service.Submit(request);
-  if (!id.ok()) {
-    PrintError(id.status());
-    return;
-  }
-  std::cout << "ok job " << *id << "\n";
-}
-
-/// Parses the single job-id argument of poll/wait/cancel.
-bool ParseJobId(std::istringstream& args, const char* verb, JobId* id) {
-  std::string token;
-  args >> token;
-  try {
-    size_t pos = 0;
-    *id = std::stoull(token, &pos);
-    if (token.empty() || pos != token.size()) {
-      throw std::invalid_argument(token);
-    }
-  } catch (const std::exception&) {
-    PrintError(Status::InvalidArgument(std::string("usage: ") + verb +
-                                       " <job-id>"));
-    return false;
-  }
-  return true;
-}
-
-void PrintStats(const Service& service) {
-  marioh::api::ServiceStats stats = service.stats();
-  std::cout << "ok stats accepted=" << stats.accepted
-            << " queued=" << stats.queued << " running=" << stats.running
-            << " done=" << stats.done << " failed=" << stats.failed
-            << " cancelled=" << stats.cancelled
-            << " deadline_exceeded=" << stats.deadline_exceeded
-            << " budget_overruns=" << stats.budget_overruns
-            << " preempted=" << stats.preempted
-            << " queued_interactive=" << stats.queued_interactive
-            << " queued_normal=" << stats.queued_normal
-            << " queued_batch=" << stats.queued_batch;
-  if (stats.cancel_latency_count > 0) {
-    std::cout << " cancel_latency_mean="
-              << stats.cancel_latency_total_seconds /
-                     static_cast<double>(stats.cancel_latency_count)
-              << " cancel_latency_max=" << stats.cancel_latency_max_seconds;
-  }
-  std::cout << "\n";
-}
-
-}  // namespace
+#include "net/line_protocol.hpp"
 
 int main(int argc, char** argv) {
+  using marioh::api::DatasetCache;
+  using marioh::api::Service;
+
   marioh::api::ServiceOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -339,6 +68,7 @@ int main(int argc, char** argv) {
 
   auto cache = std::make_shared<DatasetCache>();
   Service service(cache, options);
+  marioh::net::LineProtocol protocol(cache.get(), &service);
   std::cout << "ok marioh_serve workers="
             << (options.num_workers == 0 ? "auto"
                                          : std::to_string(
@@ -347,61 +77,20 @@ int main(int argc, char** argv) {
 
   std::string line;
   while (std::getline(std::cin, line)) {
-    std::istringstream args(line);
-    std::string verb;
-    args >> verb;
-    if (verb.empty() || verb[0] == '#') continue;  // blank / comment
-    if (verb == "quit") {
-      std::cout << "ok bye\n";
-      return 0;
+    marioh::net::LineProtocol::Result result = protocol.Handle(line);
+    if (result.wait_for.has_value()) {
+      // The protocol defers `wait`; a single-client stdin loop can
+      // simply block in the service until the job is terminal.
+      marioh::api::StatusOr<marioh::api::JobSnapshot> job =
+          service.Wait(*result.wait_for);
+      std::cout << (job.ok()
+                        ? protocol.FormatJob(*job)
+                        : marioh::net::LineProtocol::FormatError(
+                              job.status()));
+      continue;
     }
-    if (verb == "load") {
-      HandleLoad(*cache, args);
-    } else if (verb == "gen") {
-      HandleGen(*cache, args);
-    } else if (verb == "datasets") {
-      std::cout << "ok datasets";
-      for (const std::string& name : cache->Names()) {
-        std::cout << " " << name;
-      }
-      std::cout << "\n";
-    } else if (verb == "methods") {
-      std::cout << "ok methods";
-      for (const std::string& name :
-           marioh::api::MethodRegistry::Global().Names()) {
-        std::cout << " " << name;
-      }
-      std::cout << "\n";
-    } else if (verb == "submit") {
-      HandleSubmit(service, args);
-    } else if (verb == "poll" || verb == "wait") {
-      JobId id = 0;
-      if (!ParseJobId(args, verb.c_str(), &id)) continue;
-      StatusOr<JobSnapshot> job =
-          verb == "poll" ? service.Poll(id) : service.Wait(id);
-      if (!job.ok()) {
-        PrintError(job.status());
-        continue;
-      }
-      PrintJob(*job);
-    } else if (verb == "cancel" || verb == "forget") {
-      JobId id = 0;
-      if (!ParseJobId(args, verb.c_str(), &id)) continue;
-      Status status = verb == "cancel" ? service.Cancel(id)
-                                       : service.Forget(id);
-      if (!status.ok()) {
-        PrintError(status);
-        continue;
-      }
-      std::cout << "ok " << verb << " " << id << "\n";
-    } else if (verb == "stats") {
-      PrintStats(service);
-    } else {
-      PrintError(Status::InvalidArgument(
-          "unknown request '" + verb +
-          "' (load gen datasets methods submit poll wait cancel forget "
-          "stats quit)"));
-    }
+    std::cout << result.response;
+    if (result.quit) return 0;
   }
   // EOF behaves like quit: the Service destructor cancels queued jobs
   // and preempts running ones at their next mid-kernel preemption point

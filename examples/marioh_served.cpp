@@ -1,0 +1,191 @@
+// marioh_served: the socketed serving daemon — a net::TcpServer on one
+// net::EventLoop thread multiplexing many concurrent clients onto the
+// shared api::Service worker pool. Each connection speaks the same
+// line protocol as marioh_serve (src/api/README.md) and schedules as its
+// own fair-share client lane.
+//
+//   marioh_served [--port P] [--workers N] [--max-connections N]
+//                 [--cache-bytes N] [--job-ttl SECONDS]
+//                 [--max-queued N] [--max-inflight N]
+//                 [--max-output-bytes N] [--stats-json PATH]
+//
+//   --port P             bind 127.0.0.1:P; 0 (default) picks a free port
+//   --workers N          Service worker threads (0 = all cores)
+//   --max-connections N  reject accepts past N concurrent connections
+//   --cache-bytes N      DatasetCache LRU budget (0 = unbounded)
+//   --job-ttl SECONDS    auto-retire terminal jobs after this long
+//                        (negative = keep forever)
+//   --max-queued N       admission cap on queued jobs (0 = unbounded)
+//   --max-inflight N     per-client in-flight job cap (0 = unbounded)
+//   --max-output-bytes N per-connection write-buffer cap before a slow
+//                        reader is disconnected
+//   --stats-json PATH    write a final stats snapshot here on shutdown
+//
+// The first stdout line is `ok marioh_served port=<P> ...` so a launcher
+// binding port 0 can read the real port back. SIGINT/SIGTERM stop the
+// event loop; shutdown drains through the Service destructor (queued jobs
+// cancelled, running ones preempted mid-kernel) and exits 0.
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/dataset_cache.hpp"
+#include "api/service.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_server.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+marioh::net::EventLoop* g_loop = nullptr;
+
+void HandleSignal(int) {
+  if (g_loop != nullptr) g_loop->Stop();  // async-signal-safe
+}
+
+int FlagError(const std::string& flag, const char* expected) {
+  std::cerr << "error: " << flag << " needs " << expected << "\n";
+  return 1;
+}
+
+void WriteStatsJson(const std::string& path,
+                    const marioh::api::Service& service,
+                    const marioh::api::DatasetCache& cache,
+                    const marioh::net::TcpServer& server) {
+  marioh::api::ServiceStats s = service.stats();
+  marioh::net::NetStatsSnapshot n = server.stats();
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"accepted\": " << s.accepted << ",\n"
+      << "  \"queued\": " << s.queued << ",\n"
+      << "  \"running\": " << s.running << ",\n"
+      << "  \"done\": " << s.done << ",\n"
+      << "  \"failed\": " << s.failed << ",\n"
+      << "  \"cancelled\": " << s.cancelled << ",\n"
+      << "  \"deadline_exceeded\": " << s.deadline_exceeded << ",\n"
+      << "  \"budget_overruns\": " << s.budget_overruns << ",\n"
+      << "  \"preempted\": " << s.preempted << ",\n"
+      << "  \"submits_rejected\": " << s.submits_rejected << ",\n"
+      << "  \"jobs_retired\": " << s.jobs_retired << ",\n"
+      << "  \"cache_bytes\": " << cache.total_bytes() << ",\n"
+      << "  \"cache_evictions\": " << cache.evictions() << ",\n"
+      << "  \"connections_active\": " << n.connections_active << ",\n"
+      << "  \"connections_total\": " << n.connections_total << ",\n"
+      << "  \"connections_rejected\": " << n.connections_rejected << ",\n"
+      << "  \"lines_served\": " << n.lines_served << "\n"
+      << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  marioh::api::ServiceOptions service_options;
+  marioh::net::TcpServerOptions net_options;
+  size_t cache_bytes = 0;
+  std::string stats_json;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value = i + 1 < argc ? argv[i + 1] : "";
+    if (arg == "--port" && i + 1 < argc) {
+      std::optional<uint64_t> port = marioh::util::ParseUint64(value);
+      if (!port.has_value() || *port > 65535) {
+        return FlagError(arg, "a port number (0 = ephemeral)");
+      }
+      net_options.port = static_cast<uint16_t>(*port);
+      ++i;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      std::optional<int> workers = marioh::util::ParseNonNegativeInt(value);
+      if (!workers.has_value()) {
+        return FlagError(arg, "a non-negative integer (0 = all cores)");
+      }
+      service_options.num_workers = *workers;
+      ++i;
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      std::optional<uint64_t> cap = marioh::util::ParseUint64(value);
+      if (!cap.has_value()) {
+        return FlagError(arg, "a non-negative integer (0 = unlimited)");
+      }
+      net_options.max_connections = *cap;
+      ++i;
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      std::optional<uint64_t> bytes = marioh::util::ParseUint64(value);
+      if (!bytes.has_value()) {
+        return FlagError(arg, "a byte budget (0 = unbounded)");
+      }
+      cache_bytes = *bytes;
+      ++i;
+    } else if (arg == "--job-ttl" && i + 1 < argc) {
+      std::optional<double> ttl = marioh::util::ParseDouble(value);
+      if (!ttl.has_value()) {
+        return FlagError(arg, "seconds (negative = keep forever)");
+      }
+      service_options.job_ttl_seconds = *ttl;
+      ++i;
+    } else if (arg == "--max-queued" && i + 1 < argc) {
+      std::optional<uint64_t> cap = marioh::util::ParseUint64(value);
+      if (!cap.has_value()) {
+        return FlagError(arg, "a non-negative integer (0 = unbounded)");
+      }
+      service_options.max_queued_jobs = *cap;
+      ++i;
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      std::optional<uint64_t> cap = marioh::util::ParseUint64(value);
+      if (!cap.has_value()) {
+        return FlagError(arg, "a non-negative integer (0 = unbounded)");
+      }
+      service_options.max_inflight_per_client = *cap;
+      ++i;
+    } else if (arg == "--max-output-bytes" && i + 1 < argc) {
+      std::optional<uint64_t> cap = marioh::util::ParseUint64(value);
+      if (!cap.has_value()) {
+        return FlagError(arg, "a byte cap (0 = unbounded)");
+      }
+      net_options.max_output_bytes = *cap;
+      ++i;
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json = value;
+      ++i;
+    } else {
+      std::cerr << "error: unknown flag '" << arg
+                << "' (see the header comment of marioh_served.cpp)\n";
+      return 1;
+    }
+  }
+
+  auto cache = std::make_shared<marioh::api::DatasetCache>(cache_bytes);
+  marioh::api::Service service(cache, service_options);
+  marioh::net::EventLoop loop;
+  marioh::net::TcpServer server(&loop, cache.get(), &service, net_options);
+
+  marioh::api::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.message() << "\n";
+    return 1;
+  }
+
+  g_loop = &loop;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // broken sockets surface as write errors
+
+  std::cout << "ok marioh_served port=" << server.port() << " workers="
+            << (service_options.num_workers == 0
+                    ? "auto"
+                    : std::to_string(service_options.num_workers))
+            << " max_connections=" << net_options.max_connections
+            << " cache_bytes=" << cache_bytes
+            << " job_ttl=" << service_options.job_ttl_seconds << std::endl;
+
+  loop.Run();
+
+  if (!stats_json.empty()) {
+    WriteStatsJson(stats_json, service, *cache, server);
+  }
+  std::cout << "ok bye " << server.StatsFields() << std::endl;
+  return 0;
+}

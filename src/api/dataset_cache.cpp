@@ -24,6 +24,37 @@ Status DatasetCache::ConflictLocked(const Entry& entry,
                           : " from '" + entry.path + "'"));
 }
 
+void DatasetCache::TouchLocked(const Entry& entry) const {
+  entry.last_used = ++use_clock_;
+}
+
+void DatasetCache::EvictLocked(const std::string& keep) {
+  if (max_bytes_ == 0) return;
+  while (total_bytes_ > max_bytes_) {
+    // Oldest unpinned entry. "Unpinned" means the cache holds the only
+    // reference to every non-null part of the handle, so erasing the
+    // entry actually frees the memory. use_count is exact here: the
+    // mutex serializes all handle hand-outs, so no reference can appear
+    // concurrently.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      const DatasetHandle& d = it->second.dataset;
+      bool pinned = (d.hypergraph != nullptr && d.hypergraph.use_count() > 1) ||
+                    (d.graph != nullptr && d.graph.use_count() > 1);
+      if (pinned) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything left is pinned
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
 StatusOr<DatasetHandle> DatasetCache::InsertLocked(
     const std::string& name, DatasetHandle dataset,
     const std::string& path) {
@@ -46,12 +77,24 @@ StatusOr<DatasetHandle> DatasetCache::InsertLocked(
         (!dataset.has_hypergraph() || resident.has_hypergraph()) &&
         (!dataset.has_graph() || resident.has_graph());
     if (!path.empty() && it->second.path == path && compatible) {
+      TouchLocked(it->second);
       return resident;
     }
     return ConflictLocked(it->second, name);
   }
   dataset.name = name;
-  entries_.emplace(name, Entry{dataset, path});
+  Entry entry{dataset, path, /*bytes=*/0, /*last_used=*/0};
+  if (dataset.hypergraph) entry.bytes += dataset.hypergraph->ApproxBytes();
+  if (dataset.graph) entry.bytes += dataset.graph->ApproxBytes();
+  total_bytes_ += entry.bytes;
+  auto [inserted, ok] = entries_.emplace(name, std::move(entry));
+  (void)ok;
+  TouchLocked(inserted->second);
+  // The entry just inserted is exempt from its own eviction pass — a
+  // dataset larger than the whole budget still loads (and pushes
+  // everything unpinned out); rejecting it would make the budget a
+  // correctness knob instead of a memory one.
+  EvictLocked(name);
   return dataset;
 }
 
@@ -65,6 +108,7 @@ StatusOr<DatasetHandle> DatasetCache::LoadHypergraphFile(
     auto it = entries_.find(name);
     if (it != entries_.end()) {
       if (it->second.path == path && it->second.dataset.has_hypergraph()) {
+        TouchLocked(it->second);
         return it->second.dataset;
       }
       return ConflictLocked(it->second, name);
@@ -89,6 +133,7 @@ StatusOr<DatasetHandle> DatasetCache::LoadProjectedGraphFile(
     auto it = entries_.find(name);
     if (it != entries_.end()) {
       if (it->second.path == path && it->second.dataset.has_graph()) {
+        TouchLocked(it->second);
         return it->second.dataset;
       }
       return ConflictLocked(it->second, name);
@@ -132,6 +177,7 @@ StatusOr<DatasetHandle> DatasetCache::Get(const std::string& name) const {
                             "'; resident datasets: " +
                             NamesForErrorLocked());
   }
+  TouchLocked(it->second);
   return it->second.dataset;
 }
 
@@ -148,6 +194,7 @@ Status DatasetCache::Erase(const std::string& name) {
                             "'; resident datasets: " +
                             NamesForErrorLocked());
   }
+  total_bytes_ -= it->second.bytes;
   entries_.erase(it);
   return Status::Ok();
 }
@@ -163,6 +210,27 @@ std::vector<std::string> DatasetCache::Names() const {
 size_t DatasetCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+size_t DatasetCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+uint64_t DatasetCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+size_t DatasetCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_bytes_;
+}
+
+void DatasetCache::set_max_bytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_bytes_ = max_bytes;
+  EvictLocked(/*keep=*/"");
 }
 
 }  // namespace marioh::api

@@ -49,9 +49,24 @@ struct DatasetHandle {
 /// by every consumer of a process (the `api::Service` takes one at
 /// construction; `Session` uses one through `SessionOptions::cache`), but
 /// the class is instantiable so tests can build isolated fixtures.
+///
+/// **Resource governance.** The cache tracks an approximate byte
+/// footprint per entry (`Hypergraph::ApproxBytes` +
+/// `ProjectedGraph::ApproxBytes`, measured once at insert). When a
+/// `max_bytes` budget is configured, every insert that pushes the total
+/// over budget evicts least-recently-used entries until the cache fits —
+/// but only entries whose handles are held by nobody else: an entry some
+/// session, job, or caller still pins through a `shared_ptr` is never
+/// evicted (evicting it would free no memory, only lose the name), so the
+/// cache can sit temporarily over budget while everything resident is
+/// pinned. Eviction drops the *name*; handles already given out stay
+/// valid regardless (shared ownership), exactly like an explicit
+/// `Erase`.
 class DatasetCache {
  public:
-  DatasetCache() = default;
+  /// `max_bytes` of 0 means unlimited (no eviction, bytes still
+  /// accounted).
+  explicit DatasetCache(size_t max_bytes = 0) : max_bytes_(max_bytes) {}
   DatasetCache(const DatasetCache&) = delete;
   DatasetCache& operator=(const DatasetCache&) = delete;
 
@@ -104,10 +119,29 @@ class DatasetCache {
   /// Number of resident datasets.
   size_t size() const;
 
+  /// Approximate bytes held by resident entries (pinned-elsewhere data
+  /// that was evicted no longer counts — the cache no longer owns it).
+  size_t total_bytes() const;
+
+  /// Entries evicted by the byte budget since construction (explicit
+  /// `Erase` calls do not count).
+  uint64_t evictions() const;
+
+  /// The configured byte budget (0 = unlimited).
+  size_t max_bytes() const;
+
+  /// Re-configures the byte budget and immediately runs an eviction pass
+  /// under the new value.
+  void set_max_bytes(size_t max_bytes);
+
  private:
   struct Entry {
     DatasetHandle dataset;
     std::string path;  ///< source file; empty for in-memory inserts
+    size_t bytes = 0;  ///< ApproxBytes at insert time
+    /// LRU stamp (monotone access counter). Mutable because the read
+    /// path (`Get`) must refresh recency through a const cache.
+    mutable uint64_t last_used = 0;
   };
 
   /// Comma-separated resident names for kNotFound messages. Requires
@@ -121,8 +155,21 @@ class DatasetCache {
                                        DatasetHandle dataset,
                                        const std::string& path);
 
+  /// Stamps `entry` as just-used. Requires `mutex_` held.
+  void TouchLocked(const Entry& entry) const;
+
+  /// Evicts LRU unpinned entries (skipping `keep`) until the budget
+  /// fits or nothing evictable remains. Requires `mutex_` held.
+  void EvictLocked(const std::string& keep);
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  size_t max_bytes_ = 0;
+  size_t total_bytes_ = 0;
+  uint64_t evictions_ = 0;
+  /// Advances on every access for LRU stamps (mutable: see
+  /// Entry::last_used).
+  mutable uint64_t use_clock_ = 0;
 };
 
 }  // namespace marioh::api

@@ -41,6 +41,7 @@ Service::~Service() {
         job->status = Status::Cancelled("service shut down before the job "
                                         "started");
         job->finish_seq = next_finish_seq_++;
+        job->finished_at = std::chrono::steady_clock::now();
         ++totals_.cancelled;
       }
       // Running jobs stop at their next mid-kernel preemption point.
@@ -117,12 +118,72 @@ void Service::Enqueue(const std::shared_ptr<Job>& job) {
   pool_->Submit([this, job] { RunJob(job); }, std::move(scheduling));
 }
 
+size_t Service::RetireExpiredLocked() {
+  if (options_.job_ttl_seconds < 0.0) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  size_t retired = 0;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    const Job& job = *it->second;
+    bool terminal = job.state != JobState::kQueued &&
+                    job.state != JobState::kRunning;
+    if (terminal && job.finished_at.has_value() &&
+        std::chrono::duration<double>(now - *job.finished_at).count() >
+            options_.job_ttl_seconds) {
+      it = jobs_.erase(it);
+      ++retired;
+    } else {
+      ++it;
+    }
+  }
+  totals_.jobs_retired += retired;
+  return retired;
+}
+
+size_t Service::RetireExpired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RetireExpiredLocked();
+}
+
+Status Service::AdmitCapacityLocked(const std::string& client,
+                                    size_t extra_queued,
+                                    size_t extra_same_client) {
+  size_t queued = extra_queued;
+  size_t inflight_client = extra_same_client;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kQueued) ++queued;
+    if ((job->state == JobState::kQueued ||
+         job->state == JobState::kRunning) &&
+        job->request.client_id == client) {
+      ++inflight_client;
+    }
+  }
+  if (options_.max_queued_jobs > 0 && queued >= options_.max_queued_jobs) {
+    ++totals_.submits_rejected;
+    return Status::ResourceExhausted(
+        "queue is full (" + std::to_string(queued) + " of " +
+        std::to_string(options_.max_queued_jobs) +
+        " queued jobs); retry after jobs drain");
+  }
+  if (options_.max_inflight_per_client > 0 &&
+      inflight_client >= options_.max_inflight_per_client) {
+    ++totals_.submits_rejected;
+    return Status::ResourceExhausted(
+        "client '" + client + "' has " + std::to_string(inflight_client) +
+        " of " + std::to_string(options_.max_inflight_per_client) +
+        " in-flight jobs; wait for one to finish");
+  }
+  return Status::Ok();
+}
+
 StatusOr<JobId> Service::Submit(const ReconstructRequest& request) {
   StatusOr<std::shared_ptr<Job>> admitted = Admit(request);
   if (!admitted.ok()) return admitted.status();
   std::shared_ptr<Job> job = std::move(admitted).value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    RetireExpiredLocked();
+    MARIOH_RETURN_IF_ERROR(
+        AdmitCapacityLocked(request.client_id, 0, 0));
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
     ++totals_.accepted;
@@ -145,6 +206,22 @@ StatusOr<std::vector<JobId>> Service::SubmitBatch(
   ids.reserve(admitted.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    RetireExpiredLocked();
+    // Capacity is checked for the batch as a whole before anything is
+    // inserted, counting the earlier batch members as already queued —
+    // atomicity means a batch that would only half-fit is rejected
+    // entirely.
+    for (size_t i = 0; i < admitted.size(); ++i) {
+      size_t same_client = 0;
+      for (size_t j = 0; j < i; ++j) {
+        if (admitted[j]->request.client_id ==
+            admitted[i]->request.client_id) {
+          ++same_client;
+        }
+      }
+      MARIOH_RETURN_IF_ERROR(AdmitCapacityLocked(
+          admitted[i]->request.client_id, i, same_client));
+    }
     for (const std::shared_ptr<Job>& job : admitted) {
       job->id = next_id_++;
       jobs_.emplace(job->id, job);
@@ -164,6 +241,7 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
       job->state = JobState::kCancelled;
       job->status = Status::Cancelled("job cancelled before it started");
       job->finish_seq = next_finish_seq_++;
+      job->finished_at = std::chrono::steady_clock::now();
       ++totals_.cancelled;
       job_done_.notify_all();
       return;
@@ -234,6 +312,7 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
     job->stage_stats = session.stage_timer().stages();
     job->reconstruction = std::move(reconstruction);
     job->finish_seq = next_finish_seq_++;
+    job->finished_at = std::chrono::steady_clock::now();
     bool preempted = false;
     if (status.ok()) {
       job->state = JobState::kDone;
@@ -293,8 +372,11 @@ JobSnapshot Service::SnapshotLocked(const Job& job) const {
   return snapshot;
 }
 
-StatusOr<JobSnapshot> Service::Poll(JobId id) const {
+StatusOr<JobSnapshot> Service::Poll(JobId id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // TTL semantics before lookup: polling a job whose record just aged
+  // out must already be kNotFound (same for Wait/Cancel/Forget below).
+  RetireExpiredLocked();
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(id));
@@ -304,6 +386,7 @@ StatusOr<JobSnapshot> Service::Poll(JobId id) const {
 
 StatusOr<JobSnapshot> Service::Wait(JobId id) {
   std::unique_lock<std::mutex> lock(mutex_);
+  RetireExpiredLocked();
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(id));
@@ -318,6 +401,7 @@ StatusOr<JobSnapshot> Service::Wait(JobId id) {
 
 Status Service::Cancel(JobId id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  RetireExpiredLocked();
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(id));
@@ -330,6 +414,7 @@ Status Service::Cancel(JobId id) {
       job.state = JobState::kCancelled;
       job.status = Status::Cancelled("job cancelled while queued");
       job.finish_seq = next_finish_seq_++;
+      job.finished_at = std::chrono::steady_clock::now();
       ++totals_.cancelled;
       job_done_.notify_all();
       return Status::Ok();
@@ -352,6 +437,10 @@ Status Service::Cancel(JobId id) {
 
 Status Service::Forget(JobId id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // The Forget-vs-TTL race resolves here: a job the TTL already retired
+  // (or retires in this very sweep) is kNotFound, exactly like a second
+  // Forget — never a crash, never a silent success.
+  RetireExpiredLocked();
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job with id " + std::to_string(id));

@@ -125,6 +125,15 @@ struct ServiceStats {
   uint64_t cancel_latency_count = 0;
   double cancel_latency_total_seconds = 0.0;
   double cancel_latency_max_seconds = 0.0;
+  /// Submits turned away by admission control (queued-work cap or
+  /// per-client in-flight quota) with kResourceExhausted. Rejected
+  /// submits are never `accepted`, so the terminal-partition invariant
+  /// above is untouched by this counter.
+  uint64_t submits_rejected = 0;
+  /// Terminal jobs auto-retired by the `job_ttl_seconds` policy (manual
+  /// Forget calls do not count). Retirement drops the job *record* only;
+  /// the monotone terminal totals it already landed in are unaffected.
+  uint64_t jobs_retired = 0;
 };
 
 /// Configuration of a Service.
@@ -136,6 +145,22 @@ struct ServiceOptions {
   /// sequential (num_threads = 1) so job-level concurrency composes with
   /// kernel-level parallelism explicitly, not implicitly quadratically.
   core::MariohOptions marioh;
+  /// Admission control: Submit returns kResourceExhausted while this
+  /// many jobs are already queued (running jobs don't count — they hold
+  /// workers, not queue slots). 0 = unlimited.
+  size_t max_queued_jobs = 0;
+  /// Per-client in-flight quota: Submit returns kResourceExhausted while
+  /// the request's client_id already has this many queued + running
+  /// jobs. 0 = unlimited. The empty client id is one (shared) client for
+  /// quota purposes, same as for fair-share lanes.
+  size_t max_inflight_per_client = 0;
+  /// Age-based retirement of terminal jobs: a job that has been terminal
+  /// for longer than this many seconds is dropped from the job table as
+  /// if Forget had been called (Poll/Wait/Forget on it then return
+  /// kNotFound). Swept lazily on every Service entry point and
+  /// explicitly via RetireExpired() — long-lived servers tick the
+  /// latter. Negative = keep forever (the pre-TTL behavior).
+  double job_ttl_seconds = -1.0;
 };
 
 /// Runs reconstruction jobs asynchronously over a shared `DatasetCache`.
@@ -162,8 +187,10 @@ class Service {
   StatusOr<std::vector<JobId>> SubmitBatch(
       const std::vector<ReconstructRequest>& requests);
 
-  /// Non-blocking state snapshot. kNotFound for unknown ids.
-  StatusOr<JobSnapshot> Poll(JobId id) const;
+  /// Non-blocking state snapshot. kNotFound for unknown ids — including
+  /// ids whose record the job TTL just retired (the lazy sweep runs
+  /// first). Non-const for exactly that reason.
+  StatusOr<JobSnapshot> Poll(JobId id);
 
   /// Blocks until the job reaches a terminal state and returns its final
   /// snapshot. kNotFound for unknown ids.
@@ -186,6 +213,13 @@ class Service {
   /// ids, kFailedPrecondition while the job is still queued/running
   /// (Cancel and Wait first).
   Status Forget(JobId id);
+
+  /// Retires every terminal job older than `job_ttl_seconds` now and
+  /// returns how many were dropped (0 when the TTL is disabled). The
+  /// same sweep also runs lazily inside Submit/Poll/Wait/Cancel/Forget/
+  /// stats, so calling this is only needed to bound memory during long
+  /// idle stretches (the net server does, from its event-loop tick).
+  size_t RetireExpired();
 
   /// Current service counters.
   ServiceStats stats() const;
@@ -214,6 +248,9 @@ class Service {
     bool budget_overrun = false;
     uint64_t finish_seq = 0;
     double cancel_latency_seconds = -1.0;
+    /// When the job reached its terminal state; the TTL sweep measures
+    /// age from here. Unset while queued/running.
+    std::optional<std::chrono::steady_clock::time_point> finished_at;
     std::optional<EvaluationResult> evaluation;
     std::map<std::string, double> stage_stats;
     HypergraphHandle reconstruction;
@@ -225,6 +262,14 @@ class Service {
   void RunJob(const std::shared_ptr<Job>& job);
   /// Snapshot of `job` under `mutex_`.
   JobSnapshot SnapshotLocked(const Job& job) const;
+  /// The TTL sweep. Requires `mutex_` held; returns jobs dropped.
+  size_t RetireExpiredLocked();
+  /// Admission control for one more job of `client`, with `extra_queued`
+  /// jobs (of which `extra_same_client` share the client id) already
+  /// admitted ahead of it in the same batch. Requires `mutex_` held;
+  /// OK or kResourceExhausted (counted in submits_rejected).
+  Status AdmitCapacityLocked(const std::string& client, size_t extra_queued,
+                             size_t extra_same_client);
 
   std::shared_ptr<DatasetCache> cache_;
   ServiceOptions options_;

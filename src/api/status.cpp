@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kFailedPrecondition,  ///< API misuse (e.g. Reconstruct before Configure)
   kDeadlineExceeded,    ///< wall-clock budget exhausted (the paper's OOT)
   kCancelled,           ///< progress callback requested a stop
+  kResourceExhausted,   ///< admission control: queue/quota/connection limit hit
   kInternal,            ///< invariant violation surfaced as an error
 };
 
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

@@ -105,4 +105,18 @@ std::vector<std::vector<const NodeSet*>> Hypergraph::IncidenceLists() const {
   return inc;
 }
 
+size_t Hypergraph::ApproxBytes() const {
+  // Hash-map node: the key vector header + its heap buffer, the value,
+  // the chain pointer, and a conservative allocator-overhead constant.
+  constexpr size_t kNodeOverhead = 32;
+  size_t bytes = sizeof(*this);
+  bytes += edges_.bucket_count() * sizeof(void*);
+  for (const auto& [e, m] : edges_) {
+    (void)m;
+    bytes += sizeof(NodeSet) + sizeof(uint32_t) + kNodeOverhead;
+    bytes += e.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
 }  // namespace marioh

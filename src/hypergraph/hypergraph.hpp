@@ -91,6 +91,11 @@ class Hypergraph {
   /// are). Used by the downstream-task feature code.
   std::vector<std::vector<const NodeSet*>> IncidenceLists() const;
 
+  /// Approximate resident heap footprint in bytes (edge map buckets,
+  /// node vectors, per-node allocation overhead). O(|E_H|); the
+  /// `DatasetCache` byte-budget accounting uses this at insert time.
+  size_t ApproxBytes() const;
+
  private:
   size_t num_nodes_ = 0;
   size_t total_edges_ = 0;

@@ -159,4 +159,16 @@ uint64_t ProjectedGraph::TotalWeight() const {
   return s / 2;
 }
 
+size_t ProjectedGraph::ApproxBytes() const {
+  // Per hash-map node: key + value + chain pointer + a conservative
+  // allocator-overhead constant.
+  constexpr size_t kNodeOverhead = 24;
+  size_t bytes = sizeof(*this) + adj_.capacity() * sizeof(AdjMap);
+  for (const AdjMap& m : adj_) {
+    bytes += m.bucket_count() * sizeof(void*);
+    bytes += m.size() * (sizeof(NodeId) + sizeof(uint32_t) + kNodeOverhead);
+  }
+  return bytes;
+}
+
 }  // namespace marioh

@@ -95,6 +95,11 @@ class ProjectedGraph {
   /// Sum of all edge weights.
   uint64_t TotalWeight() const;
 
+  /// Approximate resident heap footprint in bytes (per-node adjacency
+  /// maps, buckets, allocation overhead). O(|V|); the `DatasetCache`
+  /// byte-budget accounting uses this at insert time.
+  size_t ApproxBytes() const;
+
  private:
   std::vector<AdjMap> adj_;
   size_t num_edges_ = 0;

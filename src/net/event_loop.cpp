@@ -1,0 +1,234 @@
+#include "net/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define MARIOH_NET_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define MARIOH_NET_EPOLL 0
+#include <poll.h>
+#endif
+
+namespace marioh::net {
+
+namespace {
+
+api::Status Errno(const std::string& what) {
+  return api::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+#if MARIOH_NET_EPOLL
+uint32_t ToEpoll(uint32_t interest) {
+  uint32_t events = 0;
+  if (interest & EventLoop::kRead) events |= EPOLLIN;
+  if (interest & EventLoop::kWrite) events |= EPOLLOUT;
+  return events;
+}
+
+uint32_t FromEpoll(uint32_t events) {
+  uint32_t mask = 0;
+  if (events & (EPOLLIN | EPOLLPRI)) mask |= EventLoop::kRead;
+  if (events & EPOLLOUT) mask |= EventLoop::kWrite;
+  if (events & (EPOLLERR | EPOLLHUP)) mask |= EventLoop::kError;
+  return mask;
+}
+#endif
+
+}  // namespace
+
+EventLoop::EventLoop() {
+#if MARIOH_NET_EPOLL
+  backend_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+#endif
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) == 0) {
+    wake_read_ = pipe_fds[0];
+    wake_write_ = pipe_fds[1];
+    SetNonBlocking(wake_read_);
+    SetNonBlocking(wake_write_);
+#if MARIOH_NET_EPOLL
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_read_;
+    ::epoll_ctl(backend_fd_, EPOLL_CTL_ADD, wake_read_, &ev);
+#endif
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (backend_fd_ >= 0) ::close(backend_fd_);
+}
+
+api::Status EventLoop::Add(int fd, uint32_t interest, Callback callback) {
+  if (fd < 0) return api::Status::InvalidArgument("negative fd");
+  if (fds_.count(fd) > 0) {
+    return api::Status::AlreadyExists("fd " + std::to_string(fd) +
+                                      " is already registered");
+  }
+#if MARIOH_NET_EPOLL
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(backend_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+#endif
+  fds_[fd] = Registration{interest, std::move(callback), ++generation_};
+  return api::Status::Ok();
+}
+
+api::Status EventLoop::Modify(int fd, uint32_t interest) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return api::Status::NotFound("fd " + std::to_string(fd) +
+                                 " is not registered");
+  }
+#if MARIOH_NET_EPOLL
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(backend_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+#endif
+  it->second.interest = interest;
+  return api::Status::Ok();
+}
+
+api::Status EventLoop::Remove(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return api::Status::NotFound("fd " + std::to_string(fd) +
+                                 " is not registered");
+  }
+#if MARIOH_NET_EPOLL
+  ::epoll_ctl(backend_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  fds_.erase(it);
+  return api::Status::Ok();
+}
+
+void EventLoop::set_tick(std::chrono::milliseconds period,
+                         std::function<void()> tick) {
+  if (period.count() > 0) tick_period_ = period;
+  tick_ = std::move(tick);
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    // Async-signal-safe wakeup; a full pipe already wakes the loop.
+    char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+bool EventLoop::stopped() const {
+  return stop_.load(std::memory_order_acquire);
+}
+
+void EventLoop::WakeupDrain() {
+  char buffer[64];
+  while (::read(wake_read_, buffer, sizeof buffer) > 0) {
+  }
+}
+
+void EventLoop::Run() {
+  using clock = std::chrono::steady_clock;
+  auto next_tick = clock::now() + tick_period_;
+  while (!stopped()) {
+    auto now = clock::now();
+    if (now >= next_tick) {
+      if (tick_) tick_();
+      next_tick = now + tick_period_;
+      continue;  // re-check stop_ before blocking again
+    }
+    int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(next_tick -
+                                                              now)
+            .count() +
+        1);
+
+    // Collect (fd, events) ready pairs, then dispatch. Each pair also
+    // snapshots the registration generation: if a callback removes a fd
+    // later in the batch — and an accept() inside the same batch reuses
+    // the fd number for a new registration — the stale event must not
+    // reach the new owner.
+    struct Ready {
+      int fd;
+      uint32_t mask;
+      uint64_t generation;
+    };
+    std::vector<Ready> ready;
+#if MARIOH_NET_EPOLL
+    epoll_event events[64];
+    int n = ::epoll_wait(backend_fd_, events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_read_) {
+        WakeupDrain();
+        continue;
+      }
+      auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;
+      ready.push_back({fd, FromEpoll(events[i].events),
+                       it->second.generation});
+    }
+#else
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds_.size() + 1);
+    if (wake_read_ >= 0) pfds.push_back({wake_read_, POLLIN, 0});
+    for (const auto& [fd, reg] : fds_) {
+      short mask = 0;
+      if (reg.interest & kRead) mask |= POLLIN;
+      if (reg.interest & kWrite) mask |= POLLOUT;
+      pfds.push_back({fd, mask, 0});
+    }
+    int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n > 0) {
+      for (const pollfd& p : pfds) {
+        if (p.revents == 0) continue;
+        if (p.fd == wake_read_) {
+          WakeupDrain();
+          continue;
+        }
+        uint32_t mask = 0;
+        if (p.revents & (POLLIN | POLLPRI)) mask |= kRead;
+        if (p.revents & POLLOUT) mask |= kWrite;
+        if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) mask |= kError;
+        auto it = fds_.find(p.fd);
+        if (it == fds_.end()) continue;
+        ready.push_back({p.fd, mask, it->second.generation});
+      }
+    }
+#endif
+    for (const Ready& r : ready) {
+      auto it = fds_.find(r.fd);
+      // Skip if removed by an earlier callback, or if the fd number was
+      // re-registered since the batch was built (different generation).
+      if (it == fds_.end() || it->second.generation != r.generation) {
+        continue;
+      }
+      // Copying the callback keeps it alive if it removes itself.
+      Callback callback = it->second.callback;
+      callback(r.mask);
+    }
+  }
+  if (tick_) tick_();  // final tick so shutdown work runs on the loop
+}
+
+}  // namespace marioh::net

@@ -1,0 +1,326 @@
+#include "net/line_protocol.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/request.hpp"
+#include "eval/harness.hpp"
+#include "util/parse.hpp"
+
+namespace marioh::net {
+
+namespace {
+
+using api::DatasetHandle;
+using api::JobId;
+using api::JobSnapshot;
+using api::ReconstructRequest;
+using api::Status;
+using api::StatusOr;
+
+std::string FormatDataset(const DatasetHandle& dataset) {
+  std::ostringstream out;
+  out << "ok dataset " << dataset.name;
+  if (dataset.has_hypergraph()) {
+    out << " hypergraph_nodes=" << dataset.hypergraph->num_nodes()
+        << " hyperedges=" << dataset.hypergraph->num_unique_edges();
+  }
+  if (dataset.has_graph()) {
+    out << " graph_nodes=" << dataset.graph->num_nodes()
+        << " graph_edges=" << dataset.graph->num_edges();
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+LineProtocol::LineProtocol(api::DatasetCache* cache, api::Service* service)
+    : cache_(cache), service_(service) {}
+
+void LineProtocol::set_default_client(std::string client_id) {
+  default_client_ = std::move(client_id);
+}
+
+void LineProtocol::set_extra_stats(std::function<std::string()> extra) {
+  extra_stats_ = std::move(extra);
+}
+
+std::string LineProtocol::FormatError(const Status& status) {
+  return "error " + std::string(api::StatusCodeName(status.code())) + ": " +
+         status.message() + "\n";
+}
+
+std::string LineProtocol::FormatJob(const JobSnapshot& job) const {
+  std::ostringstream out;
+  out << "ok job " << job.id << " state=" << api::JobStateName(job.state)
+      << " method=" << job.method << " target=" << job.target_dataset;
+  if (job.terminal()) {
+    if (!job.status.ok()) {
+      out << " status=" << api::StatusCodeName(job.status.code());
+    }
+    if (job.budget_overrun) out << " budget_overrun=1";
+    if (job.cancel_latency_seconds >= 0.0) {
+      out << " cancel_latency=" << job.cancel_latency_seconds;
+    }
+    if (job.reconstruction != nullptr) {
+      out << " unique_edges=" << job.reconstruction->num_unique_edges()
+          << " total_edges=" << job.reconstruction->num_total_edges();
+    }
+    if (job.evaluation.has_value()) {
+      out << " jaccard=" << job.evaluation->jaccard
+          << " multi_jaccard=" << job.evaluation->multi_jaccard;
+    }
+    auto train = job.stage_stats.find("train");
+    auto reconstruct = job.stage_stats.find("reconstruct");
+    double seconds =
+        (train != job.stage_stats.end() ? train->second : 0.0) +
+        (reconstruct != job.stage_stats.end() ? reconstruct->second : 0.0);
+    out << " seconds=" << seconds;
+    if (!job.status.ok()) {
+      out << " message=\"" << job.status.message() << "\"";
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string LineProtocol::FormatStats() const {
+  api::ServiceStats stats = service_->stats();
+  std::ostringstream out;
+  out << "ok stats accepted=" << stats.accepted
+      << " queued=" << stats.queued << " running=" << stats.running
+      << " done=" << stats.done << " failed=" << stats.failed
+      << " cancelled=" << stats.cancelled
+      << " deadline_exceeded=" << stats.deadline_exceeded
+      << " budget_overruns=" << stats.budget_overruns
+      << " preempted=" << stats.preempted
+      << " queued_interactive=" << stats.queued_interactive
+      << " queued_normal=" << stats.queued_normal
+      << " queued_batch=" << stats.queued_batch;
+  if (stats.cancel_latency_count > 0) {
+    out << " cancel_latency_mean="
+        << stats.cancel_latency_total_seconds /
+               static_cast<double>(stats.cancel_latency_count)
+        << " cancel_latency_max=" << stats.cancel_latency_max_seconds;
+  }
+  out << " submits_rejected=" << stats.submits_rejected
+      << " jobs_retired=" << stats.jobs_retired
+      << " cache_bytes=" << cache_->total_bytes()
+      << " cache_evictions=" << cache_->evictions();
+  if (extra_stats_) {
+    std::string extra = extra_stats_();
+    if (!extra.empty()) out << " " << extra;
+  }
+  out << "\n";
+  return out.str();
+}
+
+/// `load <hypergraph|graph> <name> <path>`
+std::string LineProtocol::HandleLoad(std::istream& args) const {
+  std::string kind, name, path;
+  args >> kind >> name >> path;
+  if (kind.empty() || name.empty() || path.empty()) {
+    return FormatError(Status::InvalidArgument(
+        "usage: load <hypergraph|graph> <name> <path>"));
+  }
+  StatusOr<DatasetHandle> dataset =
+      kind == "hypergraph" ? cache_->LoadHypergraphFile(name, path)
+      : kind == "graph"    ? cache_->LoadProjectedGraphFile(name, path)
+                           : Status::InvalidArgument(
+                                 "unknown dataset kind '" + kind +
+                                 "' (expected hypergraph or graph)");
+  if (!dataset.ok()) return FormatError(dataset.status());
+  return FormatDataset(*dataset);
+}
+
+/// `gen <name> <profile> <seed>`: the multi-user benchmark workflow
+/// without files — prepares a dataset exactly as the evaluation harness
+/// does (generate, multiplicity-reduce, split, project) and shares the
+/// halves through the cache as <name>.train / <name>.target /
+/// <name>.truth.
+std::string LineProtocol::HandleGen(std::istream& args) const {
+  std::string name, profile_name, seed_token;
+  uint64_t seed = 1;
+  args >> name >> profile_name >> seed_token;
+  if (name.empty() || profile_name.empty()) {
+    return FormatError(
+        Status::InvalidArgument("usage: gen <name> <profile> [seed]"));
+  }
+  if (!seed_token.empty()) {
+    std::optional<uint64_t> parsed = util::ParseUint64(seed_token);
+    if (!parsed.has_value()) {
+      return FormatError(
+          Status::InvalidArgument("bad seed '" + seed_token + "'"));
+    }
+    seed = *parsed;
+  }
+  // All three names must be free up front so a conflict cannot leave a
+  // partially inserted triple behind.
+  for (const char* suffix : {".train", ".target", ".truth"}) {
+    if (cache_->Contains(name + suffix)) {
+      return FormatError(Status::AlreadyExists(
+          "dataset '" + name + suffix + "' is already loaded"));
+    }
+  }
+  StatusOr<eval::PreparedDataset> data =
+      eval::TryPrepareDataset(profile_name,
+                              /*multiplicity_reduced=*/true, seed);
+  if (!data.ok()) return FormatError(data.status());
+  // The names were pre-checked and each front end serves its protocol
+  // from one thread, so the inserts cannot conflict.
+  StatusOr<DatasetHandle> train =
+      cache_->Insert(name + ".train", data->source, data->g_source);
+  StatusOr<DatasetHandle> target =
+      cache_->Insert(name + ".target", nullptr, data->g_target);
+  StatusOr<DatasetHandle> truth =
+      cache_->Insert(name + ".truth", data->target, nullptr);
+  for (const auto* inserted : {&train, &target, &truth}) {
+    if (!inserted->ok()) return FormatError(inserted->status());
+  }
+  return "ok generated " + name + ".train " + name + ".target " + name +
+         ".truth\n";
+}
+
+/// `submit key=value ...`
+LineProtocol::Result LineProtocol::HandleSubmit(std::istream& args) const {
+  ReconstructRequest request;
+  request.client_id = default_client_;
+  std::string token;
+  std::vector<std::string> typed_keys_seen;
+  while (args >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      return {FormatError(Status::InvalidArgument(
+                  "expected key=value, got '" + token + "'")),
+              false, std::nullopt};
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    bool typed = key == "method" || key == "train" || key == "target" ||
+                 key == "truth" || key == "seed" || key == "budget" ||
+                 key == "deadline" || key == "priority" ||
+                 key == "client" || key == "kthreads";
+    if (typed) {
+      // Mirror the session layer's duplicate hardening: a repeated typed
+      // key is a typo, not a silent overwrite.
+      for (const std::string& seen : typed_keys_seen) {
+        if (seen == key) {
+          return {FormatError(Status::InvalidArgument(
+                      "duplicate option '" + key + "'")),
+                  false, std::nullopt};
+        }
+      }
+      typed_keys_seen.push_back(key);
+    }
+    bool bad_value = false;
+    if (key == "method") {
+      request.method = value;
+    } else if (key == "train") {
+      request.train_dataset = value;
+    } else if (key == "target") {
+      request.target_dataset = value;
+    } else if (key == "truth") {
+      request.ground_truth_dataset = value;
+    } else if (key == "seed") {
+      std::optional<uint64_t> seed = util::ParseUint64(value);
+      bad_value = !seed.has_value();
+      if (!bad_value) request.seed = *seed;
+    } else if (key == "budget") {
+      std::optional<double> budget = util::ParseDouble(value);
+      bad_value = !budget.has_value();
+      if (!bad_value) request.time_budget_seconds = *budget;
+    } else if (key == "deadline") {
+      std::optional<double> deadline = util::ParseDouble(value);
+      bad_value = !deadline.has_value();
+      if (!bad_value) request.deadline_seconds = *deadline;
+    } else if (key == "priority") {
+      if (!api::ParsePriority(value, &request.priority)) {
+        return {FormatError(Status::InvalidArgument(
+                    "bad priority '" + value +
+                    "' (expected batch, normal, or interactive)")),
+                false, std::nullopt};
+      }
+    } else if (key == "client") {
+      request.client_id = value;
+    } else if (key == "kthreads") {
+      std::optional<int> threads = util::ParseNonNegativeInt(value);
+      bad_value = !threads.has_value();
+      if (!bad_value) request.kernel_threads = *threads;
+    } else {
+      request.overrides.emplace_back(std::move(key), std::move(value));
+      continue;
+    }
+    if (bad_value) {
+      return {FormatError(Status::InvalidArgument(
+                  "bad value '" + value + "' for option '" + key + "'")),
+              false, std::nullopt};
+    }
+  }
+  StatusOr<JobId> id = service_->Submit(request);
+  if (!id.ok()) return {FormatError(id.status()), false, std::nullopt};
+  return {"ok job " + std::to_string(*id) + "\n", false, std::nullopt};
+}
+
+LineProtocol::Result LineProtocol::Handle(const std::string& line) {
+  std::istringstream args(line);
+  std::string verb;
+  args >> verb;
+  if (verb.empty() || verb[0] == '#') return {};  // blank / comment
+  if (verb == "quit") return {"ok bye\n", /*quit=*/true, std::nullopt};
+  if (verb == "load") return {HandleLoad(args), false, std::nullopt};
+  if (verb == "gen") return {HandleGen(args), false, std::nullopt};
+  if (verb == "datasets") {
+    std::string response = "ok datasets";
+    for (const std::string& name : cache_->Names()) response += " " + name;
+    return {response + "\n", false, std::nullopt};
+  }
+  if (verb == "methods") {
+    std::string response = "ok methods";
+    for (const std::string& name :
+         api::MethodRegistry::Global().Names()) {
+      response += " " + name;
+    }
+    return {response + "\n", false, std::nullopt};
+  }
+  if (verb == "submit") return HandleSubmit(args);
+  if (verb == "poll" || verb == "wait" || verb == "cancel" ||
+      verb == "forget") {
+    std::string token;
+    args >> token;
+    std::optional<uint64_t> id = util::ParseUint64(token);
+    if (!id.has_value()) {
+      return {FormatError(Status::InvalidArgument("usage: " + verb +
+                                                  " <job-id>")),
+              false, std::nullopt};
+    }
+    if (verb == "poll") {
+      StatusOr<JobSnapshot> job = service_->Poll(*id);
+      if (!job.ok()) return {FormatError(job.status()), false, std::nullopt};
+      return {FormatJob(*job), false, std::nullopt};
+    }
+    if (verb == "wait") {
+      // Deferred: never block a serving loop here. A terminal job
+      // resolves immediately; anything else is the caller's IOU.
+      StatusOr<JobSnapshot> job = service_->Poll(*id);
+      if (!job.ok()) return {FormatError(job.status()), false, std::nullopt};
+      if (job->terminal()) return {FormatJob(*job), false, std::nullopt};
+      return {"", false, *id};
+    }
+    Status status =
+        verb == "cancel" ? service_->Cancel(*id) : service_->Forget(*id);
+    if (!status.ok()) return {FormatError(status), false, std::nullopt};
+    return {"ok " + verb + " " + std::to_string(*id) + "\n", false,
+            std::nullopt};
+  }
+  if (verb == "stats") return {FormatStats(), false, std::nullopt};
+  return {FormatError(Status::InvalidArgument(
+              "unknown request '" + verb +
+              "' (load gen datasets methods submit poll wait cancel forget "
+              "stats quit)")),
+          false, std::nullopt};
+}
+
+}  // namespace marioh::net

@@ -1,0 +1,82 @@
+/// \file line_protocol.hpp
+/// \brief The serving wire format, shared by every front end: one request
+/// line in, one `ok ...` / `error ...` response line out. Extracted from
+/// `examples/marioh_serve.cpp` so the stdin loop and the TCP server
+/// cannot drift — both speak exactly this codec (`src/api/README.md`
+/// holds the protocol reference).
+///
+/// `Handle` is synchronous and never blocks on job execution: the one
+/// blocking verb, `wait`, is returned to the caller as a *deferred* result
+/// (`Result::wait_for`) so each front end can implement it with its own
+/// idiom — the stdin loop blocks in `Service::Wait`, the event-loop TCP
+/// server parks the connection and polls from its tick, keeping every
+/// other client live.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "api/dataset_cache.hpp"
+#include "api/service.hpp"
+#include "api/status.hpp"
+
+namespace marioh::net {
+
+class LineProtocol {
+ public:
+  /// Both pointers must outlive the protocol object.
+  LineProtocol(api::DatasetCache* cache, api::Service* service);
+
+  /// The fair-share lane used when a `submit` names no `client=` key.
+  /// Empty (the default) keeps the anonymous shared lane; the TCP server
+  /// sets one per connection so each socket schedules as its own client.
+  void set_default_client(std::string client_id);
+  const std::string& default_client() const { return default_client_; }
+
+  /// Extra `key=value` fields appended to the `stats` response line —
+  /// the hook the TCP server uses to report connection counters through
+  /// the same verb.
+  void set_extra_stats(std::function<std::string()> extra);
+
+  /// Outcome of one request line.
+  struct Result {
+    /// Complete response, '\n'-terminated — empty only for blank/comment
+    /// input and deferred waits.
+    std::string response;
+    /// The client asked to end the conversation (`quit`).
+    bool quit = false;
+    /// Set for a `wait <id>` whose job is not terminal yet: the caller
+    /// owes the client one `FormatJob` line once it is (or an error line
+    /// if the job record disappears first).
+    std::optional<api::JobId> wait_for;
+  };
+
+  /// Serves one request line. Never throws and never fails: every
+  /// problem becomes an `error CODE: message` response, so a malformed
+  /// request can't kill a serving loop.
+  Result Handle(const std::string& line);
+
+  /// "ok job N state=..." — also the deferred-wait completion line.
+  std::string FormatJob(const api::JobSnapshot& job) const;
+
+  /// "error CODE: message".
+  static std::string FormatError(const api::Status& status);
+
+  /// The `stats` response: service counters + cache accounting + any
+  /// extra fields.
+  std::string FormatStats() const;
+
+ private:
+  std::string HandleLoad(std::istream& args) const;
+  std::string HandleGen(std::istream& args) const;
+  Result HandleSubmit(std::istream& args) const;
+
+  api::DatasetCache* cache_;
+  api::Service* service_;
+  std::string default_client_;
+  std::function<std::string()> extra_stats_;
+};
+
+}  // namespace marioh::net

@@ -1,0 +1,325 @@
+#include "net/tcp_server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace marioh::net {
+
+namespace {
+
+api::Status Errno(const std::string& what) {
+  return api::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(EventLoop* loop, api::DatasetCache* cache,
+                     api::Service* service, TcpServerOptions options)
+    : loop_(loop), cache_(cache), service_(service), options_(options) {}
+
+TcpServer::~TcpServer() {
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) CloseConnection(fd);
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+api::Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  SetNonBlocking(listen_fd_);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = ::htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return Errno("bind 127.0.0.1:" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ::ntohs(addr.sin_port);
+  }
+
+  MARIOH_RETURN_IF_ERROR(loop_->Add(
+      listen_fd_, EventLoop::kRead, [this](uint32_t) { OnAcceptable(); }));
+  loop_->set_tick(options_.tick_period, [this] { Tick(); });
+  return api::Status::Ok();
+}
+
+NetStatsSnapshot TcpServer::stats() const {
+  NetStatsSnapshot snapshot;
+  snapshot.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  snapshot.connections_total =
+      connections_total_.load(std::memory_order_relaxed);
+  snapshot.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  snapshot.lines_served = lines_served_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::string TcpServer::StatsFields() const {
+  NetStatsSnapshot s = stats();
+  return "connections_active=" + std::to_string(s.connections_active) +
+         " connections_total=" + std::to_string(s.connections_total) +
+         " connections_rejected=" + std::to_string(s.connections_rejected) +
+         " lines_served=" + std::to_string(s.lines_served);
+}
+
+void TcpServer::OnAcceptable() {
+  // Drain the accept queue completely — with level-triggered backends one
+  // accept per wakeup would also work, but this keeps accept latency flat
+  // under bursts.
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / transient error: wait for next event
+    SetNonBlocking(fd);
+    if (options_.max_connections > 0 &&
+        connections_.size() >= options_.max_connections) {
+      // Over the cap: one error line (best effort — the socket buffer of
+      // a fresh connection always has room) and out.
+      std::string reject = LineProtocol::FormatError(
+          api::Status::ResourceExhausted(
+              "server at connection limit (" +
+              std::to_string(options_.max_connections) + ")"));
+      [[maybe_unused]] ssize_t n =
+          ::write(fd, reject.data(), reject.size());
+      ::close(fd);
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    uint64_t id = ++next_connection_id_;
+    auto conn = std::make_unique<Connection>(cache_, service_);
+    conn->fd = fd;
+    conn->id = id;
+    conn->protocol.set_default_client("conn-" + std::to_string(id));
+    conn->protocol.set_extra_stats([this] { return StatsFields(); });
+    api::Status added = loop_->Add(
+        fd, EventLoop::kRead,
+        [this, fd](uint32_t events) { OnConnectionEvent(fd, events); });
+    if (!added.ok()) {
+      ::close(fd);
+      continue;
+    }
+    Connection& ref = *conn;
+    connections_[fd] = std::move(conn);
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    QueueOutput(ref, "ok marioh_served client=conn-" + std::to_string(id) +
+                         "\n");
+  }
+}
+
+void TcpServer::OnConnectionEvent(int fd, uint32_t events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (events & EventLoop::kError) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & EventLoop::kWrite) {
+    if (!FlushOutput(conn)) return;
+  }
+  if (events & EventLoop::kRead) HandleReadable(conn);
+}
+
+void TcpServer::HandleReadable(Connection& conn) {
+  const int fd = conn.fd;
+  for (;;) {
+    char buffer[4096];
+    ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n > 0) {
+      if (conn.discarding) {
+        // Still inside an oversized line: drop bytes up to and including
+        // its newline, then resume normal framing.
+        const char* newline =
+            static_cast<const char*>(std::memchr(buffer, '\n', n));
+        if (newline == nullptr) continue;
+        size_t keep_from = (newline - buffer) + 1;
+        conn.discarding = false;
+        conn.input.append(buffer + keep_from, n - keep_from);
+      } else {
+        conn.input.append(buffer, n);
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed; anything unframed is dropped
+      CloseConnection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+  ConsumeLines(conn);
+}
+
+bool TcpServer::ConsumeLines(Connection& conn) {
+  const int fd = conn.fd;
+  while (!conn.pending_wait.has_value() && !conn.closing) {
+    size_t newline = conn.input.find('\n');
+    if (newline != std::string::npos && options_.max_line_bytes > 0 &&
+        newline > options_.max_line_bytes) {
+      // The whole oversized line is already buffered: drop it in one go
+      // and answer, same as the streaming-discard path below.
+      conn.input.erase(0, newline + 1);
+      if (!QueueOutput(
+              conn, LineProtocol::FormatError(api::Status::InvalidArgument(
+                        "request line exceeds " +
+                        std::to_string(options_.max_line_bytes) +
+                        " bytes")))) {
+        return false;
+      }
+      continue;
+    }
+    if (newline == std::string::npos) {
+      if (options_.max_line_bytes > 0 &&
+          conn.input.size() > options_.max_line_bytes) {
+        // The frame can't ever complete within bounds: flush the partial
+        // bytes, answer once, and skip the rest of the line as it
+        // arrives. The connection stays usable.
+        conn.input.clear();
+        conn.discarding = true;
+        if (!QueueOutput(
+                conn, LineProtocol::FormatError(api::Status::InvalidArgument(
+                          "request line exceeds " +
+                          std::to_string(options_.max_line_bytes) +
+                          " bytes")))) {
+          return false;
+        }
+      }
+      break;
+    }
+    std::string line = conn.input.substr(0, newline);
+    conn.input.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    LineProtocol::Result result = conn.protocol.Handle(line);
+    lines_served_.fetch_add(1, std::memory_order_relaxed);
+    if (result.wait_for.has_value()) {
+      conn.pending_wait = result.wait_for;
+      break;
+    }
+    if (!result.response.empty()) {
+      if (!QueueOutput(conn, result.response)) return false;
+    }
+    if (result.quit) {
+      conn.closing = true;
+      if (conn.output.empty()) {
+        CloseConnection(fd);
+        return false;
+      }
+      break;
+    }
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+bool TcpServer::QueueOutput(Connection& conn, std::string_view bytes) {
+  conn.output.append(bytes);
+  if (!FlushOutput(conn)) return false;
+  if (options_.max_output_bytes > 0 &&
+      conn.output.size() > options_.max_output_bytes) {
+    // Slow reader: it is not draining responses as fast as it sends
+    // requests. Buffering further would let one client hold arbitrary
+    // server memory, so the connection is dropped instead.
+    CloseConnection(conn.fd);
+    return false;
+  }
+  return true;
+}
+
+bool TcpServer::FlushOutput(Connection& conn) {
+  const int fd = conn.fd;
+  while (!conn.output.empty()) {
+    ssize_t n = ::write(fd, conn.output.data(), conn.output.size());
+    if (n > 0) {
+      conn.output.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(fd);
+    return false;
+  }
+  if (conn.output.empty() && conn.closing) {
+    CloseConnection(fd);
+    return false;
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+void TcpServer::UpdateInterest(Connection& conn) {
+  uint32_t interest = 0;
+  // A parked wait (or a draining quit) pauses reads; TCP flow control
+  // then pushes back on a sender that keeps pipelining.
+  if (!conn.pending_wait.has_value() && !conn.closing) {
+    interest |= EventLoop::kRead;
+  }
+  if (!conn.output.empty()) interest |= EventLoop::kWrite;
+  loop_->Modify(conn.fd, interest);
+}
+
+void TcpServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_->Remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TcpServer::Tick() {
+  service_->RetireExpired();
+  // Resolve parked waits. Collect fds first: queueing a response can
+  // close a connection (slow reader), which mutates the map.
+  std::vector<int> waiting;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->pending_wait.has_value()) waiting.push_back(fd);
+  }
+  for (int fd : waiting) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    api::StatusOr<api::JobSnapshot> job =
+        service_->Poll(*conn.pending_wait);
+    if (job.ok() && !job->terminal()) continue;  // still running
+    conn.pending_wait.reset();
+    std::string response = job.ok()
+                               ? conn.protocol.FormatJob(*job)
+                               : LineProtocol::FormatError(job.status());
+    if (!QueueOutput(conn, response)) continue;
+    // The client may have pipelined requests behind the wait; serve them
+    // now that the connection is live again.
+    ConsumeLines(conn);
+  }
+}
+
+}  // namespace marioh::net

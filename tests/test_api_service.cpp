@@ -610,6 +610,201 @@ TEST(Service, ForgetRetiresTerminalJobsOnly) {
   ASSERT_TRUE(busy.Wait(*first).ok());
 }
 
+// Pin-aware LRU: under a byte budget the cache evicts the least recently
+// used unpinned entry; entries whose handles are still held outside the
+// cache are never evicted (dropping the name would free nothing).
+TEST(DatasetCache, LruEvictionUnderByteBudgetSparesPinnedHandles) {
+  eval::PreparedDataset data = SmallDataset();
+  DatasetCache cache;
+  EXPECT_EQ(cache.max_bytes(), 0u);  // unbounded by default
+
+  // Measure one entry: an unpinned copy (the temporary StatusOr handle
+  // is dropped immediately, so only the cache holds it).
+  ASSERT_TRUE(
+      cache.Insert("a", std::make_shared<Hypergraph>(*data.source), nullptr)
+          .ok());
+  const size_t entry_bytes = cache.total_bytes();
+  ASSERT_GT(entry_bytes, 0u);
+
+  // Room for exactly two entries of this size.
+  cache.set_max_bytes(2 * entry_bytes + entry_bytes / 2);
+  ASSERT_TRUE(
+      cache.Insert("b", std::make_shared<Hypergraph>(*data.source), nullptr)
+          .ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch "a" so "b" becomes the LRU victim, then overflow with "c".
+  ASSERT_TRUE(cache.Get("a").ok());
+  ASSERT_TRUE(
+      cache.Insert("c", std::make_shared<Hypergraph>(*data.source), nullptr)
+          .ok());
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.total_bytes(), cache.max_bytes());
+
+  // Pinning: hold live handles to both residents, then shrink the budget
+  // below one entry. Nothing can be evicted — the cache stays over
+  // budget rather than dropping names whose data must live on anyway.
+  {
+    StatusOr<DatasetHandle> pin_a = cache.Get("a");
+    StatusOr<DatasetHandle> pin_c = cache.Get("c");
+    ASSERT_TRUE(pin_a.ok());
+    ASSERT_TRUE(pin_c.ok());
+    cache.set_max_bytes(1);
+    EXPECT_TRUE(cache.Contains("a"));
+    EXPECT_TRUE(cache.Contains("c"));
+    EXPECT_EQ(cache.evictions(), 1u);
+  }
+
+  // The pins are gone, so the entries are reclaimable; the next insert's
+  // eviction pass clears them (the fresh entry itself is exempt, so an
+  // over-budget dataset still loads).
+  ASSERT_TRUE(
+      cache.Insert("d", std::make_shared<Hypergraph>(*data.source), nullptr)
+          .ok());
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+// Admission control: a full queue or a client over its in-flight quota
+// gets kResourceExhausted at Submit time; rejects are counted in
+// submits_rejected and never leak into accepted — the terminal/gauge
+// partition of accepted stays exact.
+TEST(Service, AdmissionCapsRejectSubmitsWithResourceExhausted) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queued_jobs = 2;
+  options.max_inflight_per_client = 2;
+  Service service(CacheWithCrime(data), options);
+
+  // The blocker holds the only worker (running, so it does not count
+  // against the queued cap; it does count against its client's quota).
+  ReconstructRequest blocker;
+  blocker.method = "MARIOH";
+  blocker.train_dataset = "crime.train";
+  blocker.target_dataset = "crime.target";
+  blocker.client_id = "hog";
+  StatusOr<JobId> blocker_id = service.Submit(blocker);
+  ASSERT_TRUE(blocker_id.ok());
+  ASSERT_TRUE(WaitUntilRunning(service, *blocker_id));
+
+  ReconstructRequest quick;
+  quick.method = "MaxClique";
+  quick.target_dataset = "crime.target";
+
+  // The client quota trips first: "hog" has 1 running + 1 queued.
+  quick.client_id = "hog";
+  StatusOr<JobId> hog_queued = service.Submit(quick);
+  ASSERT_TRUE(hog_queued.ok());
+  EXPECT_EQ(service.Submit(quick).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // Another client still gets the last queue slot — then the global
+  // queued cap trips for everyone.
+  quick.client_id = "other";
+  StatusOr<JobId> other_queued = service.Submit(quick);
+  ASSERT_TRUE(other_queued.ok());
+  quick.client_id = "third";
+  EXPECT_EQ(service.Submit(quick).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // Batch admission is atomic: a batch that would overflow is rejected
+  // whole, admitting none of its members.
+  quick.client_id = "fourth";
+  EXPECT_EQ(service.SubmitBatch({quick, quick, quick}).status().code(),
+            StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(service.Wait(*blocker_id).ok());
+  ASSERT_TRUE(service.Wait(*hog_queued).ok());
+  ASSERT_TRUE(service.Wait(*other_queued).ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submits_rejected, 3u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled +
+                                stats.deadline_exceeded + stats.queued +
+                                stats.running);
+}
+
+// TTL retirement: terminal jobs past the TTL vanish at the next sweep
+// (any job-table entry point, or the explicit RetireExpired the TCP
+// server ticks). Monotone counters are unaffected; jobs_retired counts
+// the drops.
+TEST(Service, TtlRetiresTerminalJobs) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.job_ttl_seconds = 0.5;
+  Service service(CacheWithCrime(data), options);
+
+  ReconstructRequest request;
+  request.method = "MaxClique";
+  request.target_dataset = "crime.target";
+  StatusOr<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  StatusOr<JobSnapshot> job = service.Wait(*id);
+  ASSERT_TRUE(job.ok());
+  ASSERT_EQ(job->state, JobState::kDone);
+
+  // Within the TTL the record is still pollable; past it, the next
+  // lookup sweeps first and the record is gone.
+  ASSERT_TRUE(service.Poll(*id).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  EXPECT_EQ(service.Poll(*id).status().code(), StatusCode::kNotFound);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_retired, 1u);
+  EXPECT_EQ(stats.done, 1u);  // monotone history survives retirement
+  // The snapshot's shared handle outlives the record.
+  EXPECT_GT(job->reconstruction->num_unique_edges(), 0u);
+
+  // The explicit sweep entry point (what the TCP server ticks) reports
+  // its reaping.
+  StatusOr<JobId> second = service.Submit(request);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(service.Wait(*second).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  EXPECT_EQ(service.RetireExpired(), 1u);
+  EXPECT_EQ(service.stats().jobs_retired, 2u);
+}
+
+// The Forget-vs-TTL race resolves to kNotFound: forgetting a job the TTL
+// already retired is indistinguishable from forgetting twice — never a
+// crash, never a silent success.
+TEST(Service, ForgetAfterTtlRetirementIsNotFound) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions options;
+  options.job_ttl_seconds = 0.5;
+  Service service(CacheWithCrime(data), options);
+
+  ReconstructRequest request;
+  request.method = "MaxClique";
+  request.target_dataset = "crime.target";
+  StatusOr<JobId> id = service.Submit(request);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Wait(*id).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+
+  // Forget's entry sweep retires the job before the lookup runs.
+  EXPECT_EQ(service.Forget(*id).code(), StatusCode::kNotFound);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_retired, 1u);
+  EXPECT_EQ(stats.done, 1u);
+
+  // With retirement disabled (negative TTL, the default), Forget still
+  // owns the removal and TTL never interferes.
+  Service keeper(CacheWithCrime(data));
+  StatusOr<JobId> kept = keeper.Submit(request);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(keeper.Wait(*kept).ok());
+  EXPECT_TRUE(keeper.Forget(*kept).ok());
+  EXPECT_EQ(keeper.stats().jobs_retired, 0u);
+}
+
 TEST(Service, UnsupervisedJobsSkipTraining) {
   eval::PreparedDataset data = SmallDataset();
   Service service(CacheWithCrime(data));

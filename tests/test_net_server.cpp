@@ -1,0 +1,404 @@
+// Tests for the src/net/ serving layer: a real TcpServer on a loopback
+// socket, driven by real TCP clients. The acceptance criterion is the
+// same determinism contract the service layer proves, one layer up: N
+// concurrent TCP clients sharing one dataset handle must produce
+// bit-identical reconstructions to the same runs executed sequentially
+// through Session. On top of that: admission control answers
+// RESOURCE_EXHAUSTED at the configured caps, slow readers are
+// disconnected by write-side backpressure, and malformed or oversized
+// frames never kill the event loop.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dataset_cache.hpp"
+#include "api/service.hpp"
+#include "api/session.hpp"
+#include "eval/harness.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_server.hpp"
+
+namespace marioh::net {
+namespace {
+
+using api::DatasetCache;
+using api::JobId;
+using api::JobSnapshot;
+using api::Service;
+using api::ServiceOptions;
+using api::StatusOr;
+
+eval::PreparedDataset SmallDataset() {
+  return eval::PrepareDataset("crime", /*multiplicity_reduced=*/true,
+                              /*seed=*/1);
+}
+
+std::shared_ptr<DatasetCache> CacheWithCrime(
+    const eval::PreparedDataset& data) {
+  auto cache = std::make_shared<DatasetCache>();
+  EXPECT_TRUE(cache->Insert("crime.train", data.source, data.g_source).ok());
+  EXPECT_TRUE(cache->Insert("crime.target", nullptr, data.g_target).ok());
+  EXPECT_TRUE(cache->Insert("crime.truth", data.target, nullptr).ok());
+  return cache;
+}
+
+/// A live server on an ephemeral loopback port: cache + service + event
+/// loop on its own thread. Everything a test needs to speak real TCP.
+class ServerFixture {
+ public:
+  ServerFixture(const eval::PreparedDataset& data, ServiceOptions sopts,
+                TcpServerOptions nopts)
+      : cache_(CacheWithCrime(data)),
+        service_(std::make_unique<Service>(cache_, sopts)) {
+    server_ = std::make_unique<TcpServer>(&loop_, cache_.get(),
+                                          service_.get(), nopts);
+    api::Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    loop_thread_ = std::thread([this] { loop_.Run(); });
+  }
+
+  ~ServerFixture() {
+    loop_.Stop();
+    loop_thread_.join();
+    server_.reset();  // after Run returned, per the threading contract
+  }
+
+  uint16_t port() const { return server_->port(); }
+  Service& service() { return *service_; }
+  const TcpServer& server() const { return *server_; }
+
+ private:
+  std::shared_ptr<DatasetCache> cache_;
+  std::unique_ptr<Service> service_;
+  EventLoop loop_;
+  std::unique_ptr<TcpServer> server_;
+  std::thread loop_thread_;
+};
+
+/// A blocking line-oriented TCP client; reads time out after 120 s so a
+/// lost response fails the test instead of hanging it.
+class Client {
+ public:
+  /// `rcvbuf_bytes` shrinks SO_RCVBUF before connecting (0 keeps the
+  /// default) — a tiny receive window bounds how much an unread response
+  /// stream the kernel can absorb, which the backpressure test relies on.
+  explicit Client(uint16_t port, int rcvbuf_bytes = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    timeval timeout{120, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof rcvbuf_bytes);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+    addr.sin_port = ::htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~Client() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Sends raw bytes; returns false once the server has hung up.
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Send(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Next '\n'-terminated line without the newline; "" on EOF/timeout.
+  std::string ReadLine() {
+    for (;;) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// One request, one response line.
+  std::string Roundtrip(const std::string& line) {
+    if (!Send(line)) return "";
+    return ReadLine();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Parses "ok job N ..." into N; 0 on anything else.
+JobId ParseJobId(const std::string& response) {
+  if (response.rfind("ok job ", 0) != 0) return 0;
+  return static_cast<JobId>(std::stoull(response.substr(7)));
+}
+
+bool WaitUntilRunning(Service& service, JobId id) {
+  for (;;) {
+    StatusOr<JobSnapshot> job = service.Poll(id);
+    if (!job.ok()) return false;
+    if (job->state == api::JobState::kRunning) return true;
+    if (job->terminal()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// The acceptance-criteria test: 8 concurrent TCP clients, each its own
+// connection (and therefore its own fair-share lane), each submitting a
+// seeded MARIOH job over the shared crime handles and blocking in the
+// protocol's `wait`. Every reconstruction must be bit-identical to the
+// same seed's run through a sequential Session.
+TEST(NetServer, ConcurrentClientsMatchSequentialSessionsBitForBit) {
+  constexpr int kClients = 8;
+  eval::PreparedDataset data = SmallDataset();
+
+  std::vector<Hypergraph> reference;
+  for (int s = 1; s <= kClients; ++s) {
+    api::SessionOptions options;
+    options.method = "MARIOH";
+    options.seed = static_cast<uint64_t>(s);
+    api::Session session;
+    ASSERT_TRUE(session.Configure(options).ok());
+    ASSERT_TRUE(session.Train(data.train()).ok());
+    ASSERT_TRUE(session.Reconstruct(data.target_input()).ok());
+    StatusOr<Hypergraph> taken = session.TakeReconstruction();
+    ASSERT_TRUE(taken.ok());
+    reference.push_back(std::move(taken).value());
+  }
+
+  ServerFixture fixture(data, ServiceOptions{}, TcpServerOptions{});
+  std::vector<JobId> ids(kClients, 0);
+  std::vector<std::string> waits(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&fixture, &ids, &waits, i] {
+      Client client(fixture.port());
+      if (!client.connected()) return;
+      client.ReadLine();  // greeting
+      std::string submitted = client.Roundtrip(
+          "submit method=MARIOH train=crime.train target=crime.target "
+          "truth=crime.truth seed=" +
+          std::to_string(i + 1));
+      JobId id = ParseJobId(submitted);
+      if (id == 0) return;
+      ids[static_cast<size_t>(i)] = id;
+      waits[static_cast<size_t>(i)] =
+          client.Roundtrip("wait " + std::to_string(id));
+      client.Roundtrip("quit");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_NE(ids[static_cast<size_t>(i)], 0u) << "client " << i;
+    EXPECT_NE(waits[static_cast<size_t>(i)].find("state=DONE"),
+              std::string::npos)
+        << "client " << i << ": " << waits[static_cast<size_t>(i)];
+    // Bit-identity is checked on the service-side snapshot — the full
+    // edge multiset, not the protocol's summary counts.
+    StatusOr<JobSnapshot> job =
+        fixture.service().Poll(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(job.ok());
+    ASSERT_NE(job->reconstruction, nullptr);
+    EXPECT_EQ(job->reconstruction->edges(),
+              reference[static_cast<size_t>(i)].edges())
+        << "client seed " << i + 1;
+  }
+
+  NetStatsSnapshot net = fixture.server().stats();
+  EXPECT_EQ(net.connections_total, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(net.connections_rejected, 0u);
+}
+
+// Saturating the admission caps over TCP answers RESOURCE_EXHAUSTED —
+// and the rejected submits never contaminate the accepted counters.
+TEST(NetServer, AdmissionControlRejectsWithResourceExhausted) {
+  eval::PreparedDataset data = SmallDataset();
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.max_queued_jobs = 1;
+  ServerFixture fixture(data, sopts, TcpServerOptions{});
+  Client client(fixture.port());
+  ASSERT_TRUE(client.connected());
+  client.ReadLine();
+
+  // The blocker occupies the only worker; once it runs, the queue is
+  // empty and has room for exactly one more job.
+  JobId blocker = ParseJobId(client.Roundtrip(
+      "submit method=MARIOH train=crime.train target=crime.target"));
+  ASSERT_NE(blocker, 0u);
+  ASSERT_TRUE(WaitUntilRunning(fixture.service(), blocker));
+
+  std::string queued = client.Roundtrip(
+      "submit method=MaxClique target=crime.target");
+  EXPECT_EQ(queued.rfind("ok job ", 0), 0u) << queued;
+  std::string rejected = client.Roundtrip(
+      "submit method=MaxClique target=crime.target");
+  EXPECT_EQ(rejected.rfind("error RESOURCE_EXHAUSTED", 0), 0u) << rejected;
+
+  // The reject is an error response, not a dead connection: the same
+  // socket keeps serving.
+  EXPECT_NE(client.Roundtrip("wait " + std::to_string(blocker))
+                .find("state=DONE"),
+            std::string::npos);
+
+  api::ServiceStats stats = fixture.service().stats();
+  EXPECT_EQ(stats.submits_rejected, 1u);
+  EXPECT_EQ(stats.accepted, 2u);
+  // The terminal/gauge counters still partition accepted exactly.
+  EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled +
+                                stats.deadline_exceeded + stats.queued +
+                                stats.running);
+}
+
+// Accepts past max_connections get one RESOURCE_EXHAUSTED line and an
+// immediate close; the resident connections are untouched.
+TEST(NetServer, ConnectionCapRejectsExtraClients) {
+  eval::PreparedDataset data = SmallDataset();
+  TcpServerOptions nopts;
+  nopts.max_connections = 2;
+  ServerFixture fixture(data, ServiceOptions{}, nopts);
+
+  Client first(fixture.port());
+  Client second(fixture.port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+  EXPECT_EQ(first.ReadLine().rfind("ok marioh_served", 0), 0u);
+  EXPECT_EQ(second.ReadLine().rfind("ok marioh_served", 0), 0u);
+
+  Client third(fixture.port());
+  ASSERT_TRUE(third.connected());
+  EXPECT_EQ(third.ReadLine().rfind("error RESOURCE_EXHAUSTED", 0), 0u);
+  EXPECT_EQ(third.ReadLine(), "");  // server hung up
+
+  // The survivors still serve; a freed slot readmits.
+  EXPECT_EQ(first.Roundtrip("methods").rfind("ok methods", 0), 0u);
+  first.Roundtrip("quit");
+  first.Close();
+  for (int i = 0; i < 500; ++i) {
+    if (fixture.server().stats().connections_active < 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Client fourth(fixture.port());
+  ASSERT_TRUE(fourth.connected());
+  EXPECT_EQ(fourth.ReadLine().rfind("ok marioh_served", 0), 0u);
+
+  EXPECT_GE(fixture.server().stats().connections_rejected, 1u);
+}
+
+// Write-side backpressure: a client that pipelines requests without ever
+// reading responses fills its bounded output buffer and is disconnected
+// instead of holding arbitrary server memory.
+TEST(NetServer, SlowReaderIsDisconnectedByBackpressure) {
+  eval::PreparedDataset data = SmallDataset();
+  TcpServerOptions nopts;
+  nopts.max_output_bytes = 16 * 1024;
+  ServerFixture fixture(data, ServiceOptions{}, nopts);
+
+  // A deliberately tiny receive buffer: the kernel can only absorb a few
+  // tens of KB of unread responses before the server's own buffer has to
+  // hold the rest.
+  Client slow(fixture.port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(slow.connected());
+  // Never read: each `stats` response (~350 bytes) stacks up. Once the
+  // socket buffers are full, the server-side buffer crosses the 16 KiB
+  // cap and the connection is dropped mid-stream — visible here as a
+  // failed send (RST) or the active-connection gauge hitting zero.
+  std::string burst;
+  for (int i = 0; i < 2000; ++i) burst += "stats\n";
+  bool disconnected = false;
+  for (int round = 0; round < 20 && !disconnected; ++round) {
+    if (!slow.SendRaw(burst)) {
+      disconnected = true;
+      break;
+    }
+    for (int i = 0; i < 500 && !disconnected; ++i) {
+      disconnected = fixture.server().stats().connections_active == 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(disconnected);
+
+  // The loop survived its slow reader: a well-behaved client still gets
+  // service.
+  Client polite(fixture.port());
+  ASSERT_TRUE(polite.connected());
+  EXPECT_EQ(polite.ReadLine().rfind("ok marioh_served", 0), 0u);
+  EXPECT_EQ(polite.Roundtrip("stats").rfind("ok stats", 0), 0u);
+}
+
+// Framing abuse — unknown verbs, binary junk, and a line far beyond
+// max_line_bytes — produces error responses, never a dead loop. The
+// oversized line is answered once and skipped; the connection then keeps
+// serving normal requests.
+TEST(NetServer, MalformedAndOversizedFramesDontKillTheLoop) {
+  eval::PreparedDataset data = SmallDataset();
+  TcpServerOptions nopts;
+  nopts.max_line_bytes = 128;
+  ServerFixture fixture(data, ServiceOptions{}, nopts);
+
+  Client client(fixture.port());
+  ASSERT_TRUE(client.connected());
+  client.ReadLine();
+
+  EXPECT_EQ(client.Roundtrip("no-such-verb a b c")
+                .rfind("error INVALID_ARGUMENT", 0),
+            0u);
+  EXPECT_EQ(client.Roundtrip(std::string("\x01\x02\x7f garbage"))
+                .rfind("error INVALID_ARGUMENT", 0),
+            0u);
+
+  // One 64 KiB line: rejected as soon as it exceeds the 128-byte frame
+  // cap, discarded through its newline, connection intact.
+  std::string oversized(64 * 1024, 'x');
+  std::string response = client.Roundtrip(oversized);
+  EXPECT_NE(response.find("request line exceeds 128 bytes"),
+            std::string::npos)
+      << response;
+
+  // Still alive, still correct — a real request round-trips.
+  EXPECT_EQ(client.Roundtrip("datasets").rfind("ok datasets", 0), 0u);
+  EXPECT_EQ(client.Roundtrip("quit"), "ok bye");
+
+  // And the server as a whole is unharmed.
+  Client after(fixture.port());
+  ASSERT_TRUE(after.connected());
+  EXPECT_EQ(after.ReadLine().rfind("ok marioh_served", 0), 0u);
+}
+
+}  // namespace
+}  // namespace marioh::net

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Socketed soak for marioh_served.
+
+Spawns the daemon on an ephemeral port, drives ~50 requests across
+several concurrent TCP connections (gen / submit / wait / poll / stats /
+forget plus deliberate protocol errors), then SIGTERMs it and asserts:
+
+  * every request got a well-formed one-line reply (ok/error, never EOF
+    mid-conversation),
+  * the daemon exits 0 and writes its --stats-json snapshot,
+  * the service counter partition holds in that snapshot:
+      accepted == done + failed + cancelled + deadline_exceeded
+                  + queued + running
+    (all jobs terminal at shutdown, and rejected submits stay out of
+    `accepted`).
+
+Usage: net_soak.py /path/to/marioh_served [stats.json]
+
+Exit status 0 on success; nonzero with a diagnostic on any failure.
+No dependencies beyond the Python 3 standard library.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+CONNECTIONS = 5
+JOBS_PER_CONNECTION = 3  # gen is shared; each conn submits+waits this many
+
+
+def fail(message):
+    print("net_soak: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    """One line-protocol conversation over a fresh TCP connection."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.buf = b""
+        self.greeting = self.read_line()
+        if not self.greeting.startswith("ok marioh_served client=conn-"):
+            fail("bad greeting: %r" % self.greeting)
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                fail("connection closed mid-conversation")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def request(self, line):
+        self.sock.sendall((line + "\n").encode())
+        reply = self.read_line()
+        if not (reply.startswith("ok ") or reply.startswith("error ")):
+            fail("malformed reply to %r: %r" % (line, reply))
+        return reply
+
+    def close(self):
+        self.sock.close()
+
+
+def drive_connection(port, index, errors):
+    try:
+        client = Client(port)
+        for j in range(JOBS_PER_CONNECTION):
+            seed = index * 100 + j + 1
+            reply = client.request(
+                "submit method=MaxClique target=soak.target "
+                "truth=soak.truth seed=%d" % seed)
+            if not reply.startswith("ok job "):
+                fail("submit rejected: %r" % reply)
+            job_id = reply.split()[2]
+            reply = client.request("wait " + job_id)
+            if "state=DONE" not in reply:
+                fail("job %s did not finish DONE: %r" % (job_id, reply))
+            client.request("poll " + job_id)
+            client.request("forget " + job_id)
+        # Protocol errors must be answered, not fatal.
+        reply = client.request("definitely-not-a-verb")
+        if not reply.startswith("error "):
+            fail("unknown verb not an error: %r" % reply)
+        client.request("stats")
+        reply = client.request("quit")
+        if reply != "ok bye":
+            fail("quit reply: %r" % reply)
+        client.close()
+    except SystemExit:
+        # fail() inside a worker thread only kills the thread; record it
+        # so the main thread turns it into a process-level failure.
+        errors.append("connection %d: assertion failed (see stderr)" % index)
+    except Exception as exc:  # noqa: BLE001 - surface everything
+        errors.append("connection %d: %r" % (index, exc))
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: net_soak.py /path/to/marioh_served [stats.json]")
+    binary = sys.argv[1]
+    stats_path = sys.argv[2] if len(sys.argv) > 2 else "net_soak_stats.json"
+
+    daemon = subprocess.Popen(
+        [binary, "--port", "0", "--workers", "2",
+         "--max-connections", "32", "--job-ttl", "600",
+         "--stats-json", stats_path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = daemon.stdout.readline().strip()
+        # "ok marioh_served port=NNNN workers=..."
+        fields = dict(f.split("=", 1) for f in banner.split()[2:] if "=" in f)
+        if not banner.startswith("ok marioh_served") or "port" not in fields:
+            fail("bad banner: %r" % banner)
+        port = int(fields["port"])
+
+        # One connection seeds the shared dataset for everyone.
+        seeder = Client(port)
+        reply = seeder.request("gen soak crime 42")
+        if not reply.startswith("ok generated"):
+            fail("gen failed: %r" % reply)
+
+        errors = []
+        threads = [threading.Thread(target=drive_connection,
+                                    args=(port, i, errors))
+                   for i in range(CONNECTIONS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            fail("; ".join(errors))
+
+        stats = seeder.request("stats")
+        print("net_soak: final stats: " + stats)
+        seeder.request("quit")
+        seeder.close()
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            fail("daemon did not exit within 60s of SIGTERM")
+        if daemon.returncode != 0:
+            fail("daemon exit status %d" % daemon.returncode)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    if not os.path.exists(stats_path):
+        fail("daemon exited without writing %s" % stats_path)
+    with open(stats_path) as f:
+        snapshot = json.load(f)
+
+    terminal = (snapshot["done"] + snapshot["failed"] +
+                snapshot["cancelled"] + snapshot["deadline_exceeded"] +
+                snapshot["queued"] + snapshot["running"])
+    if snapshot["accepted"] != terminal:
+        fail("partition violated: accepted=%d vs partition sum=%d in %s"
+             % (snapshot["accepted"], terminal, json.dumps(snapshot)))
+    expected_jobs = CONNECTIONS * JOBS_PER_CONNECTION
+    if snapshot["accepted"] < expected_jobs:
+        fail("expected >= %d accepted jobs, snapshot says %d"
+             % (expected_jobs, snapshot["accepted"]))
+    if snapshot["connections_total"] < CONNECTIONS + 1:
+        fail("expected >= %d connections, snapshot says %d"
+             % (CONNECTIONS + 1, snapshot["connections_total"]))
+
+    print("net_soak: OK — %d jobs over %d connections, partition holds, "
+          "clean shutdown (%s)"
+          % (snapshot["accepted"], snapshot["connections_total"], stats_path))
+
+
+if __name__ == "__main__":
+    main()
