@@ -19,9 +19,9 @@
 //   submit key=value ...            submit a job; keys: method= train=
 //                                   target= truth= seed= budget=
 //                                   deadline= priority= client= kthreads=
-//                                   plus any session/method override
-//                                   (threads=, theta_init=, ...).
-//                                   Responds `ok job N`.
+//                                   retries= backoff= plus any
+//                                   session/method override (threads=,
+//                                   theta_init=, ...). Responds `ok job N`.
 //   poll <id>                       non-blocking job state
 //   wait <id>                       block until the job finishes
 //   cancel <id>                     cancel a queued job, or preempt a
@@ -29,6 +29,9 @@
 //   forget <id>                     retire a finished job (frees its
 //                                   result; keeps memory bounded)
 //   stats                           service counters
+//   failpoints [spec|off]           inspect / reconfigure fault injection
+//                                   (always enabled here: whoever drives
+//                                   stdin already owns the process)
 //   quit                            exit 0 (EOF does the same)
 //
 // Errors never kill the loop: a bad request gets one `error CODE: message`
@@ -69,6 +72,11 @@ int main(int argc, char** argv) {
   auto cache = std::make_shared<DatasetCache>();
   Service service(cache, options);
   marioh::net::LineProtocol protocol(cache.get(), &service);
+  // stdin is a local, single-operator surface: whoever can type here can
+  // also set MARIOH_FAILPOINTS, so gating the admin verb would add
+  // ceremony without adding safety (unlike the TCP server, where it is
+  // opt-in per --allow-failpoint-admin).
+  protocol.set_allow_failpoint_admin(true);
   std::cout << "ok marioh_serve workers="
             << (options.num_workers == 0 ? "auto"
                                          : std::to_string(

@@ -8,6 +8,8 @@
 //                 [--cache-bytes N] [--job-ttl SECONDS]
 //                 [--max-queued N] [--max-inflight N]
 //                 [--max-output-bytes N] [--stats-json PATH]
+//                 [--stall-timeout SECONDS] [--shed-batch-above N]
+//                 [--allow-failpoint-admin] [--force-poll]
 //
 //   --port P             bind 127.0.0.1:P; 0 (default) picks a free port
 //   --workers N          Service worker threads (0 = all cores)
@@ -20,6 +22,15 @@
 //   --max-output-bytes N per-connection write-buffer cap before a slow
 //                        reader is disconnected
 //   --stats-json PATH    write a final stats snapshot here on shutdown
+//   --stall-timeout S    watchdog: cancel a running job whose heartbeat
+//                        is silent for S seconds (negative = off)
+//   --shed-batch-above N reject batch-priority submits while >= N jobs
+//                        are queued (0 = no shedding)
+//   --allow-failpoint-admin
+//                        let clients drive the `failpoints` verb (chaos
+//                        testing only — never on a shared server)
+//   --force-poll         use the portable poll(2) event-loop backend
+//                        (MARIOH_NET_FORCE_POLL=1 does the same)
 //
 // The first stdout line is `ok marioh_served port=<P> ...` so a launcher
 // binding port 0 can read the real port back. SIGINT/SIGTERM stop the
@@ -37,6 +48,7 @@
 #include "api/service.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp_server.hpp"
+#include "util/failpoint.hpp"
 #include "util/parse.hpp"
 
 namespace {
@@ -71,6 +83,12 @@ void WriteStatsJson(const std::string& path,
       << "  \"preempted\": " << s.preempted << ",\n"
       << "  \"submits_rejected\": " << s.submits_rejected << ",\n"
       << "  \"jobs_retired\": " << s.jobs_retired << ",\n"
+      << "  \"jobs_retried\": " << s.jobs_retried << ",\n"
+      << "  \"retries_exhausted\": " << s.retries_exhausted << ",\n"
+      << "  \"jobs_stalled\": " << s.jobs_stalled << ",\n"
+      << "  \"loadshed_rejects\": " << s.loadshed_rejects << ",\n"
+      << "  \"faults_injected\": " << marioh::util::FailPoints::TotalHits()
+      << ",\n"
       << "  \"cache_bytes\": " << cache.total_bytes() << ",\n"
       << "  \"cache_evictions\": " << cache.evictions() << ",\n"
       << "  \"connections_active\": " << n.connections_active << ",\n"
@@ -85,6 +103,7 @@ void WriteStatsJson(const std::string& path,
 int main(int argc, char** argv) {
   marioh::api::ServiceOptions service_options;
   marioh::net::TcpServerOptions net_options;
+  marioh::net::EventLoopOptions loop_options;
   size_t cache_bytes = 0;
   std::string stats_json;
 
@@ -150,6 +169,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = value;
       ++i;
+    } else if (arg == "--stall-timeout" && i + 1 < argc) {
+      std::optional<double> timeout = marioh::util::ParseDouble(value);
+      if (!timeout.has_value()) {
+        return FlagError(arg, "seconds (negative = watchdog off)");
+      }
+      service_options.stall_timeout_seconds = *timeout;
+      ++i;
+    } else if (arg == "--shed-batch-above" && i + 1 < argc) {
+      std::optional<uint64_t> cap = marioh::util::ParseUint64(value);
+      if (!cap.has_value()) {
+        return FlagError(arg, "a queue depth (0 = no shedding)");
+      }
+      service_options.shed_batch_above_queued = *cap;
+      ++i;
+    } else if (arg == "--allow-failpoint-admin") {
+      net_options.allow_failpoint_admin = true;
+    } else if (arg == "--force-poll") {
+      loop_options.force_poll = true;
     } else {
       std::cerr << "error: unknown flag '" << arg
                 << "' (see the header comment of marioh_served.cpp)\n";
@@ -159,7 +196,7 @@ int main(int argc, char** argv) {
 
   auto cache = std::make_shared<marioh::api::DatasetCache>(cache_bytes);
   marioh::api::Service service(cache, service_options);
-  marioh::net::EventLoop loop;
+  marioh::net::EventLoop loop(loop_options);
   marioh::net::TcpServer server(&loop, cache.get(), &service, net_options);
 
   marioh::api::Status started = server.Start();
@@ -179,7 +216,8 @@ int main(int argc, char** argv) {
                     : std::to_string(service_options.num_workers))
             << " max_connections=" << net_options.max_connections
             << " cache_bytes=" << cache_bytes
-            << " job_ttl=" << service_options.job_ttl_seconds << std::endl;
+            << " job_ttl=" << service_options.job_ttl_seconds
+            << " backend=" << loop.backend() << std::endl;
 
   loop.Run();
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "io/text_io.hpp"
+#include "util/failpoint.hpp"
 
 namespace marioh::api {
 
@@ -30,6 +31,13 @@ void DatasetCache::TouchLocked(const Entry& entry) const {
 
 void DatasetCache::EvictLocked(const std::string& keep) {
   if (max_bytes_ == 0) return;
+  if (util::FailPoints::active()) {
+    // Fault surface: a slow eviction pass ("cache.evict", delay action)
+    // stretches the window in which the cache sits over budget — the
+    // pin-aware invariants must hold regardless. Error/short make no
+    // sense on a void path and are ignored.
+    util::FailPoints::Eval("cache.evict");
+  }
   while (total_bytes_ > max_bytes_) {
     // Oldest unpinned entry. "Unpinned" means the cache holds the only
     // reference to every non-null part of the handle, so erasing the
@@ -114,6 +122,12 @@ StatusOr<DatasetHandle> DatasetCache::LoadHypergraphFile(
       return ConflictLocked(it->second, name);
     }
   }
+  if (util::FailPoints::active() &&
+      util::FailPoints::Eval("cache.load") == util::FailAction::kError) {
+    return Status::Unavailable(
+        "failpoint 'cache.load': injected transient load failure for "
+        "dataset '" + name + "'");
+  }
   StatusOr<Hypergraph> h = io::TryReadHypergraphFile(path);
   if (!h.ok()) return h.status();
   auto hypergraph =
@@ -138,6 +152,12 @@ StatusOr<DatasetHandle> DatasetCache::LoadProjectedGraphFile(
       }
       return ConflictLocked(it->second, name);
     }
+  }
+  if (util::FailPoints::active() &&
+      util::FailPoints::Eval("cache.load") == util::FailAction::kError) {
+    return Status::Unavailable(
+        "failpoint 'cache.load': injected transient load failure for "
+        "dataset '" + name + "'");
   }
   StatusOr<ProjectedGraph> g = io::TryReadProjectedGraphFile(path);
   if (!g.ok()) return g.status();

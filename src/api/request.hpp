@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "api/status.hpp"
+
 namespace marioh::api {
 
 /// Scheduling class of a job. A higher class always dispatches before a
@@ -52,6 +54,42 @@ inline bool ParsePriority(const std::string& name, Priority* out) {
   }
   return true;
 }
+
+/// Per-request retry policy for *transient* failures. When an attempt
+/// fails with a status code in `retryable` and attempts remain, the
+/// service re-queues the job through its normal fair-share lanes after
+/// an exponential backoff — the job stays the same JobId, returns to
+/// QUEUED during the backoff (so the stats partition invariant holds
+/// unchanged), and its hard deadline is re-armed per attempt. Trips are
+/// never retried: a kCancelled / kDeadlineExceeded attempt, or any
+/// failure after Cancel() was requested, is terminal regardless of the
+/// retryable set.
+struct RetryPolicy {
+  /// Total attempts including the first; values below 1 mean 1 (the
+  /// default: fail fast, no retries).
+  int max_attempts = 1;
+  /// Backoff before attempt k+1 after k failed attempts:
+  /// `initial * multiplier^(k-1)`, capped at `max_backoff_seconds`,
+  /// stretched by up to `jitter_fraction` of itself. The jitter is a
+  /// pure function of (job id, attempt), so a replayed schedule backs
+  /// off identically — determinism survives the fault path.
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  double jitter_fraction = 0.1;
+  /// Status codes worth another attempt. Defaults to kUnavailable only —
+  /// the code every injected/transient fault surface reports; permanent
+  /// errors (kNotFound, kInvalidArgument, ...) stay fail-fast.
+  std::vector<StatusCode> retryable = {StatusCode::kUnavailable};
+
+  bool enabled() const { return max_attempts > 1; }
+  bool Retryable(StatusCode code) const {
+    for (StatusCode c : retryable) {
+      if (c == code) return true;
+    }
+    return false;
+  }
+};
 
 /// One reconstruction job. Dataset fields name entries of the service's
 /// `DatasetCache`.
@@ -101,6 +139,10 @@ struct ReconstructRequest {
   /// any value (the thread-count-invariance contract); only this job's
   /// wall-clock and CPU share change.
   int kernel_threads = 0;
+
+  /// Retry policy for transient failures (see RetryPolicy). The default
+  /// never retries.
+  RetryPolicy retry;
 
   /// Session/method `key=value` overrides, applied through
   /// `ApplySessionOverride` (so `threads=N`, `snapshot_reuse=0.3`,

@@ -7,6 +7,49 @@
 
 namespace marioh::api {
 
+namespace {
+
+/// Backoff before the next attempt after `failed_attempts` have failed:
+/// exponential with a deterministic jitter (a pure function of job id
+/// and attempt — replayed schedules back off identically).
+double BackoffSeconds(const RetryPolicy& policy, JobId id,
+                      int failed_attempts) {
+  double base = std::max(0.0, policy.initial_backoff_seconds);
+  for (int i = 1; i < failed_attempts; ++i) {
+    base *= policy.backoff_multiplier;
+    if (policy.max_backoff_seconds > 0.0 &&
+        base >= policy.max_backoff_seconds) {
+      break;
+    }
+  }
+  if (policy.max_backoff_seconds > 0.0) {
+    base = std::min(base, policy.max_backoff_seconds);
+  }
+  // splitmix64 of (id, attempt) -> uniform in [0, 1).
+  uint64_t x = (id * 0x9E3779B97F4A7C15ULL) ^
+               (static_cast<uint64_t>(failed_attempts) + 0x42ULL);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  double unit = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return base * (1.0 + std::max(0.0, policy.jitter_fraction) * unit);
+}
+
+/// True for a failure worth another attempt: the code is in the
+/// request's retryable set and the failure is not a trip — cancellation
+/// and hard deadlines are deliberate preemption, never retried.
+bool RetryableFailure(const RetryPolicy& policy, const Status& status) {
+  if (status.ok()) return false;
+  if (status.code() == StatusCode::kCancelled ||
+      status.code() == StatusCode::kDeadlineExceeded) {
+    return false;
+  }
+  return policy.Retryable(status.code());
+}
+
+}  // namespace
+
 const char* JobStateName(JobState state) {
   switch (state) {
     case JobState::kQueued:
@@ -30,11 +73,24 @@ Service::Service(std::shared_ptr<DatasetCache> cache,
     : cache_(std::move(cache)), options_(options) {
   MARIOH_CHECK(cache_ != nullptr);
   pool_ = std::make_unique<util::WorkerPool>(options_.num_workers);
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
 }
 
 Service::~Service() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  // The maintenance thread goes first: it must not re-enqueue a backoff
+  // retry into a pool that is shutting down underneath it.
+  maintenance_wake_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Jobs parked in the backoff heap are kQueued in the table below, so
+    // the sweep cancels them like any other queued job; the heap entries
+    // themselves just die with the service.
+    retry_heap_.clear();
     for (auto& [id, job] : jobs_) {
       if (job->state == JobState::kQueued) {
         job->state = JobState::kCancelled;
@@ -145,7 +201,7 @@ size_t Service::RetireExpired() {
 }
 
 Status Service::AdmitCapacityLocked(const std::string& client,
-                                    size_t extra_queued,
+                                    Priority priority, size_t extra_queued,
                                     size_t extra_same_client) {
   size_t queued = extra_queued;
   size_t inflight_client = extra_same_client;
@@ -156,6 +212,20 @@ Status Service::AdmitCapacityLocked(const std::string& client,
         job->request.client_id == client) {
       ++inflight_client;
     }
+  }
+  if (options_.shed_batch_above_queued > 0 &&
+      priority == Priority::kBatch &&
+      queued >= options_.shed_batch_above_queued) {
+    // Overload: shed bulk work before it buries the queue. Softer than
+    // the hard cap below (which turns *everyone* away), and counted
+    // separately so operators can tell pressure from misconfiguration.
+    ++totals_.submits_rejected;
+    ++totals_.loadshed_rejects;
+    return Status::ResourceExhausted(
+        "load shedding: batch admissions suspended while " +
+        std::to_string(queued) + " jobs are queued (threshold " +
+        std::to_string(options_.shed_batch_above_queued) +
+        "); retry later or raise the priority");
   }
   if (options_.max_queued_jobs > 0 && queued >= options_.max_queued_jobs) {
     ++totals_.submits_rejected;
@@ -183,7 +253,7 @@ StatusOr<JobId> Service::Submit(const ReconstructRequest& request) {
     std::lock_guard<std::mutex> lock(mutex_);
     RetireExpiredLocked();
     MARIOH_RETURN_IF_ERROR(
-        AdmitCapacityLocked(request.client_id, 0, 0));
+        AdmitCapacityLocked(request.client_id, request.priority, 0, 0));
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
     ++totals_.accepted;
@@ -220,7 +290,8 @@ StatusOr<std::vector<JobId>> Service::SubmitBatch(
         }
       }
       MARIOH_RETURN_IF_ERROR(AdmitCapacityLocked(
-          admitted[i]->request.client_id, i, same_client));
+          admitted[i]->request.client_id, admitted[i]->request.priority, i,
+          same_client));
     }
     for (const std::shared_ptr<Job>& job : admitted) {
       job->id = next_id_++;
@@ -247,10 +318,19 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
       return;
     }
     job->state = JobState::kRunning;
+    ++job->attempts;
+    // Arm the watchdog's stall clock for this attempt: progress is
+    // "the heartbeat advanced since last sampled", starting now.
+    job->last_heartbeat = job->cancel.heartbeat();
+    job->last_progress = std::chrono::steady_clock::now();
   }
+  // A sleeping maintenance thread starts its stall scans once something
+  // is running.
+  if (options_.stall_timeout_seconds >= 0.0) maintenance_wake_.notify_all();
   // The hard deadline covers *run* time, so arm it only now that the job
   // holds a worker — a job stuck behind a long queue keeps its full
-  // allowance.
+  // allowance. Re-armed per attempt: every retry gets the full
+  // allowance, like a fresh run would.
   if (job->request.deadline_seconds >= 0.0) {
     job->cancel.SetDeadline(job->request.deadline_seconds);
   }
@@ -304,54 +384,181 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
     }
   }
 
+  bool scheduled_retry = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job->status = status;
-    job->budget_overrun = session.deadline_exceeded();
-    job->evaluation = evaluation;
-    job->stage_stats = session.stage_timer().stages();
-    job->reconstruction = std::move(reconstruction);
-    job->finish_seq = next_finish_seq_++;
-    job->finished_at = std::chrono::steady_clock::now();
-    bool preempted = false;
-    if (status.ok()) {
-      job->state = JobState::kDone;
-      ++totals_.done;
-    } else if (status.code() == StatusCode::kCancelled) {
-      job->state = JobState::kCancelled;
-      ++totals_.cancelled;
-      preempted = true;
-    } else if (status.code() == StatusCode::kDeadlineExceeded &&
-               job->cancel.reason() == util::CancelReason::kDeadline) {
-      // The *hard* deadline tripped the token mid-run. (A plain
-      // kDeadlineExceeded without a tripped token is the soft
-      // time_budget_seconds gate refusing a later stage — that run
-      // produced and kept nothing extra, but it was not preempted.)
-      job->state = JobState::kDeadlineExceeded;
-      ++totals_.deadline_exceeded;
-      preempted = true;
-    } else {
-      job->state = JobState::kFailed;
-      ++totals_.failed;
+    // Transient failure with attempts left and no cancel requested:
+    // back off, then re-queue through the normal fair-share lanes. The
+    // job keeps its id and returns to kQueued — not a terminal
+    // transition, so no finish_seq and Wait() keeps blocking; the stats
+    // partition flows through the `queued` gauge unbroken.
+    if (RetryableFailure(job->request.retry, status) &&
+        !job->cancel.cancelled() && !stopping_) {
+      if (job->attempts < std::max(1, job->request.retry.max_attempts)) {
+        job->state = JobState::kQueued;
+        job->status = Status::Ok();
+        ++totals_.jobs_retried;
+        double backoff =
+            BackoffSeconds(job->request.retry, job->id, job->attempts);
+        auto due = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(backoff));
+        retry_heap_.emplace_back(due, job);
+        std::push_heap(retry_heap_.begin(), retry_heap_.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+        scheduled_retry = true;
+      } else {
+        // Out of attempts: the last transient status becomes terminal.
+        ++totals_.retries_exhausted;
+      }
     }
-    if (job->budget_overrun) ++totals_.budget_overruns;
-    if (preempted) {
-      ++totals_.preempted;
-      if (job->cancelled_at.has_value() &&
-          job->state == JobState::kCancelled) {
-        job->cancel_latency_seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - *job->cancelled_at)
-                .count();
-        ++totals_.cancel_latency_count;
-        totals_.cancel_latency_total_seconds += job->cancel_latency_seconds;
-        totals_.cancel_latency_max_seconds =
-            std::max(totals_.cancel_latency_max_seconds,
-                     job->cancel_latency_seconds);
+    if (!scheduled_retry) {
+      job->status = status;
+      job->budget_overrun = session.deadline_exceeded();
+      job->evaluation = evaluation;
+      job->stage_stats = session.stage_timer().stages();
+      job->reconstruction = std::move(reconstruction);
+      job->finish_seq = next_finish_seq_++;
+      job->finished_at = std::chrono::steady_clock::now();
+      bool preempted = false;
+      if (status.ok()) {
+        job->state = JobState::kDone;
+        ++totals_.done;
+      } else if (status.code() == StatusCode::kCancelled) {
+        job->state = JobState::kCancelled;
+        ++totals_.cancelled;
+        preempted = true;
+      } else if (status.code() == StatusCode::kDeadlineExceeded &&
+                 job->cancel.reason() == util::CancelReason::kDeadline) {
+        // The *hard* deadline tripped the token mid-run. (A plain
+        // kDeadlineExceeded without a tripped token is the soft
+        // time_budget_seconds gate refusing a later stage — that run
+        // produced and kept nothing extra, but it was not preempted.)
+        job->state = JobState::kDeadlineExceeded;
+        ++totals_.deadline_exceeded;
+        preempted = true;
+      } else {
+        job->state = JobState::kFailed;
+        ++totals_.failed;
+      }
+      if (job->stalled && job->state == JobState::kCancelled) {
+        // A watchdog cancel, not a user one: say so. (If the job beat
+        // the cancel to the finish line it stays kDone — best effort.)
+        job->status = Status::Cancelled(
+            "job stalled: watchdog observed no heartbeat for " +
+            std::to_string(options_.stall_timeout_seconds) +
+            "s and cancelled it");
+      }
+      if (job->budget_overrun) ++totals_.budget_overruns;
+      if (preempted) {
+        ++totals_.preempted;
+        if (job->cancelled_at.has_value() &&
+            job->state == JobState::kCancelled) {
+          job->cancel_latency_seconds =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - *job->cancelled_at)
+                  .count();
+          ++totals_.cancel_latency_count;
+          totals_.cancel_latency_total_seconds +=
+              job->cancel_latency_seconds;
+          totals_.cancel_latency_max_seconds =
+              std::max(totals_.cancel_latency_max_seconds,
+                       job->cancel_latency_seconds);
+        }
       }
     }
   }
-  job_done_.notify_all();
+  if (scheduled_retry) {
+    // Wake the maintenance thread so it can (re)compute its next due
+    // time; Wait()ers have nothing to see yet.
+    maintenance_wake_.notify_all();
+  } else {
+    job_done_.notify_all();
+  }
+}
+
+void Service::WatchdogTickLocked(
+    std::chrono::steady_clock::time_point now) {
+  for (auto& [id, job] : jobs_) {
+    if (job->state != JobState::kRunning || job->stalled) continue;
+    uint64_t heartbeat = job->cancel.heartbeat();
+    if (heartbeat != job->last_heartbeat) {
+      job->last_heartbeat = heartbeat;
+      job->last_progress = now;
+      continue;
+    }
+    double silent_seconds =
+        std::chrono::duration<double>(now - job->last_progress).count();
+    if (silent_seconds > options_.stall_timeout_seconds) {
+      // Wedged (or at least not reaching any poll site): cancel through
+      // the normal preemption path. The terminal transition in RunJob
+      // rewrites the status to say "stalled" and samples the
+      // detection-to-stop latency via cancelled_at.
+      job->stalled = true;
+      ++totals_.jobs_stalled;
+      job->cancelled_at = now;
+      job->cancel.Cancel();
+    }
+  }
+}
+
+void Service::MaintenanceLoop() {
+  using std::chrono::steady_clock;
+  const bool watchdog = options_.stall_timeout_seconds >= 0.0;
+  // Scan period: fine enough that detection latency is dominated by the
+  // stall timeout itself, coarse enough to stay invisible in profiles.
+  const auto period = std::chrono::duration_cast<steady_clock::duration>(
+      std::chrono::duration<double>(
+          watchdog
+              ? std::clamp(options_.stall_timeout_seconds / 4.0, 0.010,
+                           0.250)
+              : 0.250));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    bool anything_running = false;
+    if (watchdog) {
+      for (const auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          anything_running = true;
+          break;
+        }
+      }
+    }
+    if (retry_heap_.empty() && !anything_running) {
+      // Nothing to pace: sleep until a retry is scheduled, a job starts
+      // running (with the watchdog on), or shutdown.
+      maintenance_wake_.wait(lock);
+    } else {
+      steady_clock::time_point wake = steady_clock::now() + period;
+      if (!retry_heap_.empty()) {
+        wake = std::min(wake, retry_heap_.front().first);
+      }
+      maintenance_wake_.wait_until(lock, wake);
+    }
+    if (stopping_) break;
+    const steady_clock::time_point now = steady_clock::now();
+    std::vector<std::shared_ptr<Job>> due;
+    while (!retry_heap_.empty() && retry_heap_.front().first <= now) {
+      std::pop_heap(retry_heap_.begin(), retry_heap_.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+      due.push_back(std::move(retry_heap_.back().second));
+      retry_heap_.pop_back();
+    }
+    if (watchdog) WatchdogTickLocked(now);
+    if (!due.empty()) {
+      // Enqueue outside the lock: the pool takes its own mutex. A job
+      // cancelled during its backoff still enqueues harmlessly — RunJob
+      // sees the non-queued state and returns.
+      lock.unlock();
+      for (const std::shared_ptr<Job>& job : due) Enqueue(job);
+      lock.lock();
+    }
+  }
 }
 
 JobSnapshot Service::SnapshotLocked(const Job& job) const {
@@ -366,6 +573,7 @@ JobSnapshot Service::SnapshotLocked(const Job& job) const {
   snapshot.budget_overrun = job.budget_overrun;
   snapshot.finish_seq = job.finish_seq;
   snapshot.cancel_latency_seconds = job.cancel_latency_seconds;
+  snapshot.attempts = job.attempts;
   snapshot.evaluation = job.evaluation;
   snapshot.stage_stats = job.stage_stats;
   snapshot.reconstruction = job.reconstruction;

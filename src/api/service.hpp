@@ -19,6 +19,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/dataset_cache.hpp"
@@ -78,6 +79,10 @@ struct JobSnapshot {
   /// Seconds from the Cancel() call to the job actually stopping, for a
   /// job preempted while running; negative when not applicable.
   double cancel_latency_seconds = -1.0;
+  /// Attempts started so far (1 for a job that never retried; 0 while
+  /// still queued for its first run). A terminal snapshot's value is the
+  /// total attempts the job consumed.
+  int attempts = 0;
   /// Scores, when the request named a ground-truth dataset.
   std::optional<EvaluationResult> evaluation;
   /// Stage wall-clock and reconstruction counters of the job's session
@@ -134,6 +139,21 @@ struct ServiceStats {
   /// Forget calls do not count). Retirement drops the job *record* only;
   /// the monotone terminal totals it already landed in are unaffected.
   uint64_t jobs_retired = 0;
+  /// Transient-failure re-queues: bumped each time a retryable failure
+  /// sent a job back for another attempt (a job retried twice counts
+  /// twice). A retry is not a new admission — `accepted` counts the job
+  /// once, and during its backoff the job sits in the `queued` gauge, so
+  /// the terminal-partition invariant above holds through every retry.
+  uint64_t jobs_retried = 0;
+  /// Retryable failures with no attempts left: the job went kFailed
+  /// carrying its last transient status.
+  uint64_t retries_exhausted = 0;
+  /// Running jobs the watchdog declared stalled (heartbeat silent past
+  /// `stall_timeout_seconds`) and cancelled through the preemption path.
+  uint64_t jobs_stalled = 0;
+  /// Batch-priority submits turned away by load shedding
+  /// (`shed_batch_above_queued`). A subset of `submits_rejected`.
+  uint64_t loadshed_rejects = 0;
 };
 
 /// Configuration of a Service.
@@ -161,6 +181,21 @@ struct ServiceOptions {
   /// explicitly via RetireExpired() — long-lived servers tick the
   /// latter. Negative = keep forever (the pre-TTL behavior).
   double job_ttl_seconds = -1.0;
+  /// Watchdog: a *running* job whose heartbeat — published by its
+  /// kernels' CancelChecker polls and its session's stage gates — does
+  /// not advance for this many seconds is declared stalled and cancelled
+  /// through the normal preemption path. The job ends kCancelled with a
+  /// "stalled" status; `jobs_stalled` counts it. Detection latency is
+  /// bounded by `stall_timeout + watchdog period` (the period is
+  /// stall_timeout/4, clamped to [10ms, 250ms]). Negative disables the
+  /// watchdog entirely (no maintenance wakeups while idle).
+  double stall_timeout_seconds = -1.0;
+  /// Load shedding: while at least this many jobs are queued, new
+  /// kBatch-priority submits are rejected with kResourceExhausted
+  /// (`loadshed_rejects`) so background bulk work cannot bury
+  /// interactive traffic during overload. Interactive/normal submits
+  /// still admit up to `max_queued_jobs`. 0 disables shedding.
+  size_t shed_batch_above_queued = 0;
 };
 
 /// Runs reconstruction jobs asynchronously over a shared `DatasetCache`.
@@ -248,6 +283,16 @@ class Service {
     bool budget_overrun = false;
     uint64_t finish_seq = 0;
     double cancel_latency_seconds = -1.0;
+    /// Attempts started (guarded by mutex_); see JobSnapshot::attempts.
+    int attempts = 0;
+    /// Watchdog bookkeeping (guarded by mutex_): the heartbeat value
+    /// last sampled off the token and when it last advanced. Reset each
+    /// time the job transitions to kRunning.
+    uint64_t last_heartbeat = 0;
+    std::chrono::steady_clock::time_point last_progress{};
+    /// The watchdog cancelled this job for missing heartbeats; its
+    /// terminal status is rewritten to say so.
+    bool stalled = false;
     /// When the job reached its terminal state; the TTL sweep measures
     /// age from here. Unset while queued/running.
     std::optional<std::chrono::steady_clock::time_point> finished_at;
@@ -264,12 +309,19 @@ class Service {
   JobSnapshot SnapshotLocked(const Job& job) const;
   /// The TTL sweep. Requires `mutex_` held; returns jobs dropped.
   size_t RetireExpiredLocked();
-  /// Admission control for one more job of `client`, with `extra_queued`
-  /// jobs (of which `extra_same_client` share the client id) already
-  /// admitted ahead of it in the same batch. Requires `mutex_` held;
-  /// OK or kResourceExhausted (counted in submits_rejected).
-  Status AdmitCapacityLocked(const std::string& client, size_t extra_queued,
-                             size_t extra_same_client);
+  /// Admission control for one more job of `client` at `priority`, with
+  /// `extra_queued` jobs (of which `extra_same_client` share the client
+  /// id) already admitted ahead of it in the same batch. Requires
+  /// `mutex_` held; OK or kResourceExhausted (counted in
+  /// submits_rejected, plus loadshed_rejects when shed by priority).
+  Status AdmitCapacityLocked(const std::string& client, Priority priority,
+                             size_t extra_queued, size_t extra_same_client);
+  /// The retry/watchdog thread: re-enqueues backoff-expired retries and
+  /// runs the stall scan. Sleeps indefinitely when there is nothing to
+  /// watch (no pending retries, watchdog disabled or no running jobs).
+  void MaintenanceLoop();
+  /// One stall scan over the running jobs. Requires `mutex_` held.
+  void WatchdogTickLocked(std::chrono::steady_clock::time_point now);
 
   std::shared_ptr<DatasetCache> cache_;
   ServiceOptions options_;
@@ -283,9 +335,20 @@ class Service {
   uint64_t next_finish_seq_ = 1;
   ServiceStats totals_;  ///< counters other than the live gauges
 
+  /// Backoff queue: jobs between attempts, min-heap on due time (guarded
+  /// by mutex_). Entries whose job was cancelled during the backoff pop
+  /// harmlessly — RunJob sees a non-queued state and returns.
+  std::vector<std::pair<std::chrono::steady_clock::time_point,
+                        std::shared_ptr<Job>>>
+      retry_heap_;
+  std::condition_variable maintenance_wake_;
+  bool stopping_ = false;  ///< guarded by mutex_; set by the destructor
+
   /// Created last, destroyed first: workers must be gone before the job
   /// table they touch.
   std::unique_ptr<util::WorkerPool> pool_;
+  /// The retry/watchdog thread (joined before the pool shuts down).
+  std::thread maintenance_;
 };
 
 }  // namespace marioh::api

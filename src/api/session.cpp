@@ -5,6 +5,7 @@
 #include "eval/metrics.hpp"
 #include "io/text_io.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace marioh::api {
 
@@ -162,6 +163,32 @@ Status Session::BeginStage(const std::string& stage) {
   if (options_.progress && !options_.progress(stage, elapsed)) {
     return Status::Cancelled(info_.name + ": run cancelled before stage '" +
                              stage + "'");
+  }
+  // Stage gates double as liveness beats: a session that keeps crossing
+  // stage boundaries is alive even if its kernels never poll a
+  // CancelChecker (e.g. the fast baselines).
+  if (options_.cancel != nullptr) options_.cancel->Beat();
+  if (util::FailPoints::active()) {
+    // Fault surface: a transient failure or wedge at a stage boundary
+    // ("session.<stage>", e.g. "session.reconstruct"). The delay action
+    // takes the session's cancel token so a watchdog Cancel cuts the
+    // simulated wedge short; after the sleep the trip is re-checked so
+    // the wedged stage still reports kCancelled / kDeadlineExceeded.
+    util::FailAction action =
+        util::FailPoints::Eval("session." + stage, options_.cancel);
+    if (action == util::FailAction::kError) {
+      return Status::Unavailable(info_.name + ": failpoint 'session." +
+                                 stage +
+                                 "': injected transient failure before "
+                                 "stage '" + stage + "'");
+    }
+    if (options_.cancel != nullptr) {
+      util::CancelReason reason = options_.cancel->reason();
+      if (reason != util::CancelReason::kNone) {
+        return StatusForTrip(reason, info_.name,
+                             "before stage '" + stage + "'");
+      }
+    }
   }
   return Status::Ok();
 }

@@ -31,6 +31,10 @@ enum class StatusCode {
   kCancelled,           ///< progress callback requested a stop
   kResourceExhausted,   ///< admission control: queue/quota/connection limit hit
   kInternal,            ///< invariant violation surfaced as an error
+  /// Transient infrastructure failure (an injected or real load/read
+  /// hiccup) — the one code the service retry policy treats as
+  /// retryable by default: the operation may well succeed if repeated.
+  kUnavailable,
 };
 
 /// Stable upper-case name of a code ("INVALID_ARGUMENT", ...).
@@ -68,6 +72,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,11 +6,24 @@
 #include <string>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace marioh::io {
 namespace {
 
 using api::Status;
 using api::StatusOr;
+
+/// Fault surface: a transient file-system failure at the named
+/// failpoint ("io.read_hypergraph" / "io.read_graph"). kUnavailable so
+/// the service retry policy treats it as retryable, unlike the
+/// permanent kNotFound / kInvalidArgument the real read paths return.
+Status InjectedReadFailure(const std::string& point,
+                           const std::string& path) {
+  return Status::Unavailable("failpoint '" + point +
+                             "': injected transient read failure for " +
+                             path);
+}
 
 bool IsCommentOrBlank(const std::string& line) {
   for (char c : line) {
@@ -76,6 +89,11 @@ StatusOr<Hypergraph> TryReadHypergraph(std::istream& in) {
 }
 
 StatusOr<Hypergraph> TryReadHypergraphFile(const std::string& path) {
+  if (util::FailPoints::active() &&
+      util::FailPoints::Eval("io.read_hypergraph") ==
+          util::FailAction::kError) {
+    return InjectedReadFailure("io.read_hypergraph", path);
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open hypergraph file: " + path);
@@ -157,6 +175,10 @@ StatusOr<ProjectedGraph> TryReadProjectedGraph(std::istream& in) {
 }
 
 StatusOr<ProjectedGraph> TryReadProjectedGraphFile(const std::string& path) {
+  if (util::FailPoints::active() &&
+      util::FailPoints::Eval("io.read_graph") == util::FailAction::kError) {
+    return InjectedReadFailure("io.read_graph", path);
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open graph file: " + path);

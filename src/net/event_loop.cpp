@@ -1,19 +1,24 @@
 #include "net/event_loop.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
+// The poll(2) backend is always compiled — it is the portable fallback
+// *and* the runtime alternative behind EventLoopOptions::force_poll /
+// MARIOH_NET_FORCE_POLL. epoll is compiled in on Linux and selected at
+// runtime iff the epoll instance was actually created (backend_fd_ >= 0).
 #if defined(__linux__)
 #define MARIOH_NET_EPOLL 1
 #include <sys/epoll.h>
 #else
 #define MARIOH_NET_EPOLL 0
-#include <poll.h>
 #endif
 
 namespace marioh::net {
@@ -48,9 +53,17 @@ uint32_t FromEpoll(uint32_t events) {
 
 }  // namespace
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop(EventLoopOptions options) {
+  bool force_poll = options.force_poll;
+  const char* env = std::getenv("MARIOH_NET_FORCE_POLL");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    force_poll = true;
+  }
 #if MARIOH_NET_EPOLL
-  backend_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (!force_poll) backend_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+#else
+  (void)force_poll;
 #endif
   int pipe_fds[2] = {-1, -1};
   if (::pipe(pipe_fds) == 0) {
@@ -59,10 +72,12 @@ EventLoop::EventLoop() {
     SetNonBlocking(wake_read_);
     SetNonBlocking(wake_write_);
 #if MARIOH_NET_EPOLL
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = wake_read_;
-    ::epoll_ctl(backend_fd_, EPOLL_CTL_ADD, wake_read_, &ev);
+    if (backend_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = wake_read_;
+      ::epoll_ctl(backend_fd_, EPOLL_CTL_ADD, wake_read_, &ev);
+    }
 #endif
   }
 }
@@ -80,11 +95,13 @@ api::Status EventLoop::Add(int fd, uint32_t interest, Callback callback) {
                                       " is already registered");
   }
 #if MARIOH_NET_EPOLL
-  epoll_event ev{};
-  ev.events = ToEpoll(interest);
-  ev.data.fd = fd;
-  if (::epoll_ctl(backend_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    return Errno("epoll_ctl(ADD)");
+  if (backend_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = ToEpoll(interest);
+    ev.data.fd = fd;
+    if (::epoll_ctl(backend_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(ADD)");
+    }
   }
 #endif
   fds_[fd] = Registration{interest, std::move(callback), ++generation_};
@@ -98,11 +115,13 @@ api::Status EventLoop::Modify(int fd, uint32_t interest) {
                                  " is not registered");
   }
 #if MARIOH_NET_EPOLL
-  epoll_event ev{};
-  ev.events = ToEpoll(interest);
-  ev.data.fd = fd;
-  if (::epoll_ctl(backend_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
-    return Errno("epoll_ctl(MOD)");
+  if (backend_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = ToEpoll(interest);
+    ev.data.fd = fd;
+    if (::epoll_ctl(backend_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(MOD)");
+    }
   }
 #endif
   it->second.interest = interest;
@@ -116,7 +135,9 @@ api::Status EventLoop::Remove(int fd) {
                                  " is not registered");
   }
 #if MARIOH_NET_EPOLL
-  ::epoll_ctl(backend_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (backend_fd_ >= 0) {
+    ::epoll_ctl(backend_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
 #endif
   fds_.erase(it);
   return api::Status::Ok();
@@ -175,31 +196,46 @@ void EventLoop::Run() {
     };
     std::vector<Ready> ready;
 #if MARIOH_NET_EPOLL
-    epoll_event events[64];
-    int n = ::epoll_wait(backend_fd_, events, 64, timeout_ms);
-    for (int i = 0; i < n; ++i) {
-      int fd = events[i].data.fd;
-      if (fd == wake_read_) {
-        WakeupDrain();
-        continue;
+    if (backend_fd_ >= 0) {
+      epoll_event events[64];
+      int n = ::epoll_wait(backend_fd_, events, 64, timeout_ms);
+      if (n < 0) {
+        // A signal (profiler tick, SIGCHLD, test harness) interrupting
+        // the wait is routine: re-enter. Anything else is a broken
+        // backend — exit the loop rather than spin on it.
+        if (errno == EINTR) continue;
+        break;
       }
-      auto it = fds_.find(fd);
-      if (it == fds_.end()) continue;
-      ready.push_back({fd, FromEpoll(events[i].events),
-                       it->second.generation});
-    }
-#else
-    std::vector<pollfd> pfds;
-    pfds.reserve(fds_.size() + 1);
-    if (wake_read_ >= 0) pfds.push_back({wake_read_, POLLIN, 0});
-    for (const auto& [fd, reg] : fds_) {
-      short mask = 0;
-      if (reg.interest & kRead) mask |= POLLIN;
-      if (reg.interest & kWrite) mask |= POLLOUT;
-      pfds.push_back({fd, mask, 0});
-    }
-    int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (n > 0) {
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == wake_read_) {
+          WakeupDrain();
+          continue;
+        }
+        auto it = fds_.find(fd);
+        if (it == fds_.end()) continue;
+        ready.push_back({fd, FromEpoll(events[i].events),
+                         it->second.generation});
+      }
+    } else
+#endif
+    {
+      std::vector<pollfd> pfds;
+      pfds.reserve(fds_.size() + 1);
+      if (wake_read_ >= 0) pfds.push_back({wake_read_, POLLIN, 0});
+      for (const auto& [fd, reg] : fds_) {
+        short mask = 0;
+        if (reg.interest & kRead) mask |= POLLIN;
+        if (reg.interest & kWrite) mask |= POLLOUT;
+        pfds.push_back({fd, mask, 0});
+      }
+      int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+      if (n < 0) {
+        // Same contract as the epoll branch: EINTR re-enters, real
+        // errors end the loop.
+        if (errno == EINTR) continue;
+        break;
+      }
       for (const pollfd& p : pfds) {
         if (p.revents == 0) continue;
         if (p.fd == wake_read_) {
@@ -215,7 +251,6 @@ void EventLoop::Run() {
         ready.push_back({p.fd, mask, it->second.generation});
       }
     }
-#endif
     for (const Ready& r : ready) {
       auto it = fds_.find(r.fd);
       // Skip if removed by an earlier callback, or if the fd number was

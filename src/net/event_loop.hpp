@@ -23,6 +23,17 @@
 
 namespace marioh::net {
 
+struct EventLoopOptions {
+  /// Use the portable poll(2) backend even where epoll is available.
+  /// The same switch is forced by setting the MARIOH_NET_FORCE_POLL
+  /// environment variable to anything but "" or "0" — so a deployed
+  /// binary can be flipped without a rebuild, and the test suite runs a
+  /// slice over both backends. Everything observable except syscall
+  /// choice is identical: both are level-triggered and feed the same
+  /// dispatch path.
+  bool force_poll = false;
+};
+
 class EventLoop {
  public:
   /// Readiness bits, both for interest masks and callback events.
@@ -34,7 +45,7 @@ class EventLoop {
   /// Invoked with the ready-event mask of the fd.
   using Callback = std::function<void(uint32_t events)>;
 
-  EventLoop();
+  explicit EventLoop(EventLoopOptions options = {});
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -65,6 +76,9 @@ class EventLoop {
   void Stop();
 
   bool stopped() const;
+
+  /// The backend this loop actually uses: "epoll" or "poll".
+  const char* backend() const { return backend_fd_ >= 0 ? "epoll" : "poll"; }
 
  private:
   struct Registration {

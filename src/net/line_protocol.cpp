@@ -7,6 +7,7 @@
 #include "api/registry.hpp"
 #include "api/request.hpp"
 #include "eval/harness.hpp"
+#include "util/failpoint.hpp"
 #include "util/parse.hpp"
 
 namespace marioh::net {
@@ -62,6 +63,9 @@ std::string LineProtocol::FormatJob(const JobSnapshot& job) const {
       out << " status=" << api::StatusCodeName(job.status.code());
     }
     if (job.budget_overrun) out << " budget_overrun=1";
+    // Only jobs that actually retried report the field, so responses on
+    // a no-retry server stay byte-identical to the pre-retry protocol.
+    if (job.attempts > 1) out << " attempts=" << job.attempts;
     if (job.cancel_latency_seconds >= 0.0) {
       out << " cancel_latency=" << job.cancel_latency_seconds;
     }
@@ -108,6 +112,11 @@ std::string LineProtocol::FormatStats() const {
   }
   out << " submits_rejected=" << stats.submits_rejected
       << " jobs_retired=" << stats.jobs_retired
+      << " jobs_retried=" << stats.jobs_retried
+      << " retries_exhausted=" << stats.retries_exhausted
+      << " jobs_stalled=" << stats.jobs_stalled
+      << " loadshed_rejects=" << stats.loadshed_rejects
+      << " faults_injected=" << util::FailPoints::TotalHits()
       << " cache_bytes=" << cache_->total_bytes()
       << " cache_evictions=" << cache_->evictions();
   if (extra_stats_) {
@@ -202,7 +211,8 @@ LineProtocol::Result LineProtocol::HandleSubmit(std::istream& args) const {
     bool typed = key == "method" || key == "train" || key == "target" ||
                  key == "truth" || key == "seed" || key == "budget" ||
                  key == "deadline" || key == "priority" ||
-                 key == "client" || key == "kthreads";
+                 key == "client" || key == "kthreads" ||
+                 key == "retries" || key == "backoff";
     if (typed) {
       // Mirror the session layer's duplicate hardening: a repeated typed
       // key is a typo, not a silent overwrite.
@@ -249,6 +259,15 @@ LineProtocol::Result LineProtocol::HandleSubmit(std::istream& args) const {
       std::optional<int> threads = util::ParseNonNegativeInt(value);
       bad_value = !threads.has_value();
       if (!bad_value) request.kernel_threads = *threads;
+    } else if (key == "retries") {
+      // retries=N grants N retries on top of the first attempt.
+      std::optional<int> retries = util::ParseNonNegativeInt(value);
+      bad_value = !retries.has_value();
+      if (!bad_value) request.retry.max_attempts = 1 + *retries;
+    } else if (key == "backoff") {
+      std::optional<double> backoff = util::ParseDouble(value);
+      bad_value = !backoff.has_value() || *backoff < 0.0;
+      if (!bad_value) request.retry.initial_backoff_seconds = *backoff;
     } else {
       request.overrides.emplace_back(std::move(key), std::move(value));
       continue;
@@ -316,10 +335,41 @@ LineProtocol::Result LineProtocol::Handle(const std::string& line) {
             std::nullopt};
   }
   if (verb == "stats") return {FormatStats(), false, std::nullopt};
+  if (verb == "failpoints") {
+    // Chaos administration: reconfigure the process-wide failpoint
+    // registry mid-run so a soak can rotate fault schedules over one
+    // long-lived daemon. Gated — see set_allow_failpoint_admin.
+    if (!allow_failpoint_admin_) {
+      return {FormatError(Status::FailedPrecondition(
+                  "failpoint administration is disabled; start the "
+                  "server with --allow-failpoint-admin")),
+              false, std::nullopt};
+    }
+    std::string spec;
+    std::getline(args, spec);
+    size_t start = spec.find_first_not_of(" \t");
+    spec = start == std::string::npos ? "" : spec.substr(start);
+    if (spec.empty()) {
+      // No argument: report the active configuration and hit counts.
+      std::string response =
+          "ok failpoints total_hits=" +
+          std::to_string(util::FailPoints::TotalHits());
+      for (const std::string& line : util::FailPoints::Describe()) {
+        response += " " + line;
+      }
+      return {response + "\n", false, std::nullopt};
+    }
+    std::string error;
+    if (!util::FailPoints::ConfigureList(spec, &error)) {
+      return {FormatError(Status::InvalidArgument(error)), false,
+              std::nullopt};
+    }
+    return {"ok failpoints " + spec + "\n", false, std::nullopt};
+  }
   return {FormatError(Status::InvalidArgument(
               "unknown request '" + verb +
               "' (load gen datasets methods submit poll wait cancel forget "
-              "stats quit)")),
+              "stats failpoints quit)")),
           false, std::nullopt};
 }
 

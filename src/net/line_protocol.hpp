@@ -40,6 +40,14 @@ class LineProtocol {
   /// the same verb.
   void set_extra_stats(std::function<std::string()> extra);
 
+  /// Enables the `failpoints` admin verb (process-wide fault injection —
+  /// see util/failpoint.hpp). Off by default: a fault-injection surface
+  /// must be an explicit operator opt-in (`--allow-failpoint-admin`),
+  /// never something a network peer can reach on a stock server.
+  void set_allow_failpoint_admin(bool allow) {
+    allow_failpoint_admin_ = allow;
+  }
+
   /// Outcome of one request line.
   struct Result {
     /// Complete response, '\n'-terminated — empty only for blank/comment
@@ -77,6 +85,7 @@ class LineProtocol {
   api::Service* service_;
   std::string default_client_;
   std::function<std::string()> extra_stats_;
+  bool allow_failpoint_admin_ = false;
 };
 
 }  // namespace marioh::net

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/failpoint.hpp"
+
 namespace marioh::net {
 
 namespace {
@@ -22,6 +24,25 @@ api::Status Errno(const std::string& what) {
 void SetNonBlocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One-shot best-effort write for sockets about to be closed (the
+/// connection-reject path): retries EINTR and short writes, gives up on
+/// anything else — the peer is being turned away, so losing the error
+/// line is acceptable. MSG_NOSIGNAL so a peer that already closed can
+/// never SIGPIPE the embedding process.
+void BestEffortSend(int fd, std::string_view bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + offset, bytes.size() - offset,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EAGAIN on a non-blocking reject or a dead peer: drop it
+  }
 }
 
 }  // namespace
@@ -95,19 +116,24 @@ void TcpServer::OnAcceptable() {
   // accept per wakeup would also work, but this keeps accept latency flat
   // under bursts.
   for (;;) {
+    if (util::FailPoints::active() &&
+        util::FailPoints::Eval("net.accept") == util::FailAction::kError) {
+      // Simulated transient accept failure: behave exactly like EAGAIN.
+      // The level-triggered loop re-delivers readability while the
+      // backlog is non-empty, so pending peers are only delayed.
+      return;
+    }
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN / transient error: wait for next event
     SetNonBlocking(fd);
     if (options_.max_connections > 0 &&
         connections_.size() >= options_.max_connections) {
-      // Over the cap: one error line (best effort — the socket buffer of
-      // a fresh connection always has room) and out.
+      // Over the cap: one error line (best effort) and out.
       std::string reject = LineProtocol::FormatError(
           api::Status::ResourceExhausted(
               "server at connection limit (" +
               std::to_string(options_.max_connections) + ")"));
-      [[maybe_unused]] ssize_t n =
-          ::write(fd, reject.data(), reject.size());
+      BestEffortSend(fd, reject);
       ::close(fd);
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -118,6 +144,7 @@ void TcpServer::OnAcceptable() {
     conn->id = id;
     conn->protocol.set_default_client("conn-" + std::to_string(id));
     conn->protocol.set_extra_stats([this] { return StatsFields(); });
+    conn->protocol.set_allow_failpoint_admin(options_.allow_failpoint_admin);
     api::Status added = loop_->Add(
         fd, EventLoop::kRead,
         [this, fd](uint32_t events) { OnConnectionEvent(fd, events); });
@@ -151,6 +178,13 @@ void TcpServer::OnConnectionEvent(int fd, uint32_t events) {
 void TcpServer::HandleReadable(Connection& conn) {
   const int fd = conn.fd;
   for (;;) {
+    if (util::FailPoints::active() &&
+        util::FailPoints::Eval("net.read") == util::FailAction::kError) {
+      // Simulated EAGAIN: stop draining now; buffered kernel bytes keep
+      // the level-triggered read event pending, so progress resumes on
+      // the next loop iteration.
+      break;
+    }
     char buffer[4096];
     ssize_t n = ::read(fd, buffer, sizeof buffer);
     if (n > 0) {
@@ -258,7 +292,19 @@ bool TcpServer::QueueOutput(Connection& conn, std::string_view bytes) {
 bool TcpServer::FlushOutput(Connection& conn) {
   const int fd = conn.fd;
   while (!conn.output.empty()) {
-    ssize_t n = ::write(fd, conn.output.data(), conn.output.size());
+    size_t len = conn.output.size();
+    if (util::FailPoints::active()) {
+      // Fault surface "net.write": error = simulated EAGAIN (stop
+      // flushing; EPOLLOUT interest drains the rest later), short =
+      // 1-byte write (forces the partial-write resume path every call).
+      util::FailAction action = util::FailPoints::Eval("net.write");
+      if (action == util::FailAction::kError) break;
+      if (action == util::FailAction::kShort) len = 1;
+    }
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as an
+    // EPIPE error (handled below), never as a process-killing SIGPIPE —
+    // embedders that haven't installed SIG_IGN are protected too.
+    ssize_t n = ::send(fd, conn.output.data(), len, MSG_NOSIGNAL);
     if (n > 0) {
       conn.output.erase(0, static_cast<size_t>(n));
       continue;

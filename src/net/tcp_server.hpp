@@ -58,6 +58,11 @@ struct TcpServerOptions {
   size_t max_output_bytes = 1 << 20;
   /// Loop tick period: deferred-wait resolution + TTL retirement cadence.
   std::chrono::milliseconds tick_period{20};
+  /// Expose the `failpoints` admin verb to connected clients (see
+  /// LineProtocol::set_allow_failpoint_admin). Off by default — fault
+  /// injection over the wire is a chaos-testing opt-in, not a stock
+  /// serving feature.
+  bool allow_failpoint_admin = false;
 };
 
 /// Connection counters, readable from any thread (the loop publishes,

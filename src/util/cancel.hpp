@@ -76,6 +76,23 @@ class CancelToken {
     return CancelReason::kNone;
   }
 
+  /// Publishes liveness: bumps the heartbeat counter the service
+  /// watchdog samples to tell a slow-but-working job from a wedged one.
+  /// Rides the existing poll sites (CancelChecker calls it on every
+  /// check, Session stage gates once per stage), so the hot-path cost is
+  /// one relaxed atomic add on a line only this job's kernels touch.
+  /// Const because kernels hold `const CancelToken*` — beating is
+  /// observability, not control, so the reader-side plumbing stays
+  /// untouched.
+  void Beat() const { heartbeat_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The watchdog's sample: monotone while the job makes progress,
+  /// frozen when it is wedged (e.g. stuck in a blocking call that never
+  /// reaches a poll site).
+  uint64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+
  private:
   static int64_t NowNanos() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -86,6 +103,9 @@ class CancelToken {
   std::atomic<bool> cancelled_{false};
   /// Steady-clock deadline in ns since the clock's epoch; 0 = disarmed.
   std::atomic<int64_t> deadline_ns_{0};
+  /// Liveness counter for the watchdog; mutable so the polling kernels'
+  /// `const CancelToken*` view can still beat (see Beat()).
+  mutable std::atomic<uint64_t> heartbeat_{0};
 };
 
 /// Null-safe check for the common `const CancelToken* cancel` parameter.
@@ -103,8 +123,11 @@ class CancelChecker {
       : token_(token), stride_(stride == 0 ? 1 : stride) {}
 
   /// True once the token tripped (checked with the striding above).
+  /// Every call also publishes a heartbeat, so the poll sites double as
+  /// the liveness signal the service watchdog samples.
   bool ShouldStop() {
     if (stopped_ || token_ == nullptr) return stopped_;
+    token_->Beat();
     if (token_->cancelled()) {
       stopped_ = true;
     } else if (++calls_ >= stride_) {

@@ -1,0 +1,288 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/cancel.hpp"
+
+namespace marioh::util {
+
+namespace detail {
+std::atomic<int> g_active_failpoints{0};
+}  // namespace detail
+
+namespace {
+
+/// splitmix64: tiny, seedable, and good enough for coin flips.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d4ecb9f5a57d35ULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a, so each failpoint's draw stream is independent of the
+  // others regardless of configuration order.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct Point {
+  FailAction action = FailAction::kNone;
+  int delay_ms = 0;
+  double probability = 1.0;
+  uint64_t max_count = 0;  ///< 0 = unlimited
+  uint64_t skip = 0;       ///< `after=`: evaluations to pass first
+  std::string spec;        ///< original text, for Describe
+
+  uint64_t evals = 0;  ///< times Eval reached this point
+  uint64_t hits = 0;   ///< times it fired
+  uint64_t rng = 0;    ///< per-point draw state (seed ^ name hash)
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Point> points;
+  uint64_t seed = 0;
+  /// Monotone across Clear(): the chaos accounting counter.
+  uint64_t total_hits = 0;
+};
+
+Registry& R() {
+  static Registry registry;
+  return registry;
+}
+
+/// Parses "error", "delay:250|p=0.5|count=3|after=1", "short", ...
+/// into `*point`. Returns false with *error set on malformed input.
+bool ParseSpec(const std::string& spec, Point* point, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  Point parsed;
+  parsed.spec = spec;
+  std::istringstream in(spec);
+  std::string field;
+  bool have_action = false;
+  while (std::getline(in, field, '|')) {
+    if (field.empty()) return fail("empty field in failpoint spec '" + spec + "'");
+    if (field == "error" || field == "short") {
+      if (have_action) return fail("duplicate action in '" + spec + "'");
+      parsed.action = field == "error" ? FailAction::kError : FailAction::kShort;
+      have_action = true;
+      continue;
+    }
+    if (field.rfind("delay:", 0) == 0) {
+      if (have_action) return fail("duplicate action in '" + spec + "'");
+      try {
+        size_t pos = 0;
+        int ms = std::stoi(field.substr(6), &pos);
+        if (pos != field.size() - 6 || ms < 0) throw std::invalid_argument(field);
+        parsed.delay_ms = ms;
+      } catch (const std::exception&) {
+        return fail("bad delay '" + field + "' (expected delay:<ms>)");
+      }
+      parsed.action = FailAction::kDelay;
+      have_action = true;
+      continue;
+    }
+    if (field.rfind("p=", 0) == 0) {
+      try {
+        size_t pos = 0;
+        double p = std::stod(field.substr(2), &pos);
+        if (pos != field.size() - 2 || p < 0.0 || p > 1.0) {
+          throw std::invalid_argument(field);
+        }
+        parsed.probability = p;
+      } catch (const std::exception&) {
+        return fail("bad probability '" + field + "' (expected p=<0..1>)");
+      }
+      continue;
+    }
+    if (field.rfind("count=", 0) == 0 || field.rfind("after=", 0) == 0) {
+      bool is_count = field[0] == 'c';
+      try {
+        size_t pos = 0;
+        unsigned long long n = std::stoull(field.substr(6), &pos);
+        if (pos != field.size() - 6) throw std::invalid_argument(field);
+        (is_count ? parsed.max_count : parsed.skip) = n;
+      } catch (const std::exception&) {
+        return fail("bad modifier '" + field + "' (expected " +
+                    (is_count ? "count=<n>" : "after=<n>") + ")");
+      }
+      continue;
+    }
+    return fail("unknown failpoint field '" + field + "' in '" + spec + "'");
+  }
+  if (!have_action) {
+    return fail("failpoint spec '" + spec +
+                "' names no action (error, delay:<ms>, short)");
+  }
+  *point = parsed;
+  return true;
+}
+
+/// Loads MARIOH_FAILPOINTS / MARIOH_FAILPOINTS_SEED once at static init,
+/// so a daemon launched with the env var set injects from its first
+/// request without any code having to opt in.
+const bool g_env_loaded = [] {
+  const char* seed_env = std::getenv("MARIOH_FAILPOINTS_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    FailPoints::SetSeed(std::strtoull(seed_env, nullptr, 10));
+  }
+  const char* env = std::getenv("MARIOH_FAILPOINTS");
+  if (env != nullptr && *env != '\0') {
+    std::string error;
+    if (!FailPoints::ConfigureList(env, &error)) {
+      // Mis-typed env vars must be loud, not silently inert — but this
+      // is static init, so stderr is the only channel available.
+      std::fprintf(stderr, "MARIOH_FAILPOINTS: %s\n", error.c_str());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+FailAction FailPoints::Eval(const std::string& name,
+                            const CancelToken* cancel) {
+  FailAction action = FailAction::kNone;
+  int delay_ms = 0;
+  {
+    Registry& r = R();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.points.find(name);
+    if (it == r.points.end()) return FailAction::kNone;
+    Point& point = it->second;
+    ++point.evals;
+    if (point.evals <= point.skip) return FailAction::kNone;
+    if (point.max_count > 0 && point.hits >= point.max_count) {
+      return FailAction::kNone;
+    }
+    if (point.probability < 1.0) {
+      double draw = static_cast<double>(SplitMix64(point.rng) >> 11) *
+                    (1.0 / 9007199254740992.0);  // uniform [0, 1)
+      if (draw >= point.probability) return FailAction::kNone;
+    }
+    ++point.hits;
+    ++r.total_hits;
+    action = point.action;
+    delay_ms = point.delay_ms;
+  }
+  if (action == FailAction::kDelay && delay_ms > 0) {
+    // Chunked so a watchdog cancel can cut a simulated wedge short when
+    // the site threads its token through (Session stage gates do).
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(delay_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (cancel != nullptr && cancel->ShouldStop()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return action;
+}
+
+bool FailPoints::Configure(const std::string& name, const std::string& spec,
+                           std::string* error) {
+  if (name.empty()) {
+    if (error != nullptr) *error = "empty failpoint name";
+    return false;
+  }
+  Registry& r = R();
+  if (spec.empty() || spec == "off") {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.points.erase(name) > 0) {
+      detail::g_active_failpoints.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  Point point;
+  if (!ParseSpec(spec, &point, error)) return false;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  point.rng = r.seed ^ HashName(name);
+  auto [it, inserted] = r.points.insert_or_assign(name, point);
+  (void)it;
+  if (inserted) {
+    detail::g_active_failpoints.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool FailPoints::ConfigureList(const std::string& list, std::string* error) {
+  if (list == "off") {
+    Clear();
+    return true;
+  }
+  std::istringstream in(list);
+  std::string entry;
+  while (std::getline(in, entry, ',')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) {
+        *error = "expected name=spec, got '" + entry + "'";
+      }
+      return false;
+    }
+    if (!Configure(entry.substr(0, eq), entry.substr(eq + 1), error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FailPoints::Clear() {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  detail::g_active_failpoints.fetch_sub(static_cast<int>(r.points.size()),
+                                        std::memory_order_relaxed);
+  r.points.clear();
+}
+
+void FailPoints::SetSeed(uint64_t seed) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.seed = seed;
+  for (auto& [name, point] : r.points) {
+    point.rng = seed ^ HashName(name);
+  }
+}
+
+uint64_t FailPoints::Hits(const std::string& name) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::TotalHits() {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.total_hits;
+}
+
+std::vector<std::string> FailPoints::Describe() {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> lines;
+  lines.reserve(r.points.size());
+  for (const auto& [name, point] : r.points) {
+    lines.push_back(name + "=" + point.spec + " hits=" +
+                    std::to_string(point.hits));
+  }
+  return lines;
+}
+
+}  // namespace marioh::util

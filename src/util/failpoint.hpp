@@ -1,0 +1,116 @@
+/// \file failpoint.hpp
+/// \brief Deterministic fault injection: named failpoints planted at the
+/// real fault surfaces of the stack (io file loads, DatasetCache
+/// load/evict, WorkerPool task start, Session stage boundaries, the net
+/// read/write/accept wrappers) so tests and the chaos soak can make the
+/// error paths *happen* on demand instead of hoping for them.
+///
+/// A failpoint is a name plus an action:
+///
+///   error      simulate a failure — the site maps it to its own idiom
+///              (a Status::Unavailable return, an injected EAGAIN, ...)
+///   delay:MS   sleep MS milliseconds at the site, then continue — the
+///              "wedged job" / slow-dependency simulator (chunked, and
+///              interruptible when the site passes a CancelToken)
+///   short      truncate the operation (the net write wrapper maps this
+///              to a 1-byte short write; elsewhere it acts like error)
+///
+/// with optional `|`-separated modifiers:
+///
+///   p=F        fire with probability F (seeded, deterministic per name)
+///   count=N    fire at most N times, then go dormant
+///   after=N    skip the first N evaluations before firing
+///
+/// Configuration comes from the `MARIOH_FAILPOINTS` environment variable
+/// (comma-separated `name=action|mod|mod` entries, parsed once at static
+/// init) or the programmatic API below; `MARIOH_FAILPOINTS_SEED` (or
+/// SetSeed) fixes the p= coin flips so a chaos schedule replays exactly.
+///
+/// **Zero-cost when inactive.** Sites gate on `FailPoints::active()` — a
+/// single relaxed atomic load that is false unless at least one failpoint
+/// is configured anywhere in the process — so with `MARIOH_FAILPOINTS`
+/// unset the planted checks compile to one branch on a cold flag and the
+/// binary is behavior-identical to an un-instrumented one (asserted by
+/// test_faults).
+///
+/// This is the estimate-then-verify doctrine of test_robustness.cpp
+/// extended from bad data to bad infrastructure: violate the environment
+/// deliberately, and prove the service layer degrades and recovers
+/// instead of falling over.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marioh::util {
+
+class CancelToken;
+
+/// What a fired failpoint asks the site to simulate. kNone means the
+/// point did not fire (unconfigured, probability missed, count spent);
+/// kDelay is reported after the sleep already happened inside Eval.
+enum class FailAction {
+  kNone = 0,
+  kError,
+  kDelay,
+  kShort,
+};
+
+namespace detail {
+/// Count of configured failpoints; the one word the hot gate reads.
+extern std::atomic<int> g_active_failpoints;
+}  // namespace detail
+
+/// Global, process-wide failpoint registry. All methods are thread-safe;
+/// `active()` is lock-free and the only call allowed on a hot path.
+class FailPoints {
+ public:
+  /// True when any failpoint is configured — one relaxed atomic load.
+  /// Sites must check this before calling Eval.
+  static bool active() {
+    return detail::g_active_failpoints.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates the named failpoint: applies after/count/p bookkeeping and
+  /// returns the action the site should simulate. A `delay` action sleeps
+  /// here (in 10 ms chunks, aborting early if `cancel` trips) and then
+  /// returns kDelay so the site can also account the hit if it wants.
+  /// Unconfigured names return kNone.
+  static FailAction Eval(const std::string& name,
+                         const CancelToken* cancel = nullptr);
+
+  /// Configures (or reconfigures) one failpoint from an action spec like
+  /// "error", "delay:250|p=0.5", "short|after=2|count=3". An empty spec
+  /// or "off" removes the point. Returns false and fills *error on a
+  /// malformed spec (the registry is left unchanged).
+  static bool Configure(const std::string& name, const std::string& spec,
+                        std::string* error = nullptr);
+
+  /// Configures a comma-separated `name=spec,...` list, the
+  /// MARIOH_FAILPOINTS syntax; "off" alone clears everything.
+  static bool ConfigureList(const std::string& list,
+                            std::string* error = nullptr);
+
+  /// Removes every failpoint and resets hit accounting to zero.
+  static void Clear();
+
+  /// Reseeds the p= coin flips (also resets each point's draw sequence).
+  /// Equivalent to MARIOH_FAILPOINTS_SEED.
+  static void SetSeed(uint64_t seed);
+
+  /// Times the named failpoint fired (0 for unknown names).
+  static uint64_t Hits(const std::string& name);
+
+  /// Total fires across all failpoints since process start — survives
+  /// Clear so chaos harnesses can account every injected fault.
+  static uint64_t TotalHits();
+
+  /// "name=spec hits=N" lines for every configured point, sorted by
+  /// name; empty when none are configured.
+  static std::vector<std::string> Describe();
+};
+
+}  // namespace marioh::util

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace marioh::util {
@@ -97,6 +98,13 @@ void WorkerPool::WorkerLoop() {
       if (queued_ == 0) return;  // shutdown with a drained queue
       task = PopLocked();
       ++active_;
+    }
+    if (FailPoints::active()) {
+      // Fault surface: a worker stalls between dequeue and execution
+      // ("worker.task_start", delay action) — the job is Running but
+      // silent, which is exactly what the service watchdog must detect.
+      // Error/short are meaningless on this void path and ignored.
+      FailPoints::Eval("worker.task_start");
     }
     task();
     {

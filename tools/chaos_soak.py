@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Chaos soak for marioh_served: net_soak under rotating fault injection.
+
+Spawns the daemon with failpoint administration enabled, a fixed
+MARIOH_FAILPOINTS_SEED (so a failing schedule replays exactly), and the
+job watchdog armed, then drives four phases of traffic over concurrent
+TCP connections while rotating the failpoint schedule between them:
+
+  A  retry storm      session.reconstruct=error|p=0.3 while every client
+                      submits with retries=4 — jobs must end DONE (the
+                      retry path healed them) or, rarely, FAILED with the
+                      transient status (retries exhausted: *accounted*,
+                      not crashed).
+  B  wire storm       net.read=error|p=0.2,net.write=short|p=0.2 —
+                      simulated EAGAIN and 1-byte short writes; every
+                      request must still complete exactly once.
+  C  wedged job       session.reconstruct=delay:30000|count=1 — the
+                      watchdog must detect the frozen heartbeat and
+                      cancel the job within its bounded latency instead
+                      of the 30 s stall.
+  D  recovery         failpoints off — the same daemon, with faults
+                      cleared, serves plain traffic flawlessly again.
+
+Then SIGTERMs the daemon and asserts from its --stats-json snapshot:
+
+  * >= 200 requests served across >= 6 connections, zero crashes,
+  * the service counter partition holds:
+      accepted == done + failed + cancelled + deadline_exceeded
+                  + queued + running
+  * the fault machinery actually engaged: faults_injected > 0,
+    jobs_retried > 0, jobs_stalled >= 1,
+  * clean exit 0.
+
+Usage: chaos_soak.py /path/to/marioh_served [stats.json]
+
+Exit status 0 on success; nonzero with a diagnostic on any failure.
+No dependencies beyond the Python 3 standard library.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+CONNECTIONS = 8          # concurrent clients per phase (>= 6 required)
+JOBS_PHASE_A = 5         # retry-storm jobs per connection
+JOBS_PHASE_B = 3         # wire-storm jobs per connection
+JOBS_PHASE_D = 2         # recovery jobs per connection
+FAILPOINT_SEED = "427"   # fixed: a failing run replays bit-for-bit
+STALL_TIMEOUT = 1.0      # watchdog budget for phase C (seconds)
+
+
+def fail(message):
+    print("chaos_soak: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    """One line-protocol conversation over a fresh TCP connection."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=120)
+        self.buf = b""
+        self.requests = 0
+        self.greeting = self.read_line()
+        if not self.greeting.startswith("ok marioh_served client=conn-"):
+            fail("bad greeting: %r" % self.greeting)
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                fail("connection closed mid-conversation")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def request(self, line):
+        self.sock.sendall((line + "\n").encode())
+        self.requests += 1
+        reply = self.read_line()
+        if not (reply.startswith("ok ") or reply.startswith("error ")):
+            fail("malformed reply to %r: %r" % (line, reply))
+        return reply
+
+    def close(self):
+        self.sock.close()
+
+
+class Tally:
+    """Thread-safe request / outcome accounting across worker threads."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.requests = 0
+        self.done = 0
+        self.failed_unavailable = 0
+
+
+def submit_and_wait(client, tally, submit_line, allow_exhausted):
+    reply = client.request(submit_line)
+    if not reply.startswith("ok job "):
+        fail("submit rejected: %r" % reply)
+    job_id = reply.split()[2]
+    reply = client.request("wait " + job_id)
+    if "state=DONE" in reply:
+        with tally.lock:
+            tally.done += 1
+    elif allow_exhausted and "state=FAILED" in reply and "UNAVAILABLE" in reply:
+        # Retries exhausted under an unlucky p= draw sequence: the job
+        # failed *cleanly*, carrying its transient status — that is the
+        # accounting contract, not a soak failure.
+        with tally.lock:
+            tally.failed_unavailable += 1
+    else:
+        fail("job %s bad terminal reply: %r" % (job_id, reply))
+    client.request("poll " + job_id)
+    client.request("forget " + job_id)
+
+
+def drive(port, index, tally, errors, jobs, submit_suffix, allow_exhausted):
+    try:
+        client = Client(port)
+        for j in range(jobs):
+            seed = index * 1000 + j + 1
+            submit_and_wait(
+                client, tally,
+                "submit method=MaxClique target=soak.target "
+                "truth=soak.truth seed=%d%s" % (seed, submit_suffix),
+                allow_exhausted)
+        # Protocol errors stay answered mid-chaos, never fatal.
+        reply = client.request("definitely-not-a-verb")
+        if not reply.startswith("error "):
+            fail("unknown verb not an error: %r" % reply)
+        reply = client.request("quit")
+        if reply != "ok bye":
+            fail("quit reply: %r" % reply)
+        with tally.lock:
+            tally.requests += client.requests
+        client.close()
+    except SystemExit:
+        # fail() inside a worker thread only kills the thread; record it
+        # so the main thread turns it into a process-level failure.
+        errors.append("connection %d: assertion failed (see stderr)" % index)
+    except Exception as exc:  # noqa: BLE001 - surface everything
+        errors.append("connection %d: %r" % (index, exc))
+
+
+def run_phase(name, port, tally, jobs, submit_suffix="",
+              allow_exhausted=False):
+    print("chaos_soak: phase %s: %d connections x %d jobs%s"
+          % (name, CONNECTIONS, jobs,
+             " " + submit_suffix if submit_suffix else ""))
+    errors = []
+    threads = [threading.Thread(target=drive,
+                                args=(port, i, tally, errors, jobs,
+                                      submit_suffix, allow_exhausted))
+               for i in range(CONNECTIONS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        fail("phase %s: %s" % (name, "; ".join(errors)))
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: chaos_soak.py /path/to/marioh_served [stats.json]")
+    binary = sys.argv[1]
+    stats_path = sys.argv[2] if len(sys.argv) > 2 else "chaos_soak_stats.json"
+
+    env = dict(os.environ)
+    env["MARIOH_FAILPOINTS_SEED"] = FAILPOINT_SEED
+    daemon = subprocess.Popen(
+        [binary, "--port", "0", "--workers", "2",
+         "--max-connections", "32", "--job-ttl", "600",
+         "--stall-timeout", str(STALL_TIMEOUT),
+         "--allow-failpoint-admin",
+         "--stats-json", stats_path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        banner = daemon.stdout.readline().strip()
+        fields = dict(f.split("=", 1) for f in banner.split()[2:] if "=" in f)
+        if not banner.startswith("ok marioh_served") or "port" not in fields:
+            fail("bad banner: %r" % banner)
+        port = int(fields["port"])
+
+        # The admin connection seeds the shared dataset and rotates the
+        # failpoint schedule between phases.
+        admin = Client(port)
+        tally = Tally()
+        reply = admin.request("gen soak crime 42")
+        if not reply.startswith("ok generated"):
+            fail("gen failed: %r" % reply)
+
+        # Phase A: transient reconstruct failures, healed by retries.
+        reply = admin.request("failpoints session.reconstruct=error|p=0.3")
+        if not reply.startswith("ok failpoints"):
+            fail("failpoint admin rejected: %r" % reply)
+        run_phase("A (retry storm)", port, tally, JOBS_PHASE_A,
+                  " retries=4 backoff=0.01", allow_exhausted=True)
+
+        # Phase B: the wire itself misbehaves — injected EAGAIN on reads,
+        # 1-byte short writes — yet every request completes exactly once.
+        # (`failpoints` merges specs, so phase A's point is cleared first.)
+        admin.request("failpoints off")
+        reply = admin.request(
+            "failpoints net.read=error|p=0.2,net.write=short|p=0.2")
+        if not reply.startswith("ok failpoints"):
+            fail("failpoint admin rejected: %r" % reply)
+        run_phase("B (wire storm)", port, tally, JOBS_PHASE_B)
+        admin.request("failpoints off")
+
+        # Phase C: one wedged job; the watchdog must cut the 30 s stall
+        # down to ~stall_timeout.
+        reply = admin.request(
+            "failpoints session.reconstruct=delay:30000|count=1")
+        if not reply.startswith("ok failpoints"):
+            fail("failpoint admin rejected: %r" % reply)
+        wedge = Client(port)
+        t0 = time.monotonic()
+        reply = wedge.request("submit method=MaxClique target=soak.target")
+        if not reply.startswith("ok job "):
+            fail("wedge submit rejected: %r" % reply)
+        wedge_id = reply.split()[2]
+        reply = wedge.request("wait " + wedge_id)
+        elapsed = time.monotonic() - t0
+        if "state=CANCELLED" not in reply or "stalled" not in reply:
+            fail("wedged job not watchdog-cancelled: %r" % reply)
+        if elapsed > 10 * STALL_TIMEOUT:
+            fail("watchdog took %.1fs to cancel a %.1fs-stall-timeout job"
+                 % (elapsed, STALL_TIMEOUT))
+        print("chaos_soak: phase C (wedge): cancelled after %.2fs" % elapsed)
+        wedge.request("quit")
+        with tally.lock:
+            tally.requests += wedge.requests
+        wedge.close()
+
+        # Phase D: faults cleared — the survivor serves plain traffic.
+        admin.request("failpoints off")
+        run_phase("D (recovery)", port, tally, JOBS_PHASE_D)
+
+        stats = admin.request("stats")
+        print("chaos_soak: final stats: " + stats)
+        admin.request("quit")
+        with tally.lock:
+            tally.requests += admin.requests
+        admin.close()
+
+        total_requests = tally.requests
+        if total_requests < 200:
+            fail("only %d requests driven; need >= 200" % total_requests)
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            fail("daemon did not exit within 60s of SIGTERM")
+        if daemon.returncode != 0:
+            fail("daemon exit status %d" % daemon.returncode)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    if not os.path.exists(stats_path):
+        fail("daemon exited without writing %s" % stats_path)
+    with open(stats_path) as f:
+        snapshot = json.load(f)
+
+    terminal = (snapshot["done"] + snapshot["failed"] +
+                snapshot["cancelled"] + snapshot["deadline_exceeded"] +
+                snapshot["queued"] + snapshot["running"])
+    if snapshot["accepted"] != terminal:
+        fail("partition violated: accepted=%d vs partition sum=%d in %s"
+             % (snapshot["accepted"], terminal, json.dumps(snapshot)))
+    if snapshot["faults_injected"] <= 0:
+        fail("no faults were injected — the chaos schedule never engaged")
+    if snapshot["jobs_retried"] <= 0:
+        fail("no retries recorded despite the phase-A error storm")
+    if snapshot["jobs_stalled"] < 1:
+        fail("the phase-C wedge was never declared stalled")
+    if snapshot["connections_total"] < 6:
+        fail("expected >= 6 connections, snapshot says %d"
+             % snapshot["connections_total"])
+    if snapshot["lines_served"] < 200:
+        fail("daemon served %d lines; harness drove %d requests"
+             % (snapshot["lines_served"], total_requests))
+
+    print("chaos_soak: OK — %d requests over %d connections, "
+          "%d faults injected, %d retries (%d jobs healed, %d exhausted "
+          "cleanly), %d stall cancelled, partition holds, clean shutdown "
+          "(%s)"
+          % (total_requests, snapshot["connections_total"],
+             snapshot["faults_injected"], snapshot["jobs_retried"],
+             tally.done, tally.failed_unavailable,
+             snapshot["jobs_stalled"], stats_path))
+
+
+if __name__ == "__main__":
+    main()
