@@ -6,7 +6,12 @@
 // smoke test alike. The TCP front end (examples/marioh_served) speaks the
 // same codec over sockets.
 //
-//   marioh_serve [--workers N]
+//   marioh_serve [--workers N] [--journal-dir PATH] [--fsync always|never]
+//
+// With --journal-dir, every accepted request is write-ahead journaled
+// into PATH and jobs a previous life accepted but never finished are
+// re-admitted at startup (after the PATH/datasets.manifest restore) —
+// the same durability contract as marioh_served.
 //
 // Protocol (see src/api/README.md for the full reference):
 //
@@ -38,6 +43,8 @@
 // line and the server keeps reading. Unknown datasets, unknown methods,
 // malformed files, bad overrides all arrive as api::Status values.
 
+#include <sys/stat.h>
+
 #include <iostream>
 #include <memory>
 #include <string>
@@ -62,15 +69,49 @@ int main(int argc, char** argv) {
                      "(0 = all cores)\n";
         return 1;
       }
+    } else if (arg == "--journal-dir" && i + 1 < argc) {
+      options.journal_dir = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      if (!marioh::util::ParseJournalFsync(argv[++i],
+                                           &options.journal_fsync)) {
+        std::cerr << "error: --fsync needs 'always' or 'never'\n";
+        return 1;
+      }
     } else {
       std::cerr << "error: unknown flag '" << arg
-                << "' (usage: marioh_serve [--workers N])\n";
+                << "' (usage: marioh_serve [--workers N] "
+                   "[--journal-dir PATH] [--fsync always|never])\n";
       return 1;
     }
   }
 
   auto cache = std::make_shared<DatasetCache>();
+  if (!options.journal_dir.empty()) {
+    // Datasets before jobs: recovered requests must resolve their
+    // handles (see marioh_served for the same sequence). The directory
+    // must exist before the manifest writes into it.
+    ::mkdir(options.journal_dir.c_str(), 0755);
+    std::string manifest = options.journal_dir + "/datasets.manifest";
+    marioh::api::Status restored = cache->RestoreFromManifest(
+        manifest, [&cache](const std::string& basename,
+                           const std::string& profile, uint64_t seed) {
+          return marioh::net::GenerateDataset(cache.get(), basename,
+                                              profile, seed);
+        });
+    if (!restored.ok()) {
+      std::cerr << "warning: " << restored.message() << "\n";
+    }
+    marioh::api::Status manifest_on = cache->EnableManifest(manifest);
+    if (!manifest_on.ok()) {
+      std::cerr << "error: " << manifest_on.message() << "\n";
+      return 1;
+    }
+  }
   Service service(cache, options);
+  if (!service.startup_status().ok()) {
+    std::cerr << "error: " << service.startup_status().message() << "\n";
+    return 1;
+  }
   marioh::net::LineProtocol protocol(cache.get(), &service);
   // stdin is a local, single-operator surface: whoever can type here can
   // also set MARIOH_FAILPOINTS, so gating the admin verb would add

@@ -9,6 +9,7 @@
 //                 [--max-queued N] [--max-inflight N]
 //                 [--max-output-bytes N] [--stats-json PATH]
 //                 [--stall-timeout SECONDS] [--shed-batch-above N]
+//                 [--journal-dir PATH] [--fsync always|never]
 //                 [--allow-failpoint-admin] [--force-poll]
 //
 //   --port P             bind 127.0.0.1:P; 0 (default) picks a free port
@@ -26,6 +27,14 @@
 //                        is silent for S seconds (negative = off)
 //   --shed-batch-above N reject batch-priority submits while >= N jobs
 //                        are queued (0 = no shedding)
+//   --journal-dir PATH   durability: write-ahead journal every accepted
+//                        request into PATH and, at startup, re-admit the
+//                        jobs a previous life accepted but never finished
+//                        (the banner reports recovered=N). The dataset
+//                        manifest PATH/datasets.manifest re-loads the
+//                        datasets first so recovered jobs resolve.
+//   --fsync always|never journal fsync policy (default always: an
+//                        accepted job survives power loss)
 //   --allow-failpoint-admin
 //                        let clients drive the `failpoints` verb (chaos
 //                        testing only — never on a shared server)
@@ -37,7 +46,10 @@
 // event loop; shutdown drains through the Service destructor (queued jobs
 // cancelled, running ones preempted mid-kernel) and exits 0.
 
+#include <sys/stat.h>
+
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -47,6 +59,7 @@
 #include "api/dataset_cache.hpp"
 #include "api/service.hpp"
 #include "net/event_loop.hpp"
+#include "net/line_protocol.hpp"
 #include "net/tcp_server.hpp"
 #include "util/failpoint.hpp"
 #include "util/parse.hpp"
@@ -70,7 +83,11 @@ void WriteStatsJson(const std::string& path,
                     const marioh::net::TcpServer& server) {
   marioh::api::ServiceStats s = service.stats();
   marioh::net::NetStatsSnapshot n = server.stats();
-  std::ofstream out(path);
+  // Temp file + rename(2): the file visible under `path` is always a
+  // complete snapshot — a death mid-write can never leave truncated
+  // JSON for a soak script to choke on.
+  std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
   out << "{\n"
       << "  \"accepted\": " << s.accepted << ",\n"
       << "  \"queued\": " << s.queued << ",\n"
@@ -87,6 +104,7 @@ void WriteStatsJson(const std::string& path,
       << "  \"retries_exhausted\": " << s.retries_exhausted << ",\n"
       << "  \"jobs_stalled\": " << s.jobs_stalled << ",\n"
       << "  \"loadshed_rejects\": " << s.loadshed_rejects << ",\n"
+      << "  \"jobs_recovered\": " << s.jobs_recovered << ",\n"
       << "  \"faults_injected\": " << marioh::util::FailPoints::TotalHits()
       << ",\n"
       << "  \"cache_bytes\": " << cache.total_bytes() << ",\n"
@@ -96,6 +114,15 @@ void WriteStatsJson(const std::string& path,
       << "  \"connections_rejected\": " << n.connections_rejected << ",\n"
       << "  \"lines_served\": " << n.lines_served << "\n"
       << "}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: writing stats snapshot to " << tmp << " failed\n";
+    return;
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << "error: renaming " << tmp << " to " << path << " failed\n";
+  }
 }
 
 }  // namespace
@@ -183,6 +210,15 @@ int main(int argc, char** argv) {
       }
       service_options.shed_batch_above_queued = *cap;
       ++i;
+    } else if (arg == "--journal-dir" && i + 1 < argc) {
+      service_options.journal_dir = value;
+      ++i;
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      if (!marioh::util::ParseJournalFsync(
+              value, &service_options.journal_fsync)) {
+        return FlagError(arg, "'always' or 'never'");
+      }
+      ++i;
     } else if (arg == "--allow-failpoint-admin") {
       net_options.allow_failpoint_admin = true;
     } else if (arg == "--force-poll") {
@@ -195,7 +231,41 @@ int main(int argc, char** argv) {
   }
 
   auto cache = std::make_shared<marioh::api::DatasetCache>(cache_bytes);
+  if (!service_options.journal_dir.empty()) {
+    // Datasets first, jobs second: the manifest restore must finish
+    // before Service replays the journal, or re-admitted jobs would not
+    // resolve their handles. A partially failed restore is a warning,
+    // not a refusal — the affected jobs fail with a precise status,
+    // everything else recovers. The directory must exist before the
+    // manifest writes into it (Journal::Open creates it too, but only
+    // once the Service is constructed — after this block).
+    ::mkdir(service_options.journal_dir.c_str(), 0755);
+    std::string manifest =
+        service_options.journal_dir + "/datasets.manifest";
+    marioh::api::Status restored = cache->RestoreFromManifest(
+        manifest,
+        [&cache](const std::string& basename, const std::string& profile,
+                 uint64_t seed) {
+          return marioh::net::GenerateDataset(cache.get(), basename,
+                                              profile, seed);
+        });
+    if (!restored.ok()) {
+      std::cerr << "warning: " << restored.message() << "\n";
+    }
+    marioh::api::Status manifest_on = cache->EnableManifest(manifest);
+    if (!manifest_on.ok()) {
+      std::cerr << "error: " << manifest_on.message() << "\n";
+      return 1;
+    }
+  }
   marioh::api::Service service(cache, service_options);
+  if (!service.startup_status().ok()) {
+    // A journal that cannot be opened/replayed means the durability the
+    // operator asked for is not there — refuse to serve rather than
+    // silently drop the promise.
+    std::cerr << "error: " << service.startup_status().message() << "\n";
+    return 1;
+  }
   marioh::net::EventLoop loop(loop_options);
   marioh::net::TcpServer server(&loop, cache.get(), &service, net_options);
 
@@ -217,7 +287,12 @@ int main(int argc, char** argv) {
             << " max_connections=" << net_options.max_connections
             << " cache_bytes=" << cache_bytes
             << " job_ttl=" << service_options.job_ttl_seconds
-            << " backend=" << loop.backend() << std::endl;
+            << " backend=" << loop.backend();
+  if (!service_options.journal_dir.empty()) {
+    std::cout << " journal=" << service_options.journal_dir
+              << " recovered=" << service.stats().jobs_recovered;
+  }
+  std::cout << std::endl;
 
   loop.Run();
 

@@ -1,9 +1,13 @@
 #include "api/dataset_cache.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "io/text_io.hpp"
 #include "util/failpoint.hpp"
+#include "util/parse.hpp"
 
 namespace marioh::api {
 
@@ -117,6 +121,7 @@ StatusOr<DatasetHandle> DatasetCache::LoadHypergraphFile(
     if (it != entries_.end()) {
       if (it->second.path == path && it->second.dataset.has_hypergraph()) {
         TouchLocked(it->second);
+        RecordFileLocked("hypergraph", name, path);
         return it->second.dataset;
       }
       return ConflictLocked(it->second, name);
@@ -134,10 +139,13 @@ StatusOr<DatasetHandle> DatasetCache::LoadHypergraphFile(
       std::make_shared<const Hypergraph>(std::move(h).value());
   auto graph = std::make_shared<const ProjectedGraph>(hypergraph->Project());
   std::lock_guard<std::mutex> lock(mutex_);
-  return InsertLocked(name,
-                      DatasetHandle{name, std::move(hypergraph),
-                                    std::move(graph)},
-                      path);
+  StatusOr<DatasetHandle> inserted =
+      InsertLocked(name,
+                   DatasetHandle{name, std::move(hypergraph),
+                                 std::move(graph)},
+                   path);
+  if (inserted.ok()) RecordFileLocked("hypergraph", name, path);
+  return inserted;
 }
 
 StatusOr<DatasetHandle> DatasetCache::LoadProjectedGraphFile(
@@ -148,6 +156,7 @@ StatusOr<DatasetHandle> DatasetCache::LoadProjectedGraphFile(
     if (it != entries_.end()) {
       if (it->second.path == path && it->second.dataset.has_graph()) {
         TouchLocked(it->second);
+        RecordFileLocked("graph", name, path);
         return it->second.dataset;
       }
       return ConflictLocked(it->second, name);
@@ -163,8 +172,10 @@ StatusOr<DatasetHandle> DatasetCache::LoadProjectedGraphFile(
   if (!g.ok()) return g.status();
   auto graph = std::make_shared<const ProjectedGraph>(std::move(g).value());
   std::lock_guard<std::mutex> lock(mutex_);
-  return InsertLocked(name, DatasetHandle{name, nullptr, std::move(graph)},
-                      path);
+  StatusOr<DatasetHandle> inserted = InsertLocked(
+      name, DatasetHandle{name, nullptr, std::move(graph)}, path);
+  if (inserted.ok()) RecordFileLocked("graph", name, path);
+  return inserted;
 }
 
 StatusOr<DatasetHandle> DatasetCache::Insert(const std::string& name,
@@ -216,6 +227,19 @@ Status DatasetCache::Erase(const std::string& name) {
   }
   total_bytes_ -= it->second.bytes;
   entries_.erase(it);
+  // An explicit Erase also forgets how to restore the dataset (unlike
+  // eviction, which only frees memory): the file record with this name,
+  // or the gen recipe behind any member of its triple.
+  bool changed = manifest_files_.erase(name) > 0;
+  for (const char* suffix : {".train", ".target", ".truth"}) {
+    std::string tail(suffix);
+    if (name.size() > tail.size() &&
+        name.compare(name.size() - tail.size(), tail.size(), tail) == 0) {
+      changed |= gen_recipes_.erase(
+                     name.substr(0, name.size() - tail.size())) > 0;
+    }
+  }
+  if (changed) (void)WriteManifestLocked();
   return Status::Ok();
 }
 
@@ -251,6 +275,147 @@ void DatasetCache::set_max_bytes(size_t max_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   max_bytes_ = max_bytes;
   EvictLocked(/*keep=*/"");
+}
+
+void DatasetCache::RecordFileLocked(const std::string& kind,
+                                    const std::string& name,
+                                    const std::string& path) {
+  auto record = std::make_pair(kind, path);
+  auto it = manifest_files_.find(name);
+  if (it != manifest_files_.end() && it->second == record) return;
+  manifest_files_[name] = std::move(record);
+  // Best-effort: a manifest write failure must not fail the load that
+  // triggered it — the dataset *is* resident; only its restorability
+  // after a crash degrades.
+  (void)WriteManifestLocked();
+}
+
+Status DatasetCache::WriteManifestLocked() {
+  if (manifest_path_.empty()) return Status::Ok();
+  // Temp file + rename(2): the manifest visible under its real name is
+  // always a complete one — a crash mid-write leaves the previous
+  // version, never a truncated file.
+  std::string tmp = manifest_path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot write manifest temp file '" +
+                                 tmp + "'");
+    }
+    out << "# marioh dataset manifest: how to restore each dataset\n";
+    for (const auto& [name, record] : manifest_files_) {
+      out << record.first << ' ' << name << ' ' << record.second << '\n';
+    }
+    for (const auto& [basename, recipe] : gen_recipes_) {
+      out << "gen " << basename << ' ' << recipe.first << ' '
+          << recipe.second << '\n';
+    }
+    out.flush();
+    if (!out) {
+      return Status::Unavailable("write to manifest temp file '" + tmp +
+                                 "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), manifest_path_.c_str()) != 0) {
+    return Status::Unavailable("cannot rename manifest '" + tmp +
+                               "' into place");
+  }
+  return Status::Ok();
+}
+
+Status DatasetCache::EnableManifest(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  manifest_path_ = path;
+  return WriteManifestLocked();
+}
+
+void DatasetCache::RecordGenerated(const std::string& basename,
+                                   const std::string& profile,
+                                   uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto recipe = std::make_pair(profile, seed);
+  auto it = gen_recipes_.find(basename);
+  if (it != gen_recipes_.end() && it->second == recipe) return;
+  gen_recipes_[basename] = std::move(recipe);
+  (void)WriteManifestLocked();
+}
+
+StatusOr<std::vector<DatasetCache::ManifestEntry>>
+DatasetCache::ReadManifest(const std::string& path) {
+  std::vector<ManifestEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;  // no manifest yet: a fresh journal dir
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Grammar: `hypergraph <name> <path>` | `graph <name> <path>` |
+    // `gen <basename> <profile> <seed>`; '#' starts a comment line.
+    std::istringstream fields(line);
+    std::string kind, name, a, b, trailing;
+    fields >> kind >> name >> a >> b >> trailing;
+    if (kind.empty() || kind[0] == '#') continue;
+    if (kind == "gen") {
+      std::optional<uint64_t> seed = util::ParseUint64(b);
+      if (name.empty() || a.empty() || !seed.has_value() ||
+          !trailing.empty()) {
+        return Status::InvalidArgument(
+            "manifest '" + path + "' line " +
+            std::to_string(line_number) +
+            ": expected 'gen <basename> <profile> <seed>', got '" + line +
+            "'");
+      }
+      entries.push_back(ManifestEntry{kind, name, a, *seed});
+    } else if (kind == "hypergraph" || kind == "graph") {
+      if (name.empty() || a.empty() || !b.empty()) {
+        return Status::InvalidArgument(
+            "manifest '" + path + "' line " +
+            std::to_string(line_number) + ": expected '" + kind +
+            " <name> <path>', got '" + line + "'");
+      }
+      entries.push_back(ManifestEntry{kind, name, a, 0});
+    } else {
+      return Status::InvalidArgument(
+          "manifest '" + path + "' line " + std::to_string(line_number) +
+          ": unknown entry kind '" + kind + "'");
+    }
+  }
+  return entries;
+}
+
+Status DatasetCache::RestoreFromManifest(const std::string& path,
+                                         const GenResolver& gen) {
+  StatusOr<std::vector<ManifestEntry>> manifest = ReadManifest(path);
+  if (!manifest.ok()) return manifest.status();
+  std::string errors;
+  size_t failures = 0;
+  for (const ManifestEntry& entry : *manifest) {
+    Status restored;
+    if (entry.kind == "hypergraph") {
+      restored = LoadHypergraphFile(entry.name, entry.path).status();
+    } else if (entry.kind == "graph") {
+      restored = LoadProjectedGraphFile(entry.name, entry.path).status();
+    } else if (gen != nullptr) {
+      restored = gen(entry.name, entry.path, entry.seed);
+    } else {
+      restored = Status::FailedPrecondition(
+          "no generator available to restore the triple");
+    }
+    if (!restored.ok()) {
+      // Keep going: every restorable dataset should be back even if one
+      // recipe broke — recovered jobs naming the broken one fail at
+      // re-admission with a precise message, the rest proceed.
+      ++failures;
+      if (!errors.empty()) errors += "; ";
+      errors += entry.kind + " " + entry.name + ": " + restored.message();
+    }
+  }
+  if (failures > 0) {
+    return Status::Unavailable(
+        "manifest restore: " + std::to_string(failures) + " of " +
+        std::to_string(manifest->size()) + " entries failed: " + errors);
+  }
+  return Status::Ok();
 }
 
 }  // namespace marioh::api

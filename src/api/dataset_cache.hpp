@@ -15,10 +15,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/status.hpp"
@@ -134,6 +137,57 @@ class DatasetCache {
   /// under the new value.
   void set_max_bytes(size_t max_bytes);
 
+  // --- Persistence: the dataset manifest -------------------------------
+  //
+  // A journal-recovered job is only as good as its datasets: the service
+  // can re-admit the request, but the handles must resolve again. The
+  // manifest is a small text file recording *how each dataset got here* —
+  // `hypergraph <name> <path>` / `graph <name> <path>` for file loads and
+  // `gen <basename> <profile> <seed>` for generated triples — rewritten
+  // atomically (temp file + rename) on every change, and replayed before
+  // re-admission at startup. In-memory inserts with no recipe are not
+  // restorable and are deliberately absent.
+
+  /// One manifest line.
+  struct ManifestEntry {
+    std::string kind;  ///< "hypergraph", "graph", or "gen"
+    std::string name;  ///< dataset name; the basename for "gen"
+    std::string path;  ///< source path; the profile name for "gen"
+    uint64_t seed = 0;  ///< "gen" only
+  };
+
+  /// Re-creates one generated triple (`gen <basename> <profile> <seed>`)
+  /// during RestoreFromManifest — the cache cannot depend on the
+  /// generator (it lives in eval/), so the caller supplies it.
+  using GenResolver = std::function<Status(
+      const std::string& basename, const std::string& profile,
+      uint64_t seed)>;
+
+  /// Starts maintaining a manifest at `path`: the current restorable
+  /// state is written now, and every future load / RecordGenerated /
+  /// Erase rewrites it (atomically). Errors are the write failing.
+  Status EnableManifest(const std::string& path);
+
+  /// Records that `basename`.train/.target/.truth were produced by
+  /// generator `profile` under `seed`, so a manifest restore can
+  /// re-create them. Called by the front ends' `gen` verb.
+  void RecordGenerated(const std::string& basename,
+                       const std::string& profile, uint64_t seed);
+
+  /// Parses a manifest file. A missing file is an empty manifest (a
+  /// fresh journal dir), not an error; a malformed line is.
+  static StatusOr<std::vector<ManifestEntry>> ReadManifest(
+      const std::string& path);
+
+  /// Replays a manifest into this cache: file entries re-load through
+  /// LoadHypergraphFile/LoadProjectedGraphFile, gen entries go through
+  /// `gen` (pass null to fail them). Keeps going past individual
+  /// failures — every restorable dataset is restored — and returns OK
+  /// only if all entries succeeded (otherwise kUnavailable listing what
+  /// failed, so the operator knows which recovered jobs are doomed).
+  Status RestoreFromManifest(const std::string& path,
+                             const GenResolver& gen);
+
  private:
   struct Entry {
     DatasetHandle dataset;
@@ -162,11 +216,28 @@ class DatasetCache {
   /// fits or nothing evictable remains. Requires `mutex_` held.
   void EvictLocked(const std::string& keep);
 
+  /// Records a file-backed dataset in the manifest bookkeeping and
+  /// rewrites the manifest if enabled. Requires `mutex_` held.
+  void RecordFileLocked(const std::string& kind, const std::string& name,
+                        const std::string& path);
+  /// Atomically rewrites the manifest file from the bookkeeping maps
+  /// (no-op while no manifest is enabled). Requires `mutex_` held.
+  Status WriteManifestLocked();
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   size_t max_bytes_ = 0;
   size_t total_bytes_ = 0;
   uint64_t evictions_ = 0;
+  /// Manifest state: the file being maintained (empty = disabled) and
+  /// the restorable recipes — name → (kind, path) for file loads,
+  /// basename → (profile, seed) for generated triples. Kept separately
+  /// from `entries_` so eviction under memory pressure does not forget
+  /// how to restore a dataset.
+  std::string manifest_path_;
+  std::map<std::string, std::pair<std::string, std::string>>
+      manifest_files_;
+  std::map<std::string, std::pair<std::string, uint64_t>> gen_recipes_;
   /// Advances on every access for LRU stamps (mutable: see
   /// Entry::last_used).
   mutable uint64_t use_clock_ = 0;

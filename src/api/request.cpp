@@ -1,0 +1,292 @@
+#include "api/request.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "util/parse.hpp"
+
+namespace marioh::api {
+
+namespace {
+
+/// The typed keys of the wire grammar, in serialization order. Anything
+/// else is an override key.
+constexpr const char* kTypedKeys[] = {
+    "method",   "train",    "target",       "truth",       "seed",
+    "budget",   "deadline", "priority",     "client",      "kthreads",
+    "retries",  "backoff",  "backoff_mult", "backoff_cap", "jitter",
+    "retryable"};
+
+bool IsTypedKey(const std::string& key) {
+  for (const char* typed : kTypedKeys) {
+    if (key == typed) return true;
+  }
+  return false;
+}
+
+/// Enough significant digits that `ParseDouble` recovers the exact bits.
+std::string FormatDouble(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+/// Lower-case wire names for the `retryable=` code list.
+const char* RetryableCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+bool ParseRetryableCode(const std::string& name, StatusCode* out) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kResourceExhausted, StatusCode::kInternal,
+        StatusCode::kUnavailable}) {
+    if (name == RetryableCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status CheckNoWhitespace(const std::string& value, const std::string& what) {
+  if (value.find_first_of(" \t\r\n\v\f") != std::string::npos) {
+    return Status::InvalidArgument(what + " '" + value +
+                                   "' contains whitespace and cannot be "
+                                   "serialized");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeReconstructRequest(const ReconstructRequest& request) {
+  const ReconstructRequest defaults;
+  std::ostringstream out;
+  bool first = true;
+  auto emit = [&out, &first](const char* key, const std::string& value) {
+    if (!first) out << ' ';
+    first = false;
+    out << key << '=' << value;
+  };
+  if (request.method != defaults.method) emit("method", request.method);
+  if (!request.train_dataset.empty()) emit("train", request.train_dataset);
+  if (!request.target_dataset.empty()) {
+    emit("target", request.target_dataset);
+  }
+  if (!request.ground_truth_dataset.empty()) {
+    emit("truth", request.ground_truth_dataset);
+  }
+  if (request.seed != defaults.seed) {
+    emit("seed", std::to_string(request.seed));
+  }
+  if (request.time_budget_seconds != defaults.time_budget_seconds) {
+    emit("budget", FormatDouble(request.time_budget_seconds));
+  }
+  if (request.deadline_seconds != defaults.deadline_seconds) {
+    emit("deadline", FormatDouble(request.deadline_seconds));
+  }
+  if (request.priority != defaults.priority) {
+    emit("priority", PriorityName(request.priority));
+  }
+  if (!request.client_id.empty()) emit("client", request.client_id);
+  if (request.kernel_threads != defaults.kernel_threads) {
+    emit("kthreads", std::to_string(request.kernel_threads));
+  }
+  if (request.retry.max_attempts > 1) {
+    emit("retries", std::to_string(request.retry.max_attempts - 1));
+  }
+  if (request.retry.initial_backoff_seconds !=
+      defaults.retry.initial_backoff_seconds) {
+    emit("backoff", FormatDouble(request.retry.initial_backoff_seconds));
+  }
+  if (request.retry.backoff_multiplier !=
+      defaults.retry.backoff_multiplier) {
+    emit("backoff_mult", FormatDouble(request.retry.backoff_multiplier));
+  }
+  if (request.retry.max_backoff_seconds !=
+      defaults.retry.max_backoff_seconds) {
+    emit("backoff_cap", FormatDouble(request.retry.max_backoff_seconds));
+  }
+  if (request.retry.jitter_fraction != defaults.retry.jitter_fraction) {
+    emit("jitter", FormatDouble(request.retry.jitter_fraction));
+  }
+  if (request.retry.retryable != defaults.retry.retryable) {
+    std::string codes;
+    for (StatusCode code : request.retry.retryable) {
+      if (!codes.empty()) codes += ',';
+      codes += RetryableCodeName(code);
+    }
+    emit("retryable", codes);
+  }
+  for (const auto& [key, value] : request.overrides) emit(key.c_str(), value);
+  return out.str();
+}
+
+Status ParseReconstructRequest(const std::string& text,
+                               ReconstructRequest* request) {
+  std::istringstream args(text);
+  std::string token;
+  std::vector<std::string> keys_seen;
+  while (args >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      return Status::InvalidArgument("expected key=value, got '" + token +
+                                     "'");
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    // A repeated key — typed *or* override — is a typo, not a silent
+    // overwrite; the journal replay path depends on this strictness to
+    // reject drifted or corrupted accept records loudly.
+    for (const std::string& seen : keys_seen) {
+      if (seen == key) {
+        return Status::InvalidArgument("duplicate option '" + key + "'");
+      }
+    }
+    keys_seen.push_back(key);
+    bool bad_value = false;
+    if (key == "method") {
+      request->method = value;
+    } else if (key == "train") {
+      request->train_dataset = value;
+    } else if (key == "target") {
+      request->target_dataset = value;
+    } else if (key == "truth") {
+      request->ground_truth_dataset = value;
+    } else if (key == "seed") {
+      std::optional<uint64_t> seed = util::ParseUint64(value);
+      bad_value = !seed.has_value();
+      if (!bad_value) request->seed = *seed;
+    } else if (key == "budget") {
+      std::optional<double> budget = util::ParseDouble(value);
+      bad_value = !budget.has_value();
+      if (!bad_value) request->time_budget_seconds = *budget;
+    } else if (key == "deadline") {
+      std::optional<double> deadline = util::ParseDouble(value);
+      bad_value = !deadline.has_value();
+      if (!bad_value) request->deadline_seconds = *deadline;
+    } else if (key == "priority") {
+      if (!ParsePriority(value, &request->priority)) {
+        return Status::InvalidArgument(
+            "bad priority '" + value +
+            "' (expected batch, normal, or interactive)");
+      }
+    } else if (key == "client") {
+      request->client_id = value;
+    } else if (key == "kthreads") {
+      std::optional<int> threads = util::ParseNonNegativeInt(value);
+      bad_value = !threads.has_value();
+      if (!bad_value) request->kernel_threads = *threads;
+    } else if (key == "retries") {
+      // retries=N grants N retries on top of the first attempt.
+      std::optional<int> retries = util::ParseNonNegativeInt(value);
+      bad_value = !retries.has_value();
+      if (!bad_value) request->retry.max_attempts = 1 + *retries;
+    } else if (key == "backoff") {
+      std::optional<double> backoff = util::ParseDouble(value);
+      bad_value = !backoff.has_value() || *backoff < 0.0;
+      if (!bad_value) request->retry.initial_backoff_seconds = *backoff;
+    } else if (key == "backoff_mult") {
+      std::optional<double> mult = util::ParseDouble(value);
+      bad_value = !mult.has_value() || *mult < 1.0;
+      if (!bad_value) request->retry.backoff_multiplier = *mult;
+    } else if (key == "backoff_cap") {
+      std::optional<double> cap = util::ParseDouble(value);
+      bad_value = !cap.has_value() || *cap < 0.0;
+      if (!bad_value) request->retry.max_backoff_seconds = *cap;
+    } else if (key == "jitter") {
+      std::optional<double> jitter = util::ParseDouble(value);
+      bad_value = !jitter.has_value() || *jitter < 0.0;
+      if (!bad_value) request->retry.jitter_fraction = *jitter;
+    } else if (key == "retryable") {
+      std::vector<StatusCode> codes;
+      std::istringstream list(value);
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        StatusCode code;
+        if (!ParseRetryableCode(name, &code)) {
+          return Status::InvalidArgument("bad retryable code '" + name +
+                                         "' in '" + value + "'");
+        }
+        codes.push_back(code);
+      }
+      bad_value = codes.empty();
+      if (!bad_value) request->retry.retryable = std::move(codes);
+    } else {
+      request->overrides.emplace_back(std::move(key), std::move(value));
+      continue;
+    }
+    if (bad_value) {
+      return Status::InvalidArgument("bad value '" + value +
+                                     "' for option '" + key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateRequestSerializable(const ReconstructRequest& request) {
+  if (request.method.empty()) {
+    return Status::InvalidArgument(
+        "request method is empty and cannot be serialized");
+  }
+  MARIOH_RETURN_IF_ERROR(CheckNoWhitespace(request.method, "method"));
+  MARIOH_RETURN_IF_ERROR(
+      CheckNoWhitespace(request.train_dataset, "train dataset"));
+  MARIOH_RETURN_IF_ERROR(
+      CheckNoWhitespace(request.target_dataset, "target dataset"));
+  MARIOH_RETURN_IF_ERROR(CheckNoWhitespace(request.ground_truth_dataset,
+                                           "ground truth dataset"));
+  MARIOH_RETURN_IF_ERROR(CheckNoWhitespace(request.client_id, "client id"));
+  for (const auto& [key, value] : request.overrides) {
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          "override with empty key cannot be serialized");
+    }
+    if (key.find('=') != std::string::npos) {
+      return Status::InvalidArgument("override key '" + key +
+                                     "' contains '=' and cannot be "
+                                     "serialized");
+    }
+    if (IsTypedKey(key)) {
+      return Status::InvalidArgument(
+          "override key '" + key +
+          "' shadows a typed request field and cannot be serialized");
+    }
+    MARIOH_RETURN_IF_ERROR(CheckNoWhitespace(key, "override key"));
+    if (value.empty()) {
+      return Status::InvalidArgument("override '" + key +
+                                     "' has an empty value and cannot be "
+                                     "serialized");
+    }
+    MARIOH_RETURN_IF_ERROR(CheckNoWhitespace(value, "override value"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace marioh::api

@@ -152,4 +152,32 @@ struct ReconstructRequest {
   std::vector<std::pair<std::string, std::string>> overrides;
 };
 
+/// Serializes `request` as one line of the `submit` wire grammar —
+/// space-separated `key=value` tokens (`method= train= target= truth=
+/// seed= budget= deadline= priority= client= kthreads= retries= backoff=
+/// backoff_mult= backoff_cap= jitter= retryable=` then overrides), with
+/// fields at their default value omitted. This is the single source of
+/// truth shared by the LineProtocol `submit` verb and the write-ahead
+/// journal's accept records, so the two formats cannot drift; doubles
+/// round-trip exactly (17 significant digits). Callers must hold a
+/// request that passes `ValidateRequestSerializable`.
+std::string SerializeReconstructRequest(const ReconstructRequest& request);
+
+/// Parses the wire grammar above into `*request`, which the caller
+/// pre-initializes (typically default-constructed; the LineProtocol seeds
+/// `client_id` with the connection default first). Typed keys overwrite
+/// fields; unknown keys append to `overrides` for Submit to vet. Strict:
+/// malformed tokens, bad values, and *any* duplicated key — typed or
+/// override — are rejected with a precise kInvalidArgument, so a typo
+/// can never silently half-apply.
+Status ParseReconstructRequest(const std::string& text,
+                               ReconstructRequest* request);
+
+/// Whether `request` survives Serialize → Parse bit-identically: no
+/// whitespace in string fields, no empty or typed-key-shadowing or
+/// '='-bearing override keys, no empty override values. `Service`
+/// enforces this at Submit when journaling (an unserializable request
+/// could not be recovered faithfully).
+Status ValidateRequestSerializable(const ReconstructRequest& request);
+
 }  // namespace marioh::api

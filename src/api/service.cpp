@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "util/parse.hpp"
 
 namespace marioh::api {
 
@@ -73,7 +74,102 @@ Service::Service(std::shared_ptr<DatasetCache> cache,
     : cache_(std::move(cache)), options_(options) {
   MARIOH_CHECK(cache_ != nullptr);
   pool_ = std::make_unique<util::WorkerPool>(options_.num_workers);
+  // Recovery happens after the pool exists (re-admitted jobs enqueue
+  // into it) and before the maintenance thread starts watching.
+  if (!options_.journal_dir.empty()) RecoverFromJournal();
   maintenance_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void Service::RecoverFromJournal() {
+  /// What the journal said about one JobId, folded over its records in
+  /// append order.
+  struct Replayed {
+    std::string request_text;  ///< the serialized accept payload
+    bool have_request = false;
+    int attempts = 0;   ///< highest attempt number journaled
+    bool terminal = false;
+  };
+  std::map<JobId, Replayed> replayed;
+  util::JournalOptions journal_options;
+  journal_options.rotate_bytes = options_.journal_rotate_bytes;
+  journal_options.fsync = options_.journal_fsync;
+  StatusOr<std::unique_ptr<util::Journal>> journal = util::Journal::Open(
+      options_.journal_dir,
+      [&replayed](const util::JournalRecord& record) {
+        Replayed& entry = replayed[record.key];
+        if (record.terminal) {
+          entry.terminal = true;
+          return;
+        }
+        if (record.payload.rfind("accept ", 0) == 0) {
+          entry.request_text = record.payload.substr(7);
+          entry.have_request = true;
+        } else if (record.payload.rfind("attempt ", 0) == 0) {
+          std::optional<int> n =
+              util::ParseNonNegativeInt(record.payload.substr(8));
+          if (n.has_value()) entry.attempts = std::max(entry.attempts, *n);
+        }
+        // Unknown record kinds are skipped, not fatal: a newer journal
+        // replayed by an older binary loses detail, never the jobs.
+      },
+      journal_options);
+  if (!journal.ok()) {
+    startup_status_ = journal.status();
+    return;
+  }
+  journal_ = std::move(journal).value();
+  for (const auto& [id, entry] : replayed) {
+    // New ids must never collide with journaled ones — terminal or not.
+    next_id_ = std::max(next_id_, id + 1);
+    if (entry.terminal || !entry.have_request) continue;
+    // This job was accepted by a previous life of the service and never
+    // finished: re-admit it through the normal lanes under its original
+    // identity. Its accept record stays in the old segments (open keys
+    // block their compaction), so no re-journaling is needed.
+    ReconstructRequest request;
+    Status parsed = ParseReconstructRequest(entry.request_text, &request);
+    StatusOr<std::shared_ptr<Job>> admitted =
+        parsed.ok() ? Admit(request)
+                    : StatusOr<std::shared_ptr<Job>>(parsed);
+    if (admitted.ok()) {
+      std::shared_ptr<Job> job = std::move(admitted).value();
+      job->id = id;
+      // The interrupted attempt produced nothing, so it is repeated
+      // rather than charged: attempts resumes one below the journaled
+      // high-water mark.
+      job->attempts = std::max(0, entry.attempts - 1);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_.emplace(id, job);
+        ++totals_.accepted;
+        ++totals_.jobs_recovered;
+      }
+      Enqueue(job);
+    } else {
+      // Un-re-admittable (dataset gone, drifted record): the job still
+      // counts, as a recovered failure under its original id — silently
+      // dropping it is exactly what the journal exists to prevent.
+      auto job = std::make_shared<Job>();
+      job->id = id;
+      job->request = request;
+      job->state = JobState::kFailed;
+      job->status = Status(admitted.status().code(),
+                           "recovery could not re-admit the job: " +
+                               admitted.status().message());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->finish_seq = next_finish_seq_++;
+        job->finished_at = std::chrono::steady_clock::now();
+        jobs_.emplace(id, job);
+        ++totals_.accepted;
+        ++totals_.failed;
+        ++totals_.jobs_recovered;
+      }
+      // Close the key so the failure is itself durable (best-effort:
+      // a failed append just means one more doomed re-admission).
+      (void)journal_->Append(id, "terminal FAILED", /*terminal=*/true);
+    }
+  }
 }
 
 Service::~Service() {
@@ -249,11 +345,27 @@ StatusOr<JobId> Service::Submit(const ReconstructRequest& request) {
   StatusOr<std::shared_ptr<Job>> admitted = Admit(request);
   if (!admitted.ok()) return admitted.status();
   std::shared_ptr<Job> job = std::move(admitted).value();
+  // Serialize outside the lock; both steps are no-ops when the journal
+  // is disabled (no validation, no allocation, no syscalls).
+  std::string wire;
+  if (journal_ != nullptr) {
+    MARIOH_RETURN_IF_ERROR(ValidateRequestSerializable(request));
+    wire = SerializeReconstructRequest(request);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     RetireExpiredLocked();
     MARIOH_RETURN_IF_ERROR(
         AdmitCapacityLocked(request.client_id, request.priority, 0, 0));
+    if (journal_ != nullptr) {
+      // Write-ahead: the accept record is on stable storage before the
+      // job exists anywhere else. If the append fails, the submit fails
+      // — an accepted-but-unjournaled job would be exactly the silent
+      // loss this layer exists to prevent. The unused id is safely
+      // reused by the next submit.
+      MARIOH_RETURN_IF_ERROR(
+          journal_->Append(next_id_, "accept " + wire, /*terminal=*/false));
+    }
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
     ++totals_.accepted;
@@ -271,6 +383,14 @@ StatusOr<std::vector<JobId>> Service::SubmitBatch(
     StatusOr<std::shared_ptr<Job>> job = Admit(request);
     if (!job.ok()) return job.status();
     admitted.push_back(std::move(job).value());
+  }
+  std::vector<std::string> wires;
+  if (journal_ != nullptr) {
+    wires.reserve(requests.size());
+    for (const ReconstructRequest& request : requests) {
+      MARIOH_RETURN_IF_ERROR(ValidateRequestSerializable(request));
+      wires.push_back(SerializeReconstructRequest(request));
+    }
   }
   std::vector<JobId> ids;
   ids.reserve(admitted.size());
@@ -293,6 +413,25 @@ StatusOr<std::vector<JobId>> Service::SubmitBatch(
           admitted[i]->request.client_id, admitted[i]->request.priority, i,
           same_client));
     }
+    if (journal_ != nullptr) {
+      for (size_t i = 0; i < wires.size(); ++i) {
+        Status logged = journal_->Append(
+            next_id_ + i, "accept " + wires[i], /*terminal=*/false);
+        if (!logged.ok()) {
+          // Batch atomicity extends to the journal: close the accepts
+          // already written so a crash cannot resurrect half a batch
+          // the caller was told failed (best-effort — if these appends
+          // fail too, recovery re-admits jobs whose datasets were
+          // pinned at this submit, which at-least-once semantics
+          // tolerate).
+          for (size_t j = 0; j < i; ++j) {
+            (void)journal_->Append(next_id_ + j, "terminal CANCELLED",
+                                   /*terminal=*/true);
+          }
+          return logged;
+        }
+      }
+    }
     for (const std::shared_ptr<Job>& job : admitted) {
       job->id = next_id_++;
       jobs_.emplace(job->id, job);
@@ -314,11 +453,22 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
       job->finish_seq = next_finish_seq_++;
       job->finished_at = std::chrono::steady_clock::now();
       ++totals_.cancelled;
+      if (journal_ != nullptr && !stopping_) {
+        (void)journal_->Append(job->id, "terminal CANCELLED",
+                               /*terminal=*/true);
+      }
       job_done_.notify_all();
       return;
     }
     job->state = JobState::kRunning;
     ++job->attempts;
+    if (journal_ != nullptr) {
+      // Best-effort attempt marker: losing it costs nothing but a
+      // repeated attempt number after a crash.
+      (void)journal_->Append(job->id,
+                             "attempt " + std::to_string(job->attempts),
+                             /*terminal=*/false);
+    }
     // Arm the watchdog's stall clock for this attempt: progress is
     // "the heartbeat advanced since last sampled", starting now.
     job->last_heartbeat = job->cancel.heartbeat();
@@ -468,6 +618,16 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
               std::max(totals_.cancel_latency_max_seconds,
                        job->cancel_latency_seconds);
         }
+      }
+      // Close the job's journal key — except when shutdown preempted
+      // it: a job the *service's death* cancelled is exactly the kind
+      // the journal must keep open, so the next life re-admits it.
+      bool shutdown_preempted =
+          stopping_ && job->state == JobState::kCancelled;
+      if (journal_ != nullptr && !shutdown_preempted) {
+        (void)journal_->Append(
+            job->id, std::string("terminal ") + JobStateName(job->state),
+            /*terminal=*/true);
       }
     }
   }
@@ -624,6 +784,12 @@ Status Service::Cancel(JobId id) {
       job.finish_seq = next_finish_seq_++;
       job.finished_at = std::chrono::steady_clock::now();
       ++totals_.cancelled;
+      if (journal_ != nullptr) {
+        // An *explicit* cancel is terminal and durable — unlike the
+        // shutdown sweep, which leaves jobs open for the next life.
+        (void)journal_->Append(id, "terminal CANCELLED",
+                               /*terminal=*/true);
+      }
       job_done_.notify_all();
       return Status::Ok();
     case JobState::kRunning:

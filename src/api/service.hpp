@@ -28,6 +28,7 @@
 #include "api/status.hpp"
 #include "core/marioh.hpp"
 #include "util/cancel.hpp"
+#include "util/journal.hpp"
 #include "util/worker_pool.hpp"
 
 namespace marioh::api {
@@ -154,6 +155,12 @@ struct ServiceStats {
   /// Batch-priority submits turned away by load shedding
   /// (`shed_batch_above_queued`). A subset of `submits_rejected`.
   uint64_t loadshed_rejects = 0;
+  /// Jobs re-admitted from the write-ahead journal at startup: accepted
+  /// by a previous life of this service (same journal_dir) that died
+  /// before they reached a terminal state. Each is counted in `accepted`
+  /// too and keeps its original JobId/client/priority, so the
+  /// terminal-partition invariant holds across the restart.
+  uint64_t jobs_recovered = 0;
 };
 
 /// Configuration of a Service.
@@ -196,6 +203,21 @@ struct ServiceOptions {
   /// interactive traffic during overload. Interactive/normal submits
   /// still admit up to `max_queued_jobs`. 0 disables shedding.
   size_t shed_batch_above_queued = 0;
+  /// Durability: when non-empty, the service write-ahead journals the
+  /// request lifecycle into this directory (see util::Journal) — every
+  /// request is serialized and synced *before* Submit replies, and on
+  /// construction the journal is replayed: jobs that never reached a
+  /// terminal state in a previous life are re-admitted under their
+  /// original JobId/client/priority (`jobs_recovered`). Empty (the
+  /// default) disables journaling entirely — zero syscalls on the
+  /// submit path.
+  std::string journal_dir;
+  /// Fsync policy of the journal (see util::JournalFsync); kAlways means
+  /// an accepted job survives even power loss, kNever trades the most
+  /// recent accepts for speed.
+  util::JournalFsync journal_fsync = util::JournalFsync::kAlways;
+  /// Journal segment rotation threshold (see JournalOptions).
+  size_t journal_rotate_bytes = 4u << 20;
 };
 
 /// Runs reconstruction jobs asynchronously over a shared `DatasetCache`.
@@ -261,6 +283,18 @@ class Service {
 
   const std::shared_ptr<DatasetCache>& cache() const { return cache_; }
 
+  /// Whether construction-time recovery succeeded. A constructor cannot
+  /// return a Status, so a journal that failed to open/replay lands
+  /// here; front ends check it and refuse to serve (a service that
+  /// silently dropped its durability promise is worse than one that
+  /// won't start). Always OK when `journal_dir` is empty.
+  const Status& startup_status() const { return startup_status_; }
+
+  /// The write-ahead journal, or nullptr when journaling is disabled
+  /// (or failed to open — see startup_status()). For stats surfaces and
+  /// tests; never needed on the request path.
+  const util::Journal* journal() const { return journal_.get(); }
+
  private:
   struct Job {
     JobId id = 0;
@@ -322,6 +356,11 @@ class Service {
   void MaintenanceLoop();
   /// One stall scan over the running jobs. Requires `mutex_` held.
   void WatchdogTickLocked(std::chrono::steady_clock::time_point now);
+  /// Opens the journal at `options_.journal_dir`, replays it, and
+  /// re-admits every job a previous life accepted but never finished.
+  /// Called from the constructor (after the pool exists, before the
+  /// maintenance thread starts); failures land in `startup_status_`.
+  void RecoverFromJournal();
 
   std::shared_ptr<DatasetCache> cache_;
   ServiceOptions options_;
@@ -343,6 +382,14 @@ class Service {
       retry_heap_;
   std::condition_variable maintenance_wake_;
   bool stopping_ = false;  ///< guarded by mutex_; set by the destructor
+
+  /// The write-ahead journal (null when disabled). Thread-safe on its
+  /// own mutex; appended to under `mutex_` so lifecycle records land in
+  /// the same order the state machine commits them. Shutdown-preempted
+  /// jobs are deliberately *not* journaled terminal — they stay open so
+  /// the next life re-admits them.
+  std::unique_ptr<util::Journal> journal_;
+  Status startup_status_;  ///< set once in the constructor, then const
 
   /// Created last, destroyed first: workers must be gone before the job
   /// table they touch.

@@ -38,6 +38,37 @@ std::string FormatDataset(const DatasetHandle& dataset) {
 
 }  // namespace
 
+api::Status GenerateDataset(api::DatasetCache* cache,
+                            const std::string& basename,
+                            const std::string& profile, uint64_t seed) {
+  // All three names must be free up front so a conflict cannot leave a
+  // partially inserted triple behind.
+  for (const char* suffix : {".train", ".target", ".truth"}) {
+    if (cache->Contains(basename + suffix)) {
+      return Status::AlreadyExists("dataset '" + basename + suffix +
+                                   "' is already loaded");
+    }
+  }
+  StatusOr<eval::PreparedDataset> data =
+      eval::TryPrepareDataset(profile, /*multiplicity_reduced=*/true, seed);
+  if (!data.ok()) return data.status();
+  // The names were pre-checked and each front end serves its protocol
+  // from one thread, so the inserts cannot conflict.
+  StatusOr<DatasetHandle> train =
+      cache->Insert(basename + ".train", data->source, data->g_source);
+  StatusOr<DatasetHandle> target =
+      cache->Insert(basename + ".target", nullptr, data->g_target);
+  StatusOr<DatasetHandle> truth =
+      cache->Insert(basename + ".truth", data->target, nullptr);
+  for (const auto* inserted : {&train, &target, &truth}) {
+    if (!inserted->ok()) return inserted->status();
+  }
+  // The triple is restorable from (profile, seed) alone — record the
+  // recipe so a manifest-enabled cache can re-create it after a crash.
+  cache->RecordGenerated(basename, profile, seed);
+  return Status::Ok();
+}
+
 LineProtocol::LineProtocol(api::DatasetCache* cache, api::Service* service)
     : cache_(cache), service_(service) {}
 
@@ -116,9 +147,19 @@ std::string LineProtocol::FormatStats() const {
       << " retries_exhausted=" << stats.retries_exhausted
       << " jobs_stalled=" << stats.jobs_stalled
       << " loadshed_rejects=" << stats.loadshed_rejects
+      << " jobs_recovered=" << stats.jobs_recovered
       << " faults_injected=" << util::FailPoints::TotalHits()
       << " cache_bytes=" << cache_->total_bytes()
       << " cache_evictions=" << cache_->evictions();
+  if (const util::Journal* journal = service_->journal()) {
+    util::JournalStats js = journal->stats();
+    out << " journal_records=" << js.records_appended
+        << " journal_fsyncs=" << js.fsyncs
+        << " journal_segments=" << journal->segment_count()
+        << " journal_replayed=" << js.records_replayed
+        << " journal_torn_tails=" << js.torn_tails_truncated
+        << " journal_compacted=" << js.segments_compacted;
+  }
   if (extra_stats_) {
     std::string extra = extra_stats_();
     if (!extra.empty()) out << " " << extra;
@@ -166,118 +207,22 @@ std::string LineProtocol::HandleGen(std::istream& args) const {
     }
     seed = *parsed;
   }
-  // All three names must be free up front so a conflict cannot leave a
-  // partially inserted triple behind.
-  for (const char* suffix : {".train", ".target", ".truth"}) {
-    if (cache_->Contains(name + suffix)) {
-      return FormatError(Status::AlreadyExists(
-          "dataset '" + name + suffix + "' is already loaded"));
-    }
-  }
-  StatusOr<eval::PreparedDataset> data =
-      eval::TryPrepareDataset(profile_name,
-                              /*multiplicity_reduced=*/true, seed);
-  if (!data.ok()) return FormatError(data.status());
-  // The names were pre-checked and each front end serves its protocol
-  // from one thread, so the inserts cannot conflict.
-  StatusOr<DatasetHandle> train =
-      cache_->Insert(name + ".train", data->source, data->g_source);
-  StatusOr<DatasetHandle> target =
-      cache_->Insert(name + ".target", nullptr, data->g_target);
-  StatusOr<DatasetHandle> truth =
-      cache_->Insert(name + ".truth", data->target, nullptr);
-  for (const auto* inserted : {&train, &target, &truth}) {
-    if (!inserted->ok()) return FormatError(inserted->status());
-  }
+  Status generated = GenerateDataset(cache_, name, profile_name, seed);
+  if (!generated.ok()) return FormatError(generated);
   return "ok generated " + name + ".train " + name + ".target " + name +
          ".truth\n";
 }
 
-/// `submit key=value ...`
+/// `submit key=value ...` — the grammar lives in
+/// api::ParseReconstructRequest, shared with the write-ahead journal's
+/// accept records so the two formats cannot drift.
 LineProtocol::Result LineProtocol::HandleSubmit(std::istream& args) const {
   ReconstructRequest request;
   request.client_id = default_client_;
-  std::string token;
-  std::vector<std::string> typed_keys_seen;
-  while (args >> token) {
-    size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
-      return {FormatError(Status::InvalidArgument(
-                  "expected key=value, got '" + token + "'")),
-              false, std::nullopt};
-    }
-    std::string key = token.substr(0, eq);
-    std::string value = token.substr(eq + 1);
-    bool typed = key == "method" || key == "train" || key == "target" ||
-                 key == "truth" || key == "seed" || key == "budget" ||
-                 key == "deadline" || key == "priority" ||
-                 key == "client" || key == "kthreads" ||
-                 key == "retries" || key == "backoff";
-    if (typed) {
-      // Mirror the session layer's duplicate hardening: a repeated typed
-      // key is a typo, not a silent overwrite.
-      for (const std::string& seen : typed_keys_seen) {
-        if (seen == key) {
-          return {FormatError(Status::InvalidArgument(
-                      "duplicate option '" + key + "'")),
-                  false, std::nullopt};
-        }
-      }
-      typed_keys_seen.push_back(key);
-    }
-    bool bad_value = false;
-    if (key == "method") {
-      request.method = value;
-    } else if (key == "train") {
-      request.train_dataset = value;
-    } else if (key == "target") {
-      request.target_dataset = value;
-    } else if (key == "truth") {
-      request.ground_truth_dataset = value;
-    } else if (key == "seed") {
-      std::optional<uint64_t> seed = util::ParseUint64(value);
-      bad_value = !seed.has_value();
-      if (!bad_value) request.seed = *seed;
-    } else if (key == "budget") {
-      std::optional<double> budget = util::ParseDouble(value);
-      bad_value = !budget.has_value();
-      if (!bad_value) request.time_budget_seconds = *budget;
-    } else if (key == "deadline") {
-      std::optional<double> deadline = util::ParseDouble(value);
-      bad_value = !deadline.has_value();
-      if (!bad_value) request.deadline_seconds = *deadline;
-    } else if (key == "priority") {
-      if (!api::ParsePriority(value, &request.priority)) {
-        return {FormatError(Status::InvalidArgument(
-                    "bad priority '" + value +
-                    "' (expected batch, normal, or interactive)")),
-                false, std::nullopt};
-      }
-    } else if (key == "client") {
-      request.client_id = value;
-    } else if (key == "kthreads") {
-      std::optional<int> threads = util::ParseNonNegativeInt(value);
-      bad_value = !threads.has_value();
-      if (!bad_value) request.kernel_threads = *threads;
-    } else if (key == "retries") {
-      // retries=N grants N retries on top of the first attempt.
-      std::optional<int> retries = util::ParseNonNegativeInt(value);
-      bad_value = !retries.has_value();
-      if (!bad_value) request.retry.max_attempts = 1 + *retries;
-    } else if (key == "backoff") {
-      std::optional<double> backoff = util::ParseDouble(value);
-      bad_value = !backoff.has_value() || *backoff < 0.0;
-      if (!bad_value) request.retry.initial_backoff_seconds = *backoff;
-    } else {
-      request.overrides.emplace_back(std::move(key), std::move(value));
-      continue;
-    }
-    if (bad_value) {
-      return {FormatError(Status::InvalidArgument(
-                  "bad value '" + value + "' for option '" + key + "'")),
-              false, std::nullopt};
-    }
-  }
+  std::string rest;
+  std::getline(args, rest);
+  Status parsed = api::ParseReconstructRequest(rest, &request);
+  if (!parsed.ok()) return {FormatError(parsed), false, std::nullopt};
   StatusOr<JobId> id = service_->Submit(request);
   if (!id.ok()) return {FormatError(id.status()), false, std::nullopt};
   return {"ok job " + std::to_string(*id) + "\n", false, std::nullopt};

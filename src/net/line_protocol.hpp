@@ -24,6 +24,17 @@
 
 namespace marioh::net {
 
+/// Prepares the dataset triple `<basename>.train/.target/.truth` from
+/// evaluation-harness generator `profile` under `seed` and inserts it
+/// into `cache`, recording the recipe so a dataset manifest can restore
+/// it after a crash. Shared by the `gen` verb and the manifest-restore
+/// path the daemons run at startup (which is why it is a free function,
+/// usable before any protocol object exists). All three names must be
+/// free; kAlreadyExists otherwise.
+api::Status GenerateDataset(api::DatasetCache* cache,
+                            const std::string& basename,
+                            const std::string& profile, uint64_t seed);
+
 class LineProtocol {
  public:
   /// Both pointers must outlive the protocol object.

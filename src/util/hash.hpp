@@ -1,14 +1,41 @@
 /// \file hash.hpp
-/// \brief Hash helpers for node sets and node pairs.
+/// \brief Hash helpers for node sets and node pairs, plus the CRC32
+/// checksum used by the write-ahead journal's record framing.
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace marioh::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size`
+/// bytes, table-driven. `seed` chains incremental computations: pass a
+/// previous return value to continue a checksum across buffers. Used for
+/// journal record integrity, where a mismatch means a torn or corrupted
+/// write that replay must truncate.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
 
 /// Combines a value into a running 64-bit hash (boost::hash_combine-style
 /// with a 64-bit golden-ratio constant).

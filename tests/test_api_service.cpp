@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "api/session.hpp"
 #include "eval/harness.hpp"
 #include "io/text_io.hpp"
+#include "util/failpoint.hpp"
 
 namespace marioh::api {
 namespace {
@@ -803,6 +806,358 @@ TEST(Service, ForgetAfterTtlRetirementIsNotFound) {
   ASSERT_TRUE(keeper.Wait(*kept).ok());
   EXPECT_TRUE(keeper.Forget(*kept).ok());
   EXPECT_EQ(keeper.stats().jobs_retired, 0u);
+}
+
+// The wire grammar shared by the LineProtocol `submit` verb and the
+// journal's accept records: every typed field round-trips exactly,
+// defaults are omitted, and overrides survive in order.
+TEST(RequestWire, SerializeParseRoundTripsEveryField) {
+  ReconstructRequest request;
+  request.method = "MARIOH";
+  request.train_dataset = "crime.train";
+  request.target_dataset = "crime.target";
+  request.ground_truth_dataset = "crime.truth";
+  request.seed = 42;
+  request.time_budget_seconds = 1.25;
+  request.deadline_seconds = 0.3333333333333333;
+  request.priority = Priority::kInteractive;
+  request.client_id = "tenant-7";
+  request.kernel_threads = 3;
+  request.retry.max_attempts = 4;
+  request.retry.initial_backoff_seconds = 0.01;
+  request.retry.backoff_multiplier = 3.0;
+  request.retry.max_backoff_seconds = 0.5;
+  request.retry.jitter_fraction = 0.25;
+  request.retry.retryable = {StatusCode::kUnavailable,
+                             StatusCode::kInternal};
+  request.overrides = {{"threads", "2"}, {"theta_init", "0.8"}};
+  ASSERT_TRUE(ValidateRequestSerializable(request).ok());
+
+  std::string wire = SerializeReconstructRequest(request);
+  ReconstructRequest parsed;
+  ASSERT_TRUE(ParseReconstructRequest(wire, &parsed).ok()) << wire;
+  EXPECT_EQ(parsed.method, request.method);
+  EXPECT_EQ(parsed.train_dataset, request.train_dataset);
+  EXPECT_EQ(parsed.target_dataset, request.target_dataset);
+  EXPECT_EQ(parsed.ground_truth_dataset, request.ground_truth_dataset);
+  EXPECT_EQ(parsed.seed, request.seed);
+  EXPECT_EQ(parsed.time_budget_seconds, request.time_budget_seconds);
+  EXPECT_EQ(parsed.deadline_seconds, request.deadline_seconds);
+  EXPECT_EQ(parsed.priority, request.priority);
+  EXPECT_EQ(parsed.client_id, request.client_id);
+  EXPECT_EQ(parsed.kernel_threads, request.kernel_threads);
+  EXPECT_EQ(parsed.retry.max_attempts, request.retry.max_attempts);
+  EXPECT_EQ(parsed.retry.initial_backoff_seconds,
+            request.retry.initial_backoff_seconds);
+  EXPECT_EQ(parsed.retry.backoff_multiplier,
+            request.retry.backoff_multiplier);
+  EXPECT_EQ(parsed.retry.max_backoff_seconds,
+            request.retry.max_backoff_seconds);
+  EXPECT_EQ(parsed.retry.jitter_fraction, request.retry.jitter_fraction);
+  EXPECT_EQ(parsed.retry.retryable, request.retry.retryable);
+  EXPECT_EQ(parsed.overrides, request.overrides);
+  // The round trip is a fixed point: re-serializing yields the same line.
+  EXPECT_EQ(SerializeReconstructRequest(parsed), wire);
+
+  // A default request serializes to nothing but the defaults it omits.
+  ReconstructRequest blank;
+  ReconstructRequest reparsed;
+  ASSERT_TRUE(
+      ParseReconstructRequest(SerializeReconstructRequest(blank), &reparsed)
+          .ok());
+  EXPECT_EQ(reparsed.method, blank.method);
+  EXPECT_EQ(reparsed.seed, blank.seed);
+  EXPECT_EQ(reparsed.retry.max_attempts, 1);
+}
+
+TEST(RequestWire, ParserRejectsMalformedAndDuplicateTokens) {
+  auto parse = [](const std::string& text) {
+    ReconstructRequest request;
+    return ParseReconstructRequest(text, &request);
+  };
+  // Malformed token shapes.
+  Status bad_shape = parse("method=MARIOH oops");
+  EXPECT_EQ(bad_shape.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_shape.message().find("expected key=value, got 'oops'"),
+            std::string::npos);
+  // Bad typed values name the key and the value.
+  Status bad_value = parse("seed=banana");
+  EXPECT_EQ(bad_value.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_value.message().find("bad value 'banana' for option 'seed'"),
+            std::string::npos);
+  EXPECT_EQ(parse("priority=urgent").code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parse("priority=urgent").message().find(
+                "bad priority 'urgent' (expected batch, normal, or "
+                "interactive)"),
+            std::string::npos);
+  Status bad_code = parse("retryable=unavailable,flaky");
+  EXPECT_EQ(bad_code.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_code.message().find("bad retryable code 'flaky'"),
+            std::string::npos);
+  // Any duplicated key — typed or override — is a typo, not an overwrite.
+  Status dup_typed = parse("seed=1 seed=2");
+  EXPECT_EQ(dup_typed.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_typed.message().find("duplicate option 'seed'"),
+            std::string::npos);
+  Status dup_override = parse("threads=2 threads=4");
+  EXPECT_EQ(dup_override.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_override.message().find("duplicate option 'threads'"),
+            std::string::npos);
+  // Unknown keys are overrides, vetted later by Submit — not a parse
+  // error here.
+  ReconstructRequest with_override;
+  ASSERT_TRUE(
+      ParseReconstructRequest("snapshot_reuse=0.3", &with_override).ok());
+  ASSERT_EQ(with_override.overrides.size(), 1u);
+  EXPECT_EQ(with_override.overrides[0].first, "snapshot_reuse");
+}
+
+TEST(RequestWire, ValidateRejectsWhatCannotRoundTrip) {
+  ReconstructRequest request;
+  request.target_dataset = "crime.target";
+  ASSERT_TRUE(ValidateRequestSerializable(request).ok());
+  // Whitespace in a string field would split into extra tokens.
+  request.client_id = "two words";
+  EXPECT_EQ(ValidateRequestSerializable(request).code(),
+            StatusCode::kInvalidArgument);
+  request.client_id = "ok";
+  // An override key carrying '=' or shadowing a typed key would not
+  // parse back to the same request.
+  request.overrides = {{"a=b", "1"}};
+  EXPECT_EQ(ValidateRequestSerializable(request).code(),
+            StatusCode::kInvalidArgument);
+  request.overrides = {{"seed", "9"}};
+  EXPECT_EQ(ValidateRequestSerializable(request).code(),
+            StatusCode::kInvalidArgument);
+  request.overrides = {{"threads", ""}};
+  EXPECT_EQ(ValidateRequestSerializable(request).code(),
+            StatusCode::kInvalidArgument);
+  request.overrides = {{"threads", "2"}};
+  EXPECT_TRUE(ValidateRequestSerializable(request).ok());
+}
+
+// The crash-recovery acceptance test: kill a journaling Service mid-queue
+// (destructor ≙ process death for queued/preempted jobs: none of them is
+// journaled terminal), restart on the same journal dir, and require every
+// lost job to be re-admitted under its original JobId/client/priority and
+// to finish bit-identical to an undisturbed reference run — with the
+// jobs_recovered counter and the terminal-partition invariant exact.
+TEST(Service, JournalRecoveryReadmitsKilledJobsBitIdentical) {
+  constexpr int kJobs = 3;
+  eval::PreparedDataset data = SmallDataset();
+  const std::string dir =
+      testing::TempDir() + "/marioh_service_recovery_journal";
+  std::filesystem::remove_all(dir);
+  util::FailPoints::Clear();
+
+  // Undisturbed reference runs, seeds 1..K.
+  std::vector<Hypergraph> reference;
+  for (int s = 1; s <= kJobs; ++s) {
+    SessionOptions session_options;
+    session_options.method = "MARIOH";
+    session_options.seed = static_cast<uint64_t>(s);
+    Session session;
+    ASSERT_TRUE(session.Configure(session_options).ok());
+    ASSERT_TRUE(session.Train(data.train()).ok());
+    ASSERT_TRUE(session.Reconstruct(data.target_input()).ok());
+    StatusOr<Hypergraph> taken = session.TakeReconstruction();
+    ASSERT_TRUE(taken.ok());
+    reference.push_back(std::move(taken).value());
+  }
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.journal_dir = dir;
+
+  // Life 1: the single worker wedges inside the first job's reconstruct
+  // stage; everything else queues. Destroying the Service preempts the
+  // runner and sweeps the queue — exactly what SIGKILL leaves behind.
+  ASSERT_TRUE(
+      util::FailPoints::Configure("session.reconstruct", "delay:30000"));
+  {
+    Service service(CacheWithCrime(data), options);
+    ASSERT_TRUE(service.startup_status().ok())
+        << service.startup_status().ToString();
+    for (int s = 1; s <= kJobs; ++s) {
+      ReconstructRequest request;
+      request.method = "MARIOH";
+      request.train_dataset = "crime.train";
+      request.target_dataset = "crime.target";
+      request.seed = static_cast<uint64_t>(s);
+      request.client_id = "survivor";
+      request.priority = Priority::kInteractive;
+      StatusOr<JobId> id = service.Submit(request);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      EXPECT_EQ(*id, static_cast<JobId>(s));
+    }
+    EXPECT_EQ(service.stats().jobs_recovered, 0u);
+  }
+  util::FailPoints::Clear();
+
+  // Life 2: all K jobs come back under their original identities and
+  // finish bit-identical to the reference.
+  {
+    Service service(CacheWithCrime(data), options);
+    ASSERT_TRUE(service.startup_status().ok())
+        << service.startup_status().ToString();
+    ServiceStats at_boot = service.stats();
+    EXPECT_EQ(at_boot.jobs_recovered, static_cast<uint64_t>(kJobs));
+    EXPECT_EQ(at_boot.accepted, static_cast<uint64_t>(kJobs));
+    for (int s = 1; s <= kJobs; ++s) {
+      StatusOr<JobSnapshot> job = service.Wait(static_cast<JobId>(s));
+      ASSERT_TRUE(job.ok()) << job.status().ToString();
+      EXPECT_EQ(job->state, JobState::kDone) << job->status.ToString();
+      EXPECT_EQ(job->client_id, "survivor");
+      EXPECT_EQ(job->priority, Priority::kInteractive);
+      ASSERT_NE(job->reconstruction, nullptr);
+      EXPECT_EQ(job->reconstruction->edges(),
+                reference[static_cast<size_t>(s - 1)].edges())
+          << "recovered job " << s;
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.done, static_cast<uint64_t>(kJobs));
+    EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled +
+                                  stats.deadline_exceeded + stats.queued +
+                                  stats.running);
+    // Fresh submissions never collide with recovered ids.
+    ReconstructRequest fresh;
+    fresh.method = "MaxClique";
+    fresh.target_dataset = "crime.target";
+    StatusOr<JobId> next = service.Submit(fresh);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, static_cast<JobId>(kJobs + 1));
+    ASSERT_TRUE(service.Wait(*next).ok());
+  }
+
+  // Life 3: every job reached a journaled terminal state, so a third
+  // boot recovers nothing (and compaction had nothing left to keep).
+  {
+    Service service(CacheWithCrime(data), options);
+    ASSERT_TRUE(service.startup_status().ok());
+    EXPECT_EQ(service.stats().jobs_recovered, 0u);
+    EXPECT_EQ(service.stats().accepted, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Terminal records stick: an explicitly cancelled queued job must NOT
+// resurrect, and a recovered job whose dataset vanished fails cleanly
+// under its original id instead of poisoning startup.
+TEST(Service, JournalRecoveryHonoursTerminalsAndMissingDatasets) {
+  eval::PreparedDataset data = SmallDataset();
+  const std::string dir =
+      testing::TempDir() + "/marioh_service_recovery_terminals";
+  std::filesystem::remove_all(dir);
+  util::FailPoints::Clear();
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.journal_dir = dir;
+
+  ASSERT_TRUE(
+      util::FailPoints::Configure("session.reconstruct", "delay:30000"));
+  {
+    Service service(CacheWithCrime(data), options);
+    ASSERT_TRUE(service.startup_status().ok());
+    ReconstructRequest request;
+    request.method = "MARIOH";
+    request.train_dataset = "crime.train";
+    request.target_dataset = "crime.target";
+    StatusOr<JobId> wedged = service.Submit(request);    // id 1: runs, wedges
+    StatusOr<JobId> queued = service.Submit(request);    // id 2: queued
+    StatusOr<JobId> doomed = service.Submit(request);    // id 3: cancelled
+    ASSERT_TRUE(wedged.ok());
+    ASSERT_TRUE(queued.ok());
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE(WaitUntilRunning(service, *wedged));
+    // Explicit cancel of a queued job journals a terminal CANCELLED.
+    ASSERT_TRUE(service.Cancel(*doomed).ok());
+  }
+  util::FailPoints::Clear();
+
+  // Life 2 boots with an EMPTY cache: ids 1 and 2 cannot re-admit and
+  // must land kFailed under their original ids; id 3 stays gone.
+  {
+    Service service(std::make_shared<DatasetCache>(), options);
+    ASSERT_TRUE(service.startup_status().ok())
+        << service.startup_status().ToString();
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.jobs_recovered, 2u);
+    EXPECT_EQ(stats.accepted, 2u);
+    EXPECT_EQ(stats.failed, 2u);
+    for (JobId id : {JobId{1}, JobId{2}}) {
+      StatusOr<JobSnapshot> job = service.Poll(id);
+      ASSERT_TRUE(job.ok()) << "job " << id;
+      EXPECT_EQ(job->state, JobState::kFailed);
+      EXPECT_NE(job->status.message().find("recovery could not re-admit"),
+                std::string::npos);
+    }
+    EXPECT_EQ(service.Poll(3).status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(stats.accepted, stats.done + stats.failed + stats.cancelled +
+                                  stats.deadline_exceeded + stats.queued +
+                                  stats.running);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The dataset manifest round trip: EnableManifest records loads and
+// generated triples; RestoreFromManifest on a fresh cache brings every
+// dataset back (files re-read, triples re-generated through the
+// resolver), and malformed manifests are precise errors.
+TEST(DatasetCache, ManifestRecordsAndRestoresDatasets) {
+  eval::PreparedDataset data = SmallDataset();
+  const std::string dir = testing::TempDir() + "/marioh_manifest_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string manifest = dir + "/datasets.manifest";
+  const std::string hg_path = dir + "/source.hg";
+  ASSERT_TRUE(io::TryWriteHypergraphFile(*data.source, hg_path).ok());
+
+  {
+    DatasetCache cache;
+    ASSERT_TRUE(cache.EnableManifest(manifest).ok());
+    ASSERT_TRUE(cache.LoadHypergraphFile("src", hg_path).ok());
+    cache.RecordGenerated("syn", "crime", 7);
+  }
+  StatusOr<std::vector<DatasetCache::ManifestEntry>> entries =
+      DatasetCache::ReadManifest(manifest);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 2u);
+
+  // Restore into a fresh cache; the resolver counts gen requests.
+  DatasetCache restored;
+  int generated = 0;
+  Status status = restored.RestoreFromManifest(
+      manifest, [&generated](const std::string& basename,
+                             const std::string& profile, uint64_t seed) {
+        ++generated;
+        EXPECT_EQ(basename, "syn");
+        EXPECT_EQ(profile, "crime");
+        EXPECT_EQ(seed, 7u);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(generated, 1);
+  EXPECT_TRUE(restored.Contains("src"));
+
+  // A missing manifest restores nothing, successfully.
+  DatasetCache empty;
+  EXPECT_TRUE(
+      empty.RestoreFromManifest(dir + "/absent.manifest", nullptr).ok());
+  // A malformed line is an error naming the line.
+  {
+    std::ofstream bad(dir + "/bad.manifest");
+    bad << "hypergraph only_two\n";
+  }
+  EXPECT_EQ(DatasetCache::ReadManifest(dir + "/bad.manifest").status().code(),
+            StatusCode::kInvalidArgument);
+  // A vanished file fails the restore but names the casualty.
+  std::filesystem::remove(hg_path);
+  DatasetCache unlucky;
+  Status lost = unlucky.RestoreFromManifest(manifest, nullptr);
+  EXPECT_EQ(lost.code(), StatusCode::kUnavailable);
+  EXPECT_NE(lost.message().find("src"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Service, UnsupervisedJobsSkipTraining) {

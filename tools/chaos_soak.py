@@ -21,6 +21,18 @@ TCP connections while rotating the failpoint schedule between them:
   D  recovery         failpoints off — the same daemon, with faults
                       cleared, serves plain traffic flawlessly again.
 
+A fifth phase exercises durability past process death on a fresh daemon
+pair sharing one --journal-dir:
+
+  E  kill-mid-load    a 1-worker daemon wedges its worker on a 30 s
+                      delay failpoint, accepts a backlog of jobs, and is
+                      SIGKILLed — no destructor, no flush. A second
+                      daemon on the same journal dir must report every
+                      accepted-but-unfinished job recovered (banner
+                      recovered=N, stats jobs_recovered=N), run each to
+                      DONE under its ORIGINAL job id, and keep the
+                      counter partition exact: zero accepted jobs lost.
+
 Then SIGTERMs the daemon and asserts from its --stats-json snapshot:
 
   * >= 200 requests served across >= 6 connections, zero crashes,
@@ -39,6 +51,7 @@ No dependencies beyond the Python 3 standard library.
 
 import json
 import os
+import shutil
 import signal
 import socket
 import subprocess
@@ -50,6 +63,7 @@ CONNECTIONS = 8          # concurrent clients per phase (>= 6 required)
 JOBS_PHASE_A = 5         # retry-storm jobs per connection
 JOBS_PHASE_B = 3         # wire-storm jobs per connection
 JOBS_PHASE_D = 2         # recovery jobs per connection
+JOBS_PHASE_E = 6         # backlog accepted, then SIGKILLed mid-load
 FAILPOINT_SEED = "427"   # fixed: a failing run replays bit-for-bit
 STALL_TIMEOUT = 1.0      # watchdog budget for phase C (seconds)
 
@@ -167,6 +181,122 @@ def run_phase(name, port, tally, jobs, submit_suffix="",
         t.join()
     if errors:
         fail("phase %s: %s" % (name, "; ".join(errors)))
+
+
+def read_banner(daemon):
+    """Reads the daemon's startup banner and returns its key=value fields."""
+    banner = daemon.stdout.readline().strip()
+    fields = dict(f.split("=", 1) for f in banner.split()[2:] if "=" in f)
+    if not banner.startswith("ok marioh_served") or "port" not in fields:
+        fail("bad banner: %r" % banner)
+    return fields
+
+
+def parse_stats_line(reply):
+    """Turns an `ok stats k=v ...` reply into a {key: int} dict."""
+    fields = {}
+    for token in reply.split():
+        if "=" in token:
+            key, value = token.split("=", 1)
+            try:
+                fields[key] = int(value)
+            except ValueError:
+                pass
+    return fields
+
+
+def run_kill_phase(binary, stats_path):
+    """Phase E: SIGKILL a journaling daemon mid-load; its successor on the
+    same journal dir must lose zero accepted jobs."""
+    journal_dir = stats_path + ".journal"
+    shutil.rmtree(journal_dir, ignore_errors=True)
+    print("chaos_soak: phase E (kill-mid-load): %d jobs, then SIGKILL"
+          % JOBS_PHASE_E)
+
+    # Daemon A: one worker, wedged on a 30 s delay, accepts a backlog.
+    # Every `ok job N` reply is preceded by an fsynced journal append, so
+    # the SIGKILL below — no destructor, no flush — must not lose any.
+    daemon = subprocess.Popen(
+        [binary, "--port", "0", "--workers", "1",
+         "--journal-dir", journal_dir, "--allow-failpoint-admin"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    ids = []
+    try:
+        port = int(read_banner(daemon)["port"])
+        admin = Client(port)
+        reply = admin.request("gen soak crime 42")
+        if not reply.startswith("ok generated"):
+            fail("phase E gen failed: %r" % reply)
+        reply = admin.request("failpoints session.reconstruct=delay:30000")
+        if not reply.startswith("ok failpoints"):
+            fail("phase E failpoint admin rejected: %r" % reply)
+        for s in range(JOBS_PHASE_E):
+            reply = admin.request(
+                "submit method=MaxClique target=soak.target "
+                "truth=soak.truth seed=%d client=survivor" % (s + 1))
+            if not reply.startswith("ok job "):
+                fail("phase E submit rejected: %r" % reply)
+            ids.append(reply.split()[2])
+    finally:
+        daemon.kill()  # SIGKILL: the worker dies mid-delay, queue and all
+        daemon.wait()
+
+    # Daemon B: same journal dir, no faults. The dataset comes back via
+    # the datasets.manifest gen recipe, then every accepted-but-unfinished
+    # job is re-admitted under its original id.
+    daemon = subprocess.Popen(
+        [binary, "--port", "0", "--workers", "2",
+         "--journal-dir", journal_dir, "--stats-json", stats_path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        fields = read_banner(daemon)
+        if fields.get("recovered") != str(JOBS_PHASE_E):
+            fail("phase E banner recovered=%s; expected %d (ids %s)"
+                 % (fields.get("recovered"), JOBS_PHASE_E, ids))
+        port = int(fields["port"])
+        client = Client(port)
+        for job_id in ids:
+            reply = client.request("wait " + job_id)
+            if "state=DONE" not in reply:
+                fail("phase E recovered job %s did not finish: %r"
+                     % (job_id, reply))
+        stats = parse_stats_line(client.request("stats"))
+        if stats.get("jobs_recovered") != JOBS_PHASE_E:
+            fail("phase E stats jobs_recovered=%s; expected %d"
+                 % (stats.get("jobs_recovered"), JOBS_PHASE_E))
+        client.request("quit")
+        client.close()
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            fail("phase E daemon did not exit within 60s of SIGTERM")
+        if daemon.returncode != 0:
+            fail("phase E daemon exit status %d" % daemon.returncode)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    with open(stats_path) as f:
+        snapshot = json.load(f)
+    terminal = (snapshot["done"] + snapshot["failed"] +
+                snapshot["cancelled"] + snapshot["deadline_exceeded"] +
+                snapshot["queued"] + snapshot["running"])
+    if snapshot["accepted"] != terminal:
+        fail("phase E partition violated: accepted=%d vs sum=%d in %s"
+             % (snapshot["accepted"], terminal, json.dumps(snapshot)))
+    if snapshot["jobs_recovered"] != JOBS_PHASE_E:
+        fail("phase E snapshot jobs_recovered=%d; expected %d"
+             % (snapshot["jobs_recovered"], JOBS_PHASE_E))
+    if snapshot["done"] < JOBS_PHASE_E:
+        fail("phase E snapshot done=%d < %d recovered jobs"
+             % (snapshot["done"], JOBS_PHASE_E))
+    shutil.rmtree(journal_dir, ignore_errors=True)
+    print("chaos_soak: phase E: OK — %d jobs survived SIGKILL, zero lost, "
+          "all DONE under original ids, partition holds" % JOBS_PHASE_E)
 
 
 def main():
@@ -295,7 +425,7 @@ def main():
         fail("daemon served %d lines; harness drove %d requests"
              % (snapshot["lines_served"], total_requests))
 
-    print("chaos_soak: OK — %d requests over %d connections, "
+    print("chaos_soak: phases A-D OK — %d requests over %d connections, "
           "%d faults injected, %d retries (%d jobs healed, %d exhausted "
           "cleanly), %d stall cancelled, partition holds, clean shutdown "
           "(%s)"
@@ -303,6 +433,9 @@ def main():
              snapshot["faults_injected"], snapshot["jobs_retried"],
              tally.done, tally.failed_unavailable,
              snapshot["jobs_stalled"], stats_path))
+
+    run_kill_phase(binary, stats_path + ".recovery")
+    print("chaos_soak: OK — all phases passed")
 
 
 if __name__ == "__main__":
