@@ -11,6 +11,7 @@
 #include "core/features.hpp"
 #include "core/filtering.hpp"
 #include "gen/hypercl.hpp"
+#include "obs/metrics.hpp"
 #include "hypergraph/clique.hpp"
 #include "hypergraph/csr.hpp"
 #include "util/parallel.hpp"
@@ -291,6 +292,49 @@ void BM_ParallelScoringScaling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelScoringScaling)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- Observability overhead guards --------------------------------------
+// The obs instruments sit at stage/job granularity, never inside the
+// kernels above — these guards keep the primitives themselves cheap
+// enough that a future hot-path instrumentation stays honest: a counter
+// add is one relaxed fetch_add, a disabled histogram observe is one
+// relaxed load and a branch.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  marioh::obs::MetricRegistry registry;
+  marioh::obs::Counter* counter = registry.GetCounter("bench_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  marioh::obs::MetricRegistry registry;
+  marioh::obs::Histogram* histogram =
+      registry.GetHistogram("bench_seconds");
+  double value = 1e-5;
+  for (auto _ : state) {
+    histogram->Observe(value);
+    value = value < 1.0 ? value * 1.0000001 : 1e-5;
+  }
+  benchmark::DoNotOptimize(histogram->count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsHistogramObserveDisabled(benchmark::State& state) {
+  marioh::obs::SetEnabled(false);
+  marioh::obs::MetricRegistry registry;
+  marioh::obs::Histogram* histogram =
+      registry.GetHistogram("bench_seconds");
+  for (auto _ : state) {
+    histogram->Observe(1e-5);
+  }
+  benchmark::DoNotOptimize(histogram->count());
+  marioh::obs::SetEnabled(true);
+}
+BENCHMARK(BM_ObsHistogramObserveDisabled);
 
 }  // namespace
 

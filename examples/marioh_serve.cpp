@@ -33,7 +33,12 @@
 //                                   running one mid-kernel
 //   forget <id>                     retire a finished job (frees its
 //                                   result; keeps memory bounded)
-//   stats                           service counters
+//   stats                           service counters (one key=value line)
+//   metrics [json]                  full observability snapshot from the
+//                                   metric registry: Prometheus text
+//                                   framed as `ok metrics lines=N` + N
+//                                   lines, or one `ok metrics-json {...}`
+//                                   line with `metrics json`
 //   failpoints [spec|off]           inspect / reconfigure fault injection
 //                                   (always enabled here: whoever drives
 //                                   stdin already owns the process)

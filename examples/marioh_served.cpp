@@ -8,6 +8,7 @@
 //                 [--cache-bytes N] [--job-ttl SECONDS]
 //                 [--max-queued N] [--max-inflight N]
 //                 [--max-output-bytes N] [--stats-json PATH]
+//                 [--metrics-json PATH]
 //                 [--stall-timeout SECONDS] [--shed-batch-above N]
 //                 [--journal-dir PATH] [--fsync always|never]
 //                 [--allow-failpoint-admin] [--force-poll]
@@ -23,6 +24,11 @@
 //   --max-output-bytes N per-connection write-buffer cap before a slow
 //                        reader is disconnected
 //   --stats-json PATH    write a final stats snapshot here on shutdown
+//                        (the legacy key set, rendered from the metric
+//                        registry — same values as the `stats` verb)
+//   --metrics-json PATH  write the full observability snapshot here on
+//                        shutdown: every counter/gauge/histogram plus
+//                        recent trace spans (obs::SnapshotJson)
 //   --stall-timeout S    watchdog: cancel a running job whose heartbeat
 //                        is silent for S seconds (negative = off)
 //   --shed-batch-above N reject batch-priority submits while >= N jobs
@@ -61,7 +67,7 @@
 #include "net/event_loop.hpp"
 #include "net/line_protocol.hpp"
 #include "net/tcp_server.hpp"
-#include "util/failpoint.hpp"
+#include "obs/metrics.hpp"
 #include "util/parse.hpp"
 
 namespace {
@@ -77,52 +83,37 @@ int FlagError(const std::string& flag, const char* expected) {
   return 1;
 }
 
-void WriteStatsJson(const std::string& path,
-                    const marioh::api::Service& service,
-                    const marioh::api::DatasetCache& cache,
-                    const marioh::net::TcpServer& server) {
-  marioh::api::ServiceStats s = service.stats();
-  marioh::net::NetStatsSnapshot n = server.stats();
-  // Temp file + rename(2): the file visible under `path` is always a
-  // complete snapshot — a death mid-write can never leave truncated
-  // JSON for a soak script to choke on.
+// Temp file + rename(2): the file visible under `path` is always a
+// complete snapshot — a death mid-write can never leave truncated
+// JSON for a soak script to choke on.
+void WriteFileAtomic(const std::string& path, const std::string& body) {
   std::string tmp = path + ".tmp";
   std::ofstream out(tmp, std::ios::trunc);
-  out << "{\n"
-      << "  \"accepted\": " << s.accepted << ",\n"
-      << "  \"queued\": " << s.queued << ",\n"
-      << "  \"running\": " << s.running << ",\n"
-      << "  \"done\": " << s.done << ",\n"
-      << "  \"failed\": " << s.failed << ",\n"
-      << "  \"cancelled\": " << s.cancelled << ",\n"
-      << "  \"deadline_exceeded\": " << s.deadline_exceeded << ",\n"
-      << "  \"budget_overruns\": " << s.budget_overruns << ",\n"
-      << "  \"preempted\": " << s.preempted << ",\n"
-      << "  \"submits_rejected\": " << s.submits_rejected << ",\n"
-      << "  \"jobs_retired\": " << s.jobs_retired << ",\n"
-      << "  \"jobs_retried\": " << s.jobs_retried << ",\n"
-      << "  \"retries_exhausted\": " << s.retries_exhausted << ",\n"
-      << "  \"jobs_stalled\": " << s.jobs_stalled << ",\n"
-      << "  \"loadshed_rejects\": " << s.loadshed_rejects << ",\n"
-      << "  \"jobs_recovered\": " << s.jobs_recovered << ",\n"
-      << "  \"faults_injected\": " << marioh::util::FailPoints::TotalHits()
-      << ",\n"
-      << "  \"cache_bytes\": " << cache.total_bytes() << ",\n"
-      << "  \"cache_evictions\": " << cache.evictions() << ",\n"
-      << "  \"connections_active\": " << n.connections_active << ",\n"
-      << "  \"connections_total\": " << n.connections_total << ",\n"
-      << "  \"connections_rejected\": " << n.connections_rejected << ",\n"
-      << "  \"lines_served\": " << n.lines_served << "\n"
-      << "}\n";
+  out << body;
   out.flush();
   if (!out) {
-    std::cerr << "error: writing stats snapshot to " << tmp << " failed\n";
+    std::cerr << "error: writing snapshot to " << tmp << " failed\n";
     return;
   }
   out.close();
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::cerr << "error: renaming " << tmp << " to " << path << " failed\n";
   }
+}
+
+// The legacy stats keys, rendered from the same registry collection the
+// `stats` verb uses — the file and the wire cannot drift. Every value is
+// already a JSON-safe number string.
+void WriteStatsJson(const std::string& path) {
+  std::vector<std::pair<std::string, std::string>> fields =
+      marioh::net::LegacyStatsFields();
+  std::string body = "{\n";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    body += "  \"" + fields[i].first + "\": " + fields[i].second;
+    body += i + 1 < fields.size() ? ",\n" : "\n";
+  }
+  body += "}\n";
+  WriteFileAtomic(path, body);
 }
 
 }  // namespace
@@ -133,6 +124,7 @@ int main(int argc, char** argv) {
   marioh::net::EventLoopOptions loop_options;
   size_t cache_bytes = 0;
   std::string stats_json;
+  std::string metrics_json;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -195,6 +187,9 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--stats-json" && i + 1 < argc) {
       stats_json = value;
+      ++i;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json = value;
       ++i;
     } else if (arg == "--stall-timeout" && i + 1 < argc) {
       std::optional<double> timeout = marioh::util::ParseDouble(value);
@@ -297,7 +292,12 @@ int main(int argc, char** argv) {
   loop.Run();
 
   if (!stats_json.empty()) {
-    WriteStatsJson(stats_json, service, *cache, server);
+    WriteStatsJson(stats_json);
+  }
+  if (!metrics_json.empty()) {
+    WriteFileAtomic(
+        metrics_json,
+        marioh::obs::MetricRegistry::Global().SnapshotJson() + "\n");
   }
   std::cout << "ok bye " << server.StatsFields() << std::endl;
   return 0;

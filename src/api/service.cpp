@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/failpoint.hpp"
 #include "util/parse.hpp"
 
 namespace marioh::api {
@@ -73,11 +76,72 @@ Service::Service(std::shared_ptr<DatasetCache> cache,
                  ServiceOptions options)
     : cache_(std::move(cache)), options_(options) {
   MARIOH_CHECK(cache_ != nullptr);
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  wait_latency_seconds_ =
+      registry.GetHistogram("marioh_wait_latency_seconds");
+  cancel_latency_seconds_ =
+      registry.GetHistogram("marioh_cancel_latency_seconds");
   pool_ = std::make_unique<util::WorkerPool>(options_.num_workers);
   // Recovery happens after the pool exists (re-admitted jobs enqueue
   // into it) and before the maintenance thread starts watching.
   if (!options_.journal_dir.empty()) RecoverFromJournal();
   maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  // Last: once the hook is live, any thread's Collect() may call back
+  // into stats(), so the service must be fully constructed.
+  metrics_hook_ = registry.AddCollectionHook([this] { PublishMetrics(); });
+}
+
+void Service::PublishMetrics() const {
+  obs::MetricRegistry& r = obs::MetricRegistry::Global();
+  // One stats() call = one coherent snapshot under mutex_: the terminal
+  // partition (accepted = terminals + queued + running) holds across
+  // the published values exactly, which the metrics-endpoint partition
+  // assertions (test_net_server, both soaks) rely on.
+  ServiceStats s = stats();
+  r.GetCounter("marioh_jobs_accepted_total")->Set(s.accepted);
+  r.GetGauge("marioh_jobs_queued")->Set(static_cast<double>(s.queued));
+  r.GetGauge("marioh_jobs_running")->Set(static_cast<double>(s.running));
+  r.GetCounter("marioh_jobs_done_total")->Set(s.done);
+  r.GetCounter("marioh_jobs_failed_total")->Set(s.failed);
+  r.GetCounter("marioh_jobs_cancelled_total")->Set(s.cancelled);
+  r.GetCounter("marioh_jobs_deadline_exceeded_total")
+      ->Set(s.deadline_exceeded);
+  r.GetCounter("marioh_budget_overruns_total")->Set(s.budget_overruns);
+  r.GetCounter("marioh_jobs_preempted_total")->Set(s.preempted);
+  r.GetGauge("marioh_queue_depth", "priority=\"interactive\"")
+      ->Set(static_cast<double>(s.queued_interactive));
+  r.GetGauge("marioh_queue_depth", "priority=\"normal\"")
+      ->Set(static_cast<double>(s.queued_normal));
+  r.GetGauge("marioh_queue_depth", "priority=\"batch\"")
+      ->Set(static_cast<double>(s.queued_batch));
+  r.GetCounter("marioh_submits_rejected_total")->Set(s.submits_rejected);
+  r.GetCounter("marioh_jobs_retired_total")->Set(s.jobs_retired);
+  r.GetCounter("marioh_jobs_retried_total")->Set(s.jobs_retried);
+  r.GetCounter("marioh_retries_exhausted_total")->Set(s.retries_exhausted);
+  r.GetCounter("marioh_jobs_stalled_total")->Set(s.jobs_stalled);
+  r.GetCounter("marioh_loadshed_rejects_total")->Set(s.loadshed_rejects);
+  r.GetCounter("marioh_jobs_recovered_total")->Set(s.jobs_recovered);
+  r.GetCounter("marioh_faults_injected_total")
+      ->Set(util::FailPoints::TotalHits());
+  r.GetGauge("marioh_cache_bytes")
+      ->Set(static_cast<double>(cache_->total_bytes()));
+  r.GetCounter("marioh_cache_evictions_total")->Set(cache_->evictions());
+  if (journal_ != nullptr) {
+    // Created lazily only when a journal exists, so journal-less
+    // processes expose no journal series (and the legacy stats line
+    // keeps its journal keys conditional, as before).
+    util::JournalStats js = journal_->stats();
+    r.GetCounter("marioh_journal_records_total")->Set(js.records_appended);
+    r.GetCounter("marioh_journal_fsyncs_total")->Set(js.fsyncs);
+    r.GetGauge("marioh_journal_segments")
+        ->Set(static_cast<double>(journal_->segment_count()));
+    r.GetCounter("marioh_journal_replayed_total")
+        ->Set(js.records_replayed);
+    r.GetCounter("marioh_journal_torn_tails_total")
+        ->Set(js.torn_tails_truncated);
+    r.GetCounter("marioh_journal_compacted_total")
+        ->Set(js.segments_compacted);
+  }
 }
 
 void Service::RecoverFromJournal() {
@@ -140,6 +204,7 @@ void Service::RecoverFromJournal() {
       job->attempts = std::max(0, entry.attempts - 1);
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        job->admitted_at = std::chrono::steady_clock::now();
         jobs_.emplace(id, job);
         ++totals_.accepted;
         ++totals_.jobs_recovered;
@@ -173,6 +238,11 @@ void Service::RecoverFromJournal() {
 }
 
 Service::~Service() {
+  // Hook first, holding no locks: RemoveCollectionHook blocks until any
+  // in-flight Collect() finished running hooks, so after this line
+  // PublishMetrics can never run against a dying service (and the
+  // lock order hook-mutex → mutex_ is never reversed).
+  obs::MetricRegistry::Global().RemoveCollectionHook(metrics_hook_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -367,6 +437,7 @@ StatusOr<JobId> Service::Submit(const ReconstructRequest& request) {
           journal_->Append(next_id_, "accept " + wire, /*terminal=*/false));
     }
     job->id = next_id_++;
+    job->admitted_at = std::chrono::steady_clock::now();
     jobs_.emplace(job->id, job);
     ++totals_.accepted;
   }
@@ -434,6 +505,7 @@ StatusOr<std::vector<JobId>> Service::SubmitBatch(
     }
     for (const std::shared_ptr<Job>& job : admitted) {
       job->id = next_id_++;
+      job->admitted_at = std::chrono::steady_clock::now();
       jobs_.emplace(job->id, job);
       ++totals_.accepted;
       ids.push_back(job->id);
@@ -461,6 +533,14 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
       return;
     }
     job->state = JobState::kRunning;
+    if (job->admitted_at.has_value()) {
+      // Queue wait for this attempt: admission (or retry scheduling) to
+      // the moment a worker picked the job up.
+      wait_latency_seconds_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        *job->admitted_at)
+              .count());
+    }
     ++job->attempts;
     if (journal_ != nullptr) {
       // Best-effort attempt marker: losing it costs nothing but a
@@ -508,29 +588,36 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
 
   Session session;
   std::optional<EvaluationResult> evaluation;
-  if (status.ok()) status = session.Configure(std::move(options));
-  if (status.ok() && job->train.has_hypergraph()) {
-    status = session.Train(job->train);
-  }
-  if (status.ok()) status = session.Reconstruct(job->target);
-  if (status.ok() && job->ground_truth.has_hypergraph()) {
-    StatusOr<EvaluationResult> scores =
-        session.Evaluate(*job->ground_truth.hypergraph);
-    if (scores.ok()) {
-      evaluation = *scores;
-    } else {
-      status = scores.status();
-    }
-  }
-
   HypergraphHandle reconstruction;
-  if (status.ok()) {
-    StatusOr<Hypergraph> result = session.TakeReconstruction();
-    if (result.ok()) {
-      reconstruction = std::make_shared<const Hypergraph>(
-          std::move(result).value());
-    } else {
-      status = result.status();
+  {
+    // Root span of this attempt: the session's per-stage spans open
+    // inside this scope, so they link to it as children.
+    obs::TraceSpan job_span(
+        "job", job->request.method + " job=" + std::to_string(job->id) +
+                   " attempt=" + std::to_string(job->attempts));
+    if (status.ok()) status = session.Configure(std::move(options));
+    if (status.ok() && job->train.has_hypergraph()) {
+      status = session.Train(job->train);
+    }
+    if (status.ok()) status = session.Reconstruct(job->target);
+    if (status.ok() && job->ground_truth.has_hypergraph()) {
+      StatusOr<EvaluationResult> scores =
+          session.Evaluate(*job->ground_truth.hypergraph);
+      if (scores.ok()) {
+        evaluation = *scores;
+      } else {
+        status = scores.status();
+      }
+    }
+
+    if (status.ok()) {
+      StatusOr<Hypergraph> result = session.TakeReconstruction();
+      if (result.ok()) {
+        reconstruction = std::make_shared<const Hypergraph>(
+            std::move(result).value());
+      } else {
+        status = result.status();
+      }
     }
   }
 
@@ -547,6 +634,10 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
       if (job->attempts < std::max(1, job->request.retry.max_attempts)) {
         job->state = JobState::kQueued;
         job->status = Status::Ok();
+        // Re-arm the wait clock: the next kRunning transition samples
+        // backoff + queue time for this retry, not time since the
+        // original admission.
+        job->admitted_at = std::chrono::steady_clock::now();
         ++totals_.jobs_retried;
         double backoff =
             BackoffSeconds(job->request.retry, job->id, job->attempts);
@@ -617,6 +708,9 @@ void Service::RunJob(const std::shared_ptr<Job>& job) {
           totals_.cancel_latency_max_seconds =
               std::max(totals_.cancel_latency_max_seconds,
                        job->cancel_latency_seconds);
+          // Same sample, distribution form: count/sum/max of the
+          // histogram match the legacy totals by construction.
+          cancel_latency_seconds_->Observe(job->cancel_latency_seconds);
         }
       }
       // Close the job's journal key — except when shutdown preempted

@@ -31,6 +31,10 @@
 #include "util/journal.hpp"
 #include "util/worker_pool.hpp"
 
+namespace marioh::obs {
+class Histogram;
+}  // namespace marioh::obs
+
 namespace marioh::api {
 
 /// Identifies a submitted job; dense, starting at 1.
@@ -313,6 +317,10 @@ class Service {
     /// When an explicit Cancel() hit the job while running (guarded by
     /// mutex_); the terminal transition turns it into a latency sample.
     std::optional<std::chrono::steady_clock::time_point> cancelled_at;
+    /// When the job (re-)entered the queue — at admission, and again
+    /// when a retry is scheduled — so the kQueued→kRunning transition
+    /// can sample the wait-latency histogram. Guarded by mutex_.
+    std::optional<std::chrono::steady_clock::time_point> admitted_at;
     Status status;
     bool budget_overrun = false;
     uint64_t finish_seq = 0;
@@ -361,6 +369,14 @@ class Service {
   /// Called from the constructor (after the pool exists, before the
   /// maintenance thread starts); failures land in `startup_status_`.
   void RecoverFromJournal();
+  /// Pull-model metrics publication, run by the registry at every
+  /// Collect(): takes one stats() snapshot under `mutex_` and Sets the
+  /// `marioh_jobs_*` / queue-depth / cache / journal instruments from
+  /// it, so the terminal-partition invariant holds exactly in every
+  /// exposition output. Registered in the constructor; the destructor
+  /// removes the hook (blocking out any in-flight collection) before
+  /// touching anything else.
+  void PublishMetrics() const;
 
   std::shared_ptr<DatasetCache> cache_;
   ServiceOptions options_;
@@ -390,6 +406,12 @@ class Service {
   /// the next life re-admits them.
   std::unique_ptr<util::Journal> journal_;
   Status startup_status_;  ///< set once in the constructor, then const
+
+  /// Event-time latency instruments (global registry; pointers are
+  /// stable for the process lifetime) and the collection-hook id.
+  obs::Histogram* wait_latency_seconds_ = nullptr;
+  obs::Histogram* cancel_latency_seconds_ = nullptr;
+  uint64_t metrics_hook_ = 0;
 
   /// Created last, destroyed first: workers must be gone before the job
   /// table they touch.

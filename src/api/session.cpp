@@ -4,6 +4,8 @@
 
 #include "eval/metrics.hpp"
 #include "io/text_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 
@@ -195,6 +197,23 @@ Status Session::BeginStage(const std::string& stage) {
 
 void Session::EndStage(const std::string& stage, double stage_seconds) {
   stage_timer_.Add(stage, stage_seconds);
+  if (obs::Enabled()) {
+    obs::MetricRegistry::Global()
+        .GetHistogram("marioh_stage_duration_seconds",
+                      "stage=\"" + stage + "\"")
+        ->Observe(stage_seconds);
+    // Memory telemetry rides the stage stats (retires the ROADMAP
+    // "memory-use counters" item): current and peak RSS as of the end
+    // of the latest stage. Set, not Add — these are point samples.
+    if (std::optional<obs::MemorySample> memory =
+            obs::SampleProcessMemory()) {
+      stage_timer_.Set("mem.rss_mb", static_cast<double>(memory->rss_bytes) /
+                                         (1024.0 * 1024.0));
+      stage_timer_.Set("mem.peak_rss_mb",
+                       static_cast<double>(memory->peak_rss_bytes) /
+                           (1024.0 * 1024.0));
+    }
+  }
   // The budget covers train + reconstruct only (not evaluation or idle
   // time between stages) and is accounted when a reconstruction
   // completes: a train stage alone never trips it (pre-empting between
@@ -215,6 +234,7 @@ void Session::EndStage(const std::string& stage, double stage_seconds) {
 Status Session::Train(const ProjectedGraph& g_source,
                       const Hypergraph& h_source) {
   MARIOH_RETURN_IF_ERROR(BeginStage("train"));
+  obs::TraceSpan span("session.train", info_.name);
   util::Timer watch;
   method_->Train(g_source, h_source);
   trained_ = true;
@@ -257,6 +277,7 @@ Status Session::Reconstruct(const ProjectedGraph& g_target) {
         "' requires Train before Reconstruct");
   }
   MARIOH_RETURN_IF_ERROR(BeginStage("reconstruct"));
+  obs::TraceSpan span("session.reconstruct", info_.name);
   util::Timer watch;
   reconstruction_ = method_->Reconstruct(g_target);
   EndStage("reconstruct", watch.Seconds());
@@ -311,6 +332,7 @@ StatusOr<EvaluationResult> Session::Evaluate(
   }
   // Evaluation is outside the Train+Reconstruct budget (the paper's OOT
   // clock stops at reconstruction), so no BeginStage gate here.
+  obs::TraceSpan span("session.evaluate", info_.name);
   util::Timer watch;
   EvaluationResult result;
   result.jaccard = eval::Jaccard(ground_truth, *reconstruction_);

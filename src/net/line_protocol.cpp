@@ -1,5 +1,7 @@
 #include "net/line_protocol.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -7,6 +9,7 @@
 #include "api/registry.hpp"
 #include "api/request.hpp"
 #include "eval/harness.hpp"
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 #include "util/parse.hpp"
 
@@ -69,15 +72,88 @@ api::Status GenerateDataset(api::DatasetCache* cache,
   return Status::Ok();
 }
 
+std::vector<std::pair<std::string, std::string>> LegacyStatsFields() {
+  using obs::MetricSnapshot;
+  // One Collect() = one coherent set of values: the hooks publish under
+  // their subsystems' locks, so the counter partition holds across the
+  // whole line.
+  std::vector<MetricSnapshot> metrics =
+      obs::MetricRegistry::Global().Collect();
+  std::map<std::string, const MetricSnapshot*> index;
+  for (const MetricSnapshot& m : metrics) {
+    index[m.labels.empty() ? m.name : m.name + "{" + m.labels + "}"] = &m;
+  }
+  auto find = [&index](const std::string& key) -> const MetricSnapshot* {
+    auto it = index.find(key);
+    return it == index.end() ? nullptr : it->second;
+  };
+  auto integer = [&find](const std::string& key) {
+    const MetricSnapshot* m = find(key);
+    if (m == nullptr) return std::string("0");
+    return std::to_string(m->kind == MetricSnapshot::Kind::kCounter
+                              ? m->counter_value
+                              : static_cast<uint64_t>(m->gauge_value));
+  };
+  std::vector<std::pair<std::string, std::string>> fields;
+  auto add = [&fields, &integer](const char* legacy,
+                                 const std::string& name) {
+    fields.emplace_back(legacy, integer(name));
+  };
+  add("accepted", "marioh_jobs_accepted_total");
+  add("queued", "marioh_jobs_queued");
+  add("running", "marioh_jobs_running");
+  add("done", "marioh_jobs_done_total");
+  add("failed", "marioh_jobs_failed_total");
+  add("cancelled", "marioh_jobs_cancelled_total");
+  add("deadline_exceeded", "marioh_jobs_deadline_exceeded_total");
+  add("budget_overruns", "marioh_budget_overruns_total");
+  add("preempted", "marioh_jobs_preempted_total");
+  add("queued_interactive",
+      "marioh_queue_depth{priority=\"interactive\"}");
+  add("queued_normal", "marioh_queue_depth{priority=\"normal\"}");
+  add("queued_batch", "marioh_queue_depth{priority=\"batch\"}");
+  if (const MetricSnapshot* cancel =
+          find("marioh_cancel_latency_seconds");
+      cancel != nullptr && cancel->count > 0) {
+    fields.emplace_back(
+        "cancel_latency_mean",
+        obs::FormatMetricValue(cancel->sum /
+                               static_cast<double>(cancel->count)));
+    fields.emplace_back("cancel_latency_max",
+                        obs::FormatMetricValue(cancel->max));
+  }
+  add("submits_rejected", "marioh_submits_rejected_total");
+  add("jobs_retired", "marioh_jobs_retired_total");
+  add("jobs_retried", "marioh_jobs_retried_total");
+  add("retries_exhausted", "marioh_retries_exhausted_total");
+  add("jobs_stalled", "marioh_jobs_stalled_total");
+  add("loadshed_rejects", "marioh_loadshed_rejects_total");
+  add("jobs_recovered", "marioh_jobs_recovered_total");
+  add("faults_injected", "marioh_faults_injected_total");
+  add("cache_bytes", "marioh_cache_bytes");
+  add("cache_evictions", "marioh_cache_evictions_total");
+  if (find("marioh_journal_records_total") != nullptr) {
+    add("journal_records", "marioh_journal_records_total");
+    add("journal_fsyncs", "marioh_journal_fsyncs_total");
+    add("journal_segments", "marioh_journal_segments");
+    add("journal_replayed", "marioh_journal_replayed_total");
+    add("journal_torn_tails", "marioh_journal_torn_tails_total");
+    add("journal_compacted", "marioh_journal_compacted_total");
+  }
+  if (find("marioh_connections_total") != nullptr) {
+    add("connections_active", "marioh_connections_active");
+    add("connections_total", "marioh_connections_total");
+    add("connections_rejected", "marioh_connections_rejected_total");
+    add("lines_served", "marioh_lines_served_total");
+  }
+  return fields;
+}
+
 LineProtocol::LineProtocol(api::DatasetCache* cache, api::Service* service)
     : cache_(cache), service_(service) {}
 
 void LineProtocol::set_default_client(std::string client_id) {
   default_client_ = std::move(client_id);
-}
-
-void LineProtocol::set_extra_stats(std::function<std::string()> extra) {
-  extra_stats_ = std::move(extra);
 }
 
 std::string LineProtocol::FormatError(const Status& status) {
@@ -123,49 +199,19 @@ std::string LineProtocol::FormatJob(const JobSnapshot& job) const {
 }
 
 std::string LineProtocol::FormatStats() const {
-  api::ServiceStats stats = service_->stats();
-  std::ostringstream out;
-  out << "ok stats accepted=" << stats.accepted
-      << " queued=" << stats.queued << " running=" << stats.running
-      << " done=" << stats.done << " failed=" << stats.failed
-      << " cancelled=" << stats.cancelled
-      << " deadline_exceeded=" << stats.deadline_exceeded
-      << " budget_overruns=" << stats.budget_overruns
-      << " preempted=" << stats.preempted
-      << " queued_interactive=" << stats.queued_interactive
-      << " queued_normal=" << stats.queued_normal
-      << " queued_batch=" << stats.queued_batch;
-  if (stats.cancel_latency_count > 0) {
-    out << " cancel_latency_mean="
-        << stats.cancel_latency_total_seconds /
-               static_cast<double>(stats.cancel_latency_count)
-        << " cancel_latency_max=" << stats.cancel_latency_max_seconds;
+  std::string out = "ok stats";
+  for (const auto& [key, value] : LegacyStatsFields()) {
+    out += " " + key + "=" + value;
   }
-  out << " submits_rejected=" << stats.submits_rejected
-      << " jobs_retired=" << stats.jobs_retired
-      << " jobs_retried=" << stats.jobs_retried
-      << " retries_exhausted=" << stats.retries_exhausted
-      << " jobs_stalled=" << stats.jobs_stalled
-      << " loadshed_rejects=" << stats.loadshed_rejects
-      << " jobs_recovered=" << stats.jobs_recovered
-      << " faults_injected=" << util::FailPoints::TotalHits()
-      << " cache_bytes=" << cache_->total_bytes()
-      << " cache_evictions=" << cache_->evictions();
-  if (const util::Journal* journal = service_->journal()) {
-    util::JournalStats js = journal->stats();
-    out << " journal_records=" << js.records_appended
-        << " journal_fsyncs=" << js.fsyncs
-        << " journal_segments=" << journal->segment_count()
-        << " journal_replayed=" << js.records_replayed
-        << " journal_torn_tails=" << js.torn_tails_truncated
-        << " journal_compacted=" << js.segments_compacted;
-  }
-  if (extra_stats_) {
-    std::string extra = extra_stats_();
-    if (!extra.empty()) out << " " << extra;
-  }
-  out << "\n";
-  return out.str();
+  out += "\n";
+  return out;
+}
+
+std::string LineProtocol::FormatMetrics() {
+  std::string text = obs::MetricRegistry::Global().PrometheusText();
+  size_t lines =
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+  return "ok metrics lines=" + std::to_string(lines) + "\n" + text;
 }
 
 /// `load <hypergraph|graph> <name> <path>`
@@ -280,6 +326,21 @@ LineProtocol::Result LineProtocol::Handle(const std::string& line) {
             std::nullopt};
   }
   if (verb == "stats") return {FormatStats(), false, std::nullopt};
+  if (verb == "metrics") {
+    std::string format;
+    args >> format;
+    if (format == "json") {
+      return {"ok metrics-json " +
+                  obs::MetricRegistry::Global().SnapshotJson() + "\n",
+              false, std::nullopt};
+    }
+    if (!format.empty()) {
+      return {FormatError(
+                  Status::InvalidArgument("usage: metrics [json]")),
+              false, std::nullopt};
+    }
+    return {FormatMetrics(), false, std::nullopt};
+  }
   if (verb == "failpoints") {
     // Chaos administration: reconfigure the process-wide failpoint
     // registry mid-run so a soak can rotate fault schedules over one
@@ -314,7 +375,7 @@ LineProtocol::Result LineProtocol::Handle(const std::string& line) {
   return {FormatError(Status::InvalidArgument(
               "unknown request '" + verb +
               "' (load gen datasets methods submit poll wait cancel forget "
-              "stats failpoints quit)")),
+              "stats metrics failpoints quit)")),
           false, std::nullopt};
 }
 

@@ -14,15 +14,27 @@
 
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/dataset_cache.hpp"
 #include "api/service.hpp"
 #include "api/status.hpp"
 
 namespace marioh::net {
+
+/// The legacy `stats` fields (`accepted=`, `queued=`, ...,
+/// `lines_served=`) rendered from one `obs::MetricRegistry::Global()`
+/// collection, in the order the `stats` verb has always printed them.
+/// Optional groups keep their old conditionality: cancel-latency fields
+/// appear once a cancel was sampled, `journal_*` once a journal
+/// published, `connections_*`/`lines_served` once a TCP server did.
+/// Shared by the `stats` verb and `marioh_served --stats-json`, so the
+/// two surfaces (and the `metrics` endpoint they are derived from)
+/// cannot drift.
+std::vector<std::pair<std::string, std::string>> LegacyStatsFields();
 
 /// Prepares the dataset triple `<basename>.train/.target/.truth` from
 /// evaluation-harness generator `profile` under `seed` and inserts it
@@ -45,11 +57,6 @@ class LineProtocol {
   /// sets one per connection so each socket schedules as its own client.
   void set_default_client(std::string client_id);
   const std::string& default_client() const { return default_client_; }
-
-  /// Extra `key=value` fields appended to the `stats` response line —
-  /// the hook the TCP server uses to report connection counters through
-  /// the same verb.
-  void set_extra_stats(std::function<std::string()> extra);
 
   /// Enables the `failpoints` admin verb (process-wide fault injection —
   /// see util/failpoint.hpp). Off by default: a fault-injection surface
@@ -83,9 +90,16 @@ class LineProtocol {
   /// "error CODE: message".
   static std::string FormatError(const api::Status& status);
 
-  /// The `stats` response: service counters + cache accounting + any
-  /// extra fields.
+  /// The `stats` response: the legacy key=value line, rendered from the
+  /// metric registry (see LegacyStatsFields).
   std::string FormatStats() const;
+
+  /// The `metrics` response: `ok metrics lines=N\n` followed by exactly
+  /// N lines of Prometheus text exposition from the global registry —
+  /// the framing that lets a one-line-per-request client read a
+  /// multi-line payload. `metrics json` instead answers one
+  /// `ok metrics-json {...}` line with the full JSON snapshot.
+  static std::string FormatMetrics();
 
  private:
   std::string HandleLoad(std::istream& args) const;
@@ -95,7 +109,6 @@ class LineProtocol {
   api::DatasetCache* cache_;
   api::Service* service_;
   std::string default_client_;
-  std::function<std::string()> extra_stats_;
   bool allow_failpoint_admin_ = false;
 };
 

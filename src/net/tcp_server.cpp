@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 
 namespace marioh::net {
@@ -52,6 +53,11 @@ TcpServer::TcpServer(EventLoop* loop, api::DatasetCache* cache,
     : loop_(loop), cache_(cache), service_(service), options_(options) {}
 
 TcpServer::~TcpServer() {
+  // Blocks out any in-flight Collect() before the counters the hook
+  // reads are torn down.
+  if (metrics_hook_ != 0) {
+    obs::MetricRegistry::Global().RemoveCollectionHook(metrics_hook_);
+  }
   std::vector<int> fds;
   fds.reserve(connections_.size());
   for (const auto& [fd, conn] : connections_) fds.push_back(fd);
@@ -88,6 +94,18 @@ api::Status TcpServer::Start() {
   MARIOH_RETURN_IF_ERROR(loop_->Add(
       listen_fd_, EventLoop::kRead, [this](uint32_t) { OnAcceptable(); }));
   loop_->set_tick(options_.tick_period, [this] { Tick(); });
+  // Publish connection counters through the registry: the stats verb,
+  // the metrics endpoint, and --stats-json all read the same series.
+  metrics_hook_ = obs::MetricRegistry::Global().AddCollectionHook([this] {
+    obs::MetricRegistry& r = obs::MetricRegistry::Global();
+    NetStatsSnapshot s = stats();
+    r.GetGauge("marioh_connections_active")
+        ->Set(static_cast<double>(s.connections_active));
+    r.GetCounter("marioh_connections_total")->Set(s.connections_total);
+    r.GetCounter("marioh_connections_rejected_total")
+        ->Set(s.connections_rejected);
+    r.GetCounter("marioh_lines_served_total")->Set(s.lines_served);
+  });
   return api::Status::Ok();
 }
 
@@ -143,7 +161,6 @@ void TcpServer::OnAcceptable() {
     conn->fd = fd;
     conn->id = id;
     conn->protocol.set_default_client("conn-" + std::to_string(id));
-    conn->protocol.set_extra_stats([this] { return StatsFields(); });
     conn->protocol.set_allow_failpoint_admin(options_.allow_failpoint_admin);
     api::Status added = loop_->Add(
         fd, EventLoop::kRead,

@@ -143,6 +143,10 @@ class TcpServer {
   std::atomic<uint64_t> connections_total_{0};
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> lines_served_{0};
+  /// Registry collection hook publishing the counters above as
+  /// `marioh_connections_*` / `marioh_lines_served_total`; registered in
+  /// Start(), removed first thing in the destructor.
+  uint64_t metrics_hook_ = 0;
 };
 
 }  // namespace marioh::net

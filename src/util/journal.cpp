@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
 
@@ -366,10 +368,22 @@ api::Status Journal::Append(uint64_t key, std::string_view payload,
     if (FailPoints::active() &&
         FailPoints::Eval("journal.fsync") == FailAction::kError) {
       fsync_error = "failpoint 'journal.fsync': injected fsync failure";
-    } else if (::fsync(fd_) != 0) {
-      fsync_error = ErrnoMessage("journal fsync failed");
     } else {
-      ++stats_.fsyncs;
+      // The fsync dominates the submit path under kAlways, so its
+      // duration distribution is first-class telemetry.
+      const auto fsync_start = std::chrono::steady_clock::now();
+      if (::fsync(fd_) != 0) {
+        fsync_error = ErrnoMessage("journal fsync failed");
+      } else {
+        static obs::Histogram* const fsync_seconds =
+            obs::MetricRegistry::Global().GetHistogram(
+                "marioh_journal_fsync_seconds");
+        fsync_seconds->Observe(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   fsync_start)
+                                   .count());
+        ++stats_.fsyncs;
+      }
     }
     if (!fsync_error.empty()) {
       // The caller was promised stable storage; roll the record back so

@@ -34,6 +34,11 @@ class StageTimer {
   void Add(const std::string& stage, double seconds) {
     totals_[stage] += seconds;
   }
+  /// Overwrites the stage's value — for point-in-time samples (e.g. the
+  /// memory gauges in Session stage stats) where summing would be wrong.
+  void Set(const std::string& stage, double value) {
+    totals_[stage] = value;
+  }
   /// Total seconds recorded for `stage` (0 if never recorded).
   double Get(const std::string& stage) const {
     auto it = totals_.find(stage);

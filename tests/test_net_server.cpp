@@ -18,6 +18,8 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -468,6 +470,81 @@ TEST(NetServer, EventLoopSurvivesEintrDuringRun) {
   }  // the fixture's Stop/join also proves Run still exits cleanly
 
   ::sigaction(SIGUSR1, &previous, nullptr);
+}
+
+// The observability acceptance test: the `metrics` verb over TCP returns
+// Prometheus text in which the accepted counter equals the sum of the
+// terminal counters plus the queued/running gauges — exactly, because
+// the Service publishes one mutex-coherent snapshot per collection. Also
+// covers the framing (`ok metrics lines=N` + N raw lines), the
+// single-line `metrics json` variant, and the `stats` verb still serving
+// the legacy key order from the same registry.
+TEST(NetServer, MetricsVerbExposesAnExactCounterPartition) {
+  eval::PreparedDataset data = SmallDataset();
+  ServerFixture fixture(data, ServiceOptions{}, TcpServerOptions{});
+  Client client(fixture.port());
+  ASSERT_TRUE(client.connected());
+  client.ReadLine();  // greeting
+
+  for (int i = 0; i < 2; ++i) {
+    JobId id = ParseJobId(
+        client.Roundtrip("submit method=MaxClique target=crime.target"));
+    ASSERT_NE(id, 0u);
+    EXPECT_NE(client.Roundtrip("wait " + std::to_string(id))
+                  .find("state=DONE"),
+              std::string::npos);
+  }
+
+  // The stats verb renders its legacy line from the registry — key order
+  // unchanged, values from this fixture's Service.
+  std::string stats = client.Roundtrip("stats");
+  EXPECT_EQ(stats.rfind("ok stats accepted=2 queued=0 running=0 done=2", 0),
+            0u)
+      << stats;
+
+  std::string header = client.Roundtrip("metrics");
+  ASSERT_EQ(header.rfind("ok metrics lines=", 0), 0u) << header;
+  int lines = std::atoi(header.c_str() + std::string("ok metrics lines=").size());
+  ASSERT_GT(lines, 0);
+  std::map<std::string, double> series;
+  for (int i = 0; i < lines; ++i) {
+    std::string line = client.ReadLine();
+    ASSERT_FALSE(line.empty()) << "short metrics payload at line " << i;
+    if (line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    series[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  // The connection is still line-synchronized after the framed payload.
+  EXPECT_EQ(client.Roundtrip("datasets").rfind("ok datasets", 0), 0u);
+
+  // Exact partition: accepted = terminals + queued + running.
+  double terminals = series.at("marioh_jobs_done_total") +
+                     series.at("marioh_jobs_failed_total") +
+                     series.at("marioh_jobs_cancelled_total") +
+                     series.at("marioh_jobs_deadline_exceeded_total") +
+                     series.at("marioh_jobs_queued") +
+                     series.at("marioh_jobs_running");
+  EXPECT_EQ(series.at("marioh_jobs_accepted_total"), terminals);
+  EXPECT_EQ(series.at("marioh_jobs_accepted_total"), 2.0);
+  EXPECT_EQ(series.at("marioh_jobs_done_total"), 2.0);
+  // The TcpServer hook publishes this fixture's connection counters.
+  EXPECT_EQ(series.at("marioh_connections_total"), 1.0);
+  EXPECT_EQ(series.at("marioh_connections_active"), 1.0);
+  EXPECT_GE(series.at("marioh_lines_served_total"), 4.0);
+  // Wait latency was observed for each job run (the global histogram is
+  // cumulative across the binary, so >=, not ==).
+  EXPECT_GE(series.at("marioh_wait_latency_seconds_count"), 2.0);
+  EXPECT_GE(series.at("marioh_process_rss_bytes"), 1.0);
+
+  std::string json = client.Roundtrip("metrics json");
+  EXPECT_EQ(json.rfind("ok metrics-json {", 0), 0u) << json.substr(0, 80);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"marioh_jobs_accepted_total\""), std::string::npos);
+
+  EXPECT_EQ(client.Roundtrip("metrics bogus").rfind("error ", 0), 0u);
+  client.Roundtrip("quit");
 }
 
 }  // namespace

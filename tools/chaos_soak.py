@@ -43,6 +43,10 @@ Then SIGTERMs the daemon and asserts from its --stats-json snapshot:
     jobs_retried > 0, jobs_stalled >= 1,
   * clean exit 0.
 
+Between phases the harness also scrapes the `metrics` verb and asserts
+the same partition holds *live* from the Prometheus exposition — chaos
+must never produce even a transiently incoherent counter snapshot.
+
 Usage: chaos_soak.py /path/to/marioh_served [stats.json]
 
 Exit status 0 on success; nonzero with a diagnostic on any failure.
@@ -104,6 +108,41 @@ class Client:
 
     def close(self):
         self.sock.close()
+
+    def scrape_metrics(self):
+        """Scrapes the `metrics` verb: `ok metrics lines=N` header, then N
+        Prometheus text lines; returns {series: float} minus comments."""
+        reply = self.request("metrics")
+        if not reply.startswith("ok metrics lines="):
+            fail("bad metrics header: %r" % reply)
+        count = int(reply.split("lines=", 1)[1])
+        series = {}
+        for _ in range(count):
+            line = self.read_line()
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            series[name] = float(value)
+        return series
+
+
+def assert_live_partition(client, where):
+    """Scrapes the metrics endpoint and asserts the counter partition
+    holds at this instant — mid-chaos, not just at shutdown."""
+    series = client.scrape_metrics()
+    terminal = (series["marioh_jobs_done_total"] +
+                series["marioh_jobs_failed_total"] +
+                series["marioh_jobs_cancelled_total"] +
+                series["marioh_jobs_deadline_exceeded_total"] +
+                series["marioh_jobs_queued"] +
+                series["marioh_jobs_running"])
+    if series["marioh_jobs_accepted_total"] != terminal:
+        fail("%s: live partition violated: accepted=%s vs sum=%s"
+             % (where, series["marioh_jobs_accepted_total"], terminal))
+    print("chaos_soak: %s: live partition holds (accepted=%d, "
+          "faults_injected=%d)"
+          % (where, series["marioh_jobs_accepted_total"],
+             series["marioh_faults_injected_total"]))
 
 
 class Tally:
@@ -336,6 +375,7 @@ def main():
             fail("failpoint admin rejected: %r" % reply)
         run_phase("A (retry storm)", port, tally, JOBS_PHASE_A,
                   " retries=4 backoff=0.01", allow_exhausted=True)
+        assert_live_partition(admin, "after phase A")
 
         # Phase B: the wire itself misbehaves — injected EAGAIN on reads,
         # 1-byte short writes — yet every request completes exactly once.
@@ -347,6 +387,7 @@ def main():
             fail("failpoint admin rejected: %r" % reply)
         run_phase("B (wire storm)", port, tally, JOBS_PHASE_B)
         admin.request("failpoints off")
+        assert_live_partition(admin, "after phase B")
 
         # Phase C: one wedged job; the watchdog must cut the 30 s stall
         # down to ~stall_timeout.
@@ -376,6 +417,7 @@ def main():
         # Phase D: faults cleared — the survivor serves plain traffic.
         admin.request("failpoints off")
         run_phase("D (recovery)", port, tally, JOBS_PHASE_D)
+        assert_live_partition(admin, "after phase D")
 
         stats = admin.request("stats")
         print("chaos_soak: final stats: " + stats)

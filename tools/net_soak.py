@@ -12,9 +12,16 @@ forget plus deliberate protocol errors), then SIGTERMs it and asserts:
       accepted == done + failed + cancelled + deadline_exceeded
                   + queued + running
     (all jobs terminal at shutdown, and rejected submits stay out of
-    `accepted`).
+    `accepted`),
+  * the same partition holds *live*, scraped from the `metrics` verb
+    mid-run while worker connections are still submitting — the
+    registry's collection hooks publish mutex-coherent snapshots, so
+    the invariant is exact at any instant, not just at quiescence,
+  * with a metrics.json argument, the daemon also writes its full
+    --metrics-json observability snapshot and it parses as JSON with
+    the counters/gauges/histograms/spans sections.
 
-Usage: net_soak.py /path/to/marioh_served [stats.json]
+Usage: net_soak.py /path/to/marioh_served [stats.json] [metrics.json]
 
 Exit status 0 on success; nonzero with a diagnostic on any failure.
 No dependencies beyond the Python 3 standard library.
@@ -67,6 +74,37 @@ class Client:
     def close(self):
         self.sock.close()
 
+    def scrape_metrics(self):
+        """Scrapes the `metrics` verb: reads the `ok metrics lines=N`
+        header, then exactly N Prometheus text lines, and returns
+        {series_signature: float} (comment lines skipped)."""
+        reply = self.request("metrics")
+        if not reply.startswith("ok metrics lines="):
+            fail("bad metrics header: %r" % reply)
+        count = int(reply.split("lines=", 1)[1])
+        series = {}
+        for _ in range(count):
+            line = self.read_line()
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            series[name] = float(value)
+        return series
+
+
+def assert_partition(series, where):
+    """accepted == terminals + queued + running, exactly, in a metrics
+    scrape (counters are integers, so float equality is exact)."""
+    terminal = (series["marioh_jobs_done_total"] +
+                series["marioh_jobs_failed_total"] +
+                series["marioh_jobs_cancelled_total"] +
+                series["marioh_jobs_deadline_exceeded_total"] +
+                series["marioh_jobs_queued"] +
+                series["marioh_jobs_running"])
+    if series["marioh_jobs_accepted_total"] != terminal:
+        fail("%s: live partition violated: accepted=%s vs sum=%s"
+             % (where, series["marioh_jobs_accepted_total"], terminal))
+
 
 def drive_connection(port, index, errors):
     try:
@@ -103,14 +141,19 @@ def drive_connection(port, index, errors):
 
 def main():
     if len(sys.argv) < 2:
-        fail("usage: net_soak.py /path/to/marioh_served [stats.json]")
+        fail("usage: net_soak.py /path/to/marioh_served "
+             "[stats.json] [metrics.json]")
     binary = sys.argv[1]
     stats_path = sys.argv[2] if len(sys.argv) > 2 else "net_soak_stats.json"
+    metrics_path = sys.argv[3] if len(sys.argv) > 3 else ""
 
+    command = [binary, "--port", "0", "--workers", "2",
+               "--max-connections", "32", "--job-ttl", "600",
+               "--stats-json", stats_path]
+    if metrics_path:
+        command += ["--metrics-json", metrics_path]
     daemon = subprocess.Popen(
-        [binary, "--port", "0", "--workers", "2",
-         "--max-connections", "32", "--job-ttl", "600",
-         "--stats-json", stats_path],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     try:
         banner = daemon.stdout.readline().strip()
@@ -132,10 +175,21 @@ def main():
                    for i in range(CONNECTIONS)]
         for t in threads:
             t.start()
+        # Scrape the metrics endpoint while the workers are mid-flight:
+        # the partition must hold at any instant, not just at the end.
+        live = seeder.scrape_metrics()
+        assert_partition(live, "mid-run scrape")
+        print("net_soak: mid-run partition holds (accepted=%d)"
+              % live["marioh_jobs_accepted_total"])
         for t in threads:
             t.join()
         if errors:
             fail("; ".join(errors))
+
+        final = seeder.scrape_metrics()
+        assert_partition(final, "post-run scrape")
+        if final["marioh_process_rss_bytes"] <= 0:
+            fail("process RSS gauge missing from metrics scrape")
 
         stats = seeder.request("stats")
         print("net_soak: final stats: " + stats)
@@ -173,6 +227,22 @@ def main():
     if snapshot["connections_total"] < CONNECTIONS + 1:
         fail("expected >= %d connections, snapshot says %d"
              % (CONNECTIONS + 1, snapshot["connections_total"]))
+
+    if metrics_path:
+        if not os.path.exists(metrics_path):
+            fail("daemon exited without writing %s" % metrics_path)
+        with open(metrics_path) as f:
+            metrics = json.load(f)
+        for section in ("counters", "gauges", "histograms", "spans"):
+            if section not in metrics:
+                fail("metrics snapshot missing %r section" % section)
+        counters = {m["name"]: m["value"] for m in metrics["counters"]}
+        if counters.get("marioh_jobs_accepted_total") != snapshot["accepted"]:
+            fail("metrics snapshot accepted=%s disagrees with stats %d"
+             % (counters.get("marioh_jobs_accepted_total"),
+                snapshot["accepted"]))
+        print("net_soak: metrics snapshot OK (%d counters, %d spans)"
+              % (len(metrics["counters"]), len(metrics["spans"])))
 
     print("net_soak: OK — %d jobs over %d connections, partition holds, "
           "clean shutdown (%s)"
